@@ -1,0 +1,79 @@
+"""Ablation A1: compact bracket-set names vs full bracket sets (§3.3 vs §3.5).
+
+The paper motivates the ``<topmost bracket, set size>`` compact naming by
+noting that "building and comparing sets is expensive, so the [slow]
+algorithm is inefficient".  This ablation quantifies that: the §3.3
+algorithm (full bracket set per tree edge) against the Figure 4 algorithm,
+over a size sweep.  Both produce the same partition (asserted); the slow
+one's cost grows quadratically because bracket sets have Θ(loop-nesting ×
+E) total size.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.cycle_equiv import cycle_equivalence_scc
+from repro.core.cycle_equiv_slow import cycle_equivalence_bracket_sets, same_partition
+from repro.synth.structured import random_lowered_procedure
+
+from conftest import best_of, write_result
+
+SIZES = (100, 400, 1600)
+
+
+def test_a1_fast(benchmark):
+    proc = random_lowered_procedure(5, target_statements=1600)
+    augmented, _ = proc.cfg.with_return_edge()
+    benchmark.pedantic(
+        lambda: cycle_equivalence_scc(augmented, root=proc.cfg.start),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_a1_slow_bracket_sets(benchmark):
+    proc = random_lowered_procedure(5, target_statements=1600)
+    augmented, _ = proc.cfg.with_return_edge()
+    benchmark.pedantic(
+        lambda: cycle_equivalence_bracket_sets(augmented), rounds=1, iterations=1
+    )
+
+
+def test_a1_sweep(benchmark):
+    rows = []
+    pairs = []
+    for statements in SIZES:
+        proc = random_lowered_procedure(5, target_statements=statements)
+        augmented, _ = proc.cfg.with_return_edge()
+        fast_t, fast = best_of(
+            lambda: cycle_equivalence_scc(augmented, root=proc.cfg.start)
+        )
+        slow_t, slow = best_of(lambda: cycle_equivalence_bracket_sets(augmented), repeats=1)
+        assert same_partition(
+            {e: str(c) for e, c in fast.class_of.items()}, slow
+        )
+        pairs.append((augmented.num_edges, fast_t, slow_t))
+        rows.append(
+            [
+                augmented.num_nodes,
+                augmented.num_edges,
+                f"{1000*fast_t:.1f}",
+                f"{1000*slow_t:.1f}",
+                f"{slow_t/fast_t:.1f}",
+            ]
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = (
+        "Ablation A1 -- compact <top bracket, size> names (Figure 4) vs "
+        "full bracket sets (§3.3 slow algorithm)\n"
+        + format_table(
+            ["nodes", "edges", "compact (ms)", "full sets (ms)", "slowdown"], rows
+        )
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("a1_compact_names", text)
+
+    # the gap must widen with size (the whole point of compact names)
+    (e0, f0, s0), (e2, f2, s2) = pairs[0], pairs[-1]
+    benchmark.extra_info["small_slowdown"] = round(s0 / f0, 1)
+    benchmark.extra_info["large_slowdown"] = round(s2 / f2, 1)
+    assert s2 / f2 > s0 / f0

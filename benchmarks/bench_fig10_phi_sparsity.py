@@ -1,0 +1,50 @@
+"""Experiment F10: Figure 10 -- % of regions examined while placing φs.
+
+Paper: 5072 variables; for most variables only a small fraction of SESE
+regions is examined -- 70% of variables required examining less than one
+fifth of the regions.  The timed kernel is PST-based φ-placement for every
+variable of every corpus procedure.
+"""
+
+from repro.analysis.tables import format_histogram
+from repro.ssa.pst_phi import place_phis_pst
+
+from conftest import write_result
+
+
+def test_fig10_phi_sparsity(benchmark, procedures, psts):
+    def run():
+        fractions = []
+        for proc, pst in zip(procedures, psts):
+            result = place_phis_pst(proc, pst)
+            fractions.extend(
+                result.examined_fraction(var) for var in result.regions_examined
+            )
+        return fractions
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    buckets = {}
+    for fraction in fractions:
+        bucket = min(9, int(fraction * 10))
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    under_fifth = sum(1 for f in fractions if f < 0.2) / len(fractions)
+
+    lines = [
+        "Experiment F10 -- fraction of regions examined per variable "
+        "(paper: N=5072; 70% of variables examine < 1/5 of regions)",
+        f"variables: {len(fractions)}",
+        f"variables examining < 20% of regions: {100 * under_fifth:.1f}%",
+        "",
+        "histogram (bucket k = [k*10%, (k+1)*10%)):",
+        format_histogram(buckets, label="decile"),
+    ]
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    write_result("fig10_phi_sparsity", text)
+
+    benchmark.extra_info["variables"] = len(fractions)
+    benchmark.extra_info["under_fifth_pct"] = round(100 * under_fifth, 1)
+
+    assert len(fractions) > 2000
+    assert under_fifth >= 0.5  # paper: ~0.70

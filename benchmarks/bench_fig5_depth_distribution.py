@@ -1,0 +1,43 @@
+"""Experiment F5: Figure 5 -- distribution of region nesting depth.
+
+Paper: 8609 regions over 254 procedures, average depth 2.68, maximum 13,
+~97% of regions at depth <= 6.  The timed kernel is PST construction for
+the whole corpus (the paper's O(E) claim exercised at scale); the series is
+the per-depth histogram and its cumulative form.
+"""
+
+from repro.analysis.pst_stats import depth_distribution
+from repro.analysis.tables import format_histogram
+from repro.core.pst import build_pst
+
+from conftest import write_result
+
+
+def test_fig5_depth_distribution(benchmark, procedures, psts):
+    def build_all():
+        return [build_pst(proc.cfg) for proc in procedures]
+
+    benchmark.pedantic(build_all, rounds=3, iterations=1)
+
+    dist = depth_distribution(psts)
+    lines = [
+        "Experiment F5 -- region nesting depth (paper: N=8609, avg 2.68, max 13)",
+        f"regions: {dist.total}",
+        f"average depth: {dist.average:.2f}",
+        f"maximum depth: {dist.maximum}",
+        f"fraction at depth <= 6: {100 * dist.cumulative_fraction(6):.1f}%  (paper: ~97%)",
+        "",
+        format_histogram(dist.counts, label="depth"),
+    ]
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    write_result("fig5_depth_distribution", text)
+
+    benchmark.extra_info["regions"] = dist.total
+    benchmark.extra_info["avg_depth"] = round(dist.average, 2)
+    benchmark.extra_info["max_depth"] = dist.maximum
+
+    # shape assertions: broad and shallow, like the paper
+    assert dist.total > 3000
+    assert 1.5 <= dist.average <= 4.0
+    assert dist.cumulative_fraction(6) >= 0.9

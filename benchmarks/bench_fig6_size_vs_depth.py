@@ -1,0 +1,50 @@
+"""Experiment F6: Figure 6 -- PST size and depth versus procedure size.
+
+Paper: (a) the number of regions grows with procedure size; (b) the average
+nesting depth is roughly independent of procedure size.  We regenerate both
+series (bucketed means over the corpus) and assert the two trends.
+"""
+
+import statistics
+
+from repro.analysis.pst_stats import procedure_profile
+from repro.analysis.tables import format_scatter
+
+from conftest import write_result
+
+
+def test_fig6_size_vs_depth(benchmark, procedures):
+    profile = benchmark.pedantic(
+        lambda: procedure_profile(procedures), rounds=1, iterations=1
+    )
+
+    size_vs_regions = [(size, regions) for size, regions, _, _ in profile]
+    size_vs_depth = [(size, depth) for size, _, depth, _ in profile]
+
+    text = (
+        "Experiment F6(a) -- PST size vs procedure size (paper: grows)\n"
+        + format_scatter(size_vs_regions, "procedure size", "regions")
+        + "\n\n"
+        + "Experiment F6(b) -- average depth vs procedure size (paper: flat)\n"
+        + format_scatter(size_vs_depth, "procedure size", "avg depth")
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("fig6_size_vs_depth", text)
+
+    # trend (a): regions grow with size -- compare small vs large halves
+    ordered = sorted(profile)
+    half = len(ordered) // 2
+    small_regions = statistics.mean(r for _, r, _, _ in ordered[:half])
+    large_regions = statistics.mean(r for _, r, _, _ in ordered[half:])
+    assert large_regions > small_regions * 2
+
+    # trend (b): depth stays flat (large procedures < 2.5x small ones)
+    small_depth = statistics.mean(d for _, _, d, _ in ordered[:half])
+    large_depth = statistics.mean(d for _, _, d, _ in ordered[half:])
+    assert large_depth < small_depth * 2.5
+
+    benchmark.extra_info["small_mean_regions"] = round(small_regions, 1)
+    benchmark.extra_info["large_mean_regions"] = round(large_regions, 1)
+    benchmark.extra_info["small_mean_depth"] = round(small_depth, 2)
+    benchmark.extra_info["large_mean_depth"] = round(large_depth, 2)

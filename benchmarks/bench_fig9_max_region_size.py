@@ -1,0 +1,40 @@
+"""Experiment F9: Figure 9 -- maximum region size versus procedure size.
+
+Paper: the largest proper region of a procedure stays small regardless of
+procedure size (which is what makes divide-and-conquer profitable).  We
+regenerate the scatter and assert the max-region/procedure-size ratio does
+not grow with size.
+"""
+
+import statistics
+
+from repro.analysis.pst_stats import procedure_profile
+from repro.analysis.tables import format_scatter
+
+from conftest import write_result
+
+
+def test_fig9_max_region_size(benchmark, procedures):
+    profile = benchmark.pedantic(
+        lambda: procedure_profile(procedures), rounds=1, iterations=1
+    )
+    points = [(size, max_region) for size, _, _, max_region in profile]
+    text = (
+        "Experiment F9 -- maximum region size vs procedure size "
+        "(paper: roughly independent)\n"
+        + format_scatter(points, "procedure size", "max region size")
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("fig9_max_region_size", text)
+
+    # The interesting quantity is the *relative* max region: for the
+    # divide-and-conquer argument, large procedures must not be dominated by
+    # one giant region more than small ones are.
+    ordered = sorted(p for p in profile if p[0] >= 5)
+    half = len(ordered) // 2
+    small_ratio = statistics.mean(m / s for s, _, _, m in ordered[:half])
+    large_ratio = statistics.mean(m / s for s, _, _, m in ordered[half:])
+    benchmark.extra_info["small_ratio"] = round(small_ratio, 2)
+    benchmark.extra_info["large_ratio"] = round(large_ratio, 2)
+    assert large_ratio <= small_ratio * 1.5

@@ -1,0 +1,76 @@
+"""Experiment P2: O(E) control regions vs the O(EN) CFS90 baseline.
+
+Paper (§5): control regions of arbitrary graphs in O(E), "faster than just
+dominator computation, the first step in all previous algorithms".  We
+check the crossover: as procedures grow, the paper's algorithm scales
+linearly while partition refinement grows superlinearly.
+"""
+
+from repro.analysis.tables import format_table
+from repro.controldep.regions_cfs import control_regions_cfs
+from repro.controldep.regions_fast import control_regions
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.synth.structured import random_lowered_procedure
+
+from conftest import best_of, write_result
+
+# Sizes straddle the crossover: partition refinement is competitive on
+# small graphs but goes superlinear by a few thousand edges.
+SIZES = (500, 2000, 8000)
+
+
+def test_p2_fast_control_regions(benchmark):
+    proc = random_lowered_procedure(7, target_statements=1000)
+    benchmark.pedantic(
+        lambda: control_regions(proc.cfg, validate=False), rounds=3, iterations=1
+    )
+
+
+def test_p2_cfs_control_regions(benchmark):
+    proc = random_lowered_procedure(7, target_statements=1000)
+    benchmark.pedantic(lambda: control_regions_cfs(proc.cfg), rounds=3, iterations=1)
+
+
+def test_p2_scaling(benchmark):
+    rows = []
+    ratios = []
+    for statements in SIZES:
+        proc = random_lowered_procedure(13, target_statements=statements)
+        cfg = proc.cfg
+        fast_t, fast = best_of(lambda: control_regions(cfg, validate=False))
+        cfs_t, cfs = best_of(lambda: control_regions_cfs(cfg))
+        lt_t, _ = best_of(lambda: lengauer_tarjan(cfg))
+        assert fast == cfs
+        ratios.append((cfg.num_edges, fast_t, cfs_t))
+        rows.append(
+            [
+                cfg.num_nodes,
+                cfg.num_edges,
+                len(fast),
+                f"{1000*fast_t:.1f}",
+                f"{1000*cfs_t:.1f}",
+                f"{1000*lt_t:.1f}",
+            ]
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = (
+        "Experiment P2 -- control regions: O(E) cycle-equivalence algorithm "
+        "vs O(EN) CFS90 refinement vs LT dominator baseline\n"
+        + format_table(
+            ["nodes", "edges", "regions", "fast (ms)", "CFS90 (ms)", "LT dom (ms)"],
+            rows,
+        )
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("p2_control_regions", text)
+
+    # shape: the fast algorithm's per-edge cost stays flat while the
+    # refinement baseline's grows with size.
+    (e0, f0, c0), (e2, f2, c2) = ratios[0], ratios[-1]
+    fast_growth = (f2 / e2) / (f0 / e0)
+    cfs_growth = (c2 / e2) / (c0 / e0)
+    benchmark.extra_info["fast_per_edge_growth"] = round(fast_growth, 2)
+    benchmark.extra_info["cfs_per_edge_growth"] = round(cfs_growth, 2)
+    assert fast_growth < cfs_growth

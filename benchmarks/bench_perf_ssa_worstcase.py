@@ -1,0 +1,97 @@
+"""Experiment P3: PST φ-placement vs whole-procedure dominance frontiers
+on the Θ(N²) worst case (§6.1).
+
+Paper: the total dominance-frontier size of nested repeat-until loops is
+quadratic ([CFR+91]); computing frontiers per SESE region avoids the
+blowup because every region of the nest has O(1) collapsed size.  We
+measure total frontier size (quadratic vs linear) and wall-clock for one
+variable's φ-placement.
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core.pst import build_pst
+from repro.dominance.frontier import dominance_frontiers
+from repro.dominance.tree import dominator_tree
+from repro.ir import Assign, LoweredProcedure
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import place_phis_pst
+from repro.synth.patterns import repeat_until_nest
+
+from conftest import write_result
+
+DEPTHS = (25, 50, 100, 200)
+
+
+def nest_procedure(depth):
+    cfg = repeat_until_nest(depth)
+    proc = LoweredProcedure(f"nest{depth}", cfg)
+    proc.blocks["b0"].append(Assign("x", (), "1"))
+    proc.blocks[f"b{depth - 1}"].append(Assign("x", ("x",), "x+1"))
+    return proc
+
+
+def global_frontier_cells(cfg):
+    dtree = dominator_tree(cfg)
+    frontiers = dominance_frontiers(cfg, dtree)
+    return sum(len(s) for s in frontiers.values())
+
+
+def pst_frontier_cells(cfg):
+    pst = build_pst(cfg)
+    total = 0
+    for region in pst.regions():
+        sub, _ = pst.collapsed_cfg(region)
+        total += sum(len(s) for s in dominance_frontiers(sub, dominator_tree(sub)).values())
+    return total
+
+
+def test_p3_frontier_blowup(benchmark):
+    rows = []
+    growth = []
+    for depth in DEPTHS:
+        proc = nest_procedure(depth)
+        global_cells = global_frontier_cells(proc.cfg)
+        local_cells = pst_frontier_cells(proc.cfg)
+
+        t0 = time.perf_counter()
+        classic = phi_blocks_cytron(proc)
+        classic_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sparse = place_phis_pst(proc)
+        pst_t = time.perf_counter() - t0
+        assert sparse.phi_blocks == classic
+
+        growth.append((depth, global_cells, local_cells))
+        rows.append(
+            [
+                depth,
+                proc.cfg.num_nodes,
+                global_cells,
+                local_cells,
+                f"{1000*classic_t:.1f}",
+                f"{1000*pst_t:.1f}",
+            ]
+        )
+
+    benchmark.pedantic(lambda: place_phis_pst(nest_procedure(100)), rounds=3, iterations=1)
+    text = (
+        "Experiment P3 -- nested repeat-until loops (paper §6.1: global "
+        "dominance frontiers are Θ(N²); per-region frontiers stay linear)\n"
+        + format_table(
+            ["depth", "nodes", "global DF cells", "PST DF cells", "Cytron (ms)", "PST (ms)"],
+            rows,
+        )
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("p3_ssa_worstcase", text)
+
+    # shape: global cells grow ~4x when depth doubles; PST cells ~2x.
+    (d0, g0, l0), (d3, g3, l3) = growth[0], growth[-1]
+    scale = d3 / d0
+    benchmark.extra_info["global_growth"] = round(g3 / g0, 1)
+    benchmark.extra_info["pst_growth"] = round(l3 / l0, 1)
+    assert g3 / g0 > scale * 2  # superlinear (quadratic-ish)
+    assert l3 / l0 < scale * 2  # linear-ish

@@ -1,0 +1,53 @@
+"""Ablation A2: is the whole PST pipeline actually linear in E?
+
+The paper's central complexity claim is O(E) for cycle equivalence, SESE
+region discovery, and PST construction.  This bench sweeps an order of
+magnitude of procedure sizes and checks that per-edge cost stays within a
+small constant band (perfectly flat is unattainable in Python because of
+allocator and cache effects, but superlinear behaviour would blow the band
+wide open -- compare the CFS90 column in experiment P2).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.pst import build_pst
+from repro.synth.structured import random_lowered_procedure
+
+from conftest import best_of, write_result
+
+SIZES = (500, 2000, 8000)
+
+
+def test_a2_pst_linear_scaling(benchmark):
+    rows = []
+    per_edge = []
+    for statements in SIZES:
+        proc = random_lowered_procedure(21, target_statements=statements)
+        cfg = proc.cfg
+        elapsed, pst = best_of(lambda: build_pst(cfg))
+        per_edge.append(elapsed / cfg.num_edges)
+        rows.append(
+            [
+                cfg.num_nodes,
+                cfg.num_edges,
+                len(pst.canonical_regions()),
+                f"{1000*elapsed:.1f}",
+                f"{1e6*elapsed/cfg.num_edges:.2f}",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: build_pst(random_lowered_procedure(21, target_statements=2000).cfg),
+        rounds=3,
+        iterations=1,
+    )
+    text = (
+        "Ablation A2 -- PST construction cost per edge across a 16x size sweep\n"
+        + format_table(
+            ["nodes", "edges", "regions", "build (ms)", "us/edge"], rows
+        )
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("a2_linearity", text)
+
+    benchmark.extra_info["per_edge_band"] = round(max(per_edge) / min(per_edge), 2)
+    assert max(per_edge) / min(per_edge) < 3.0

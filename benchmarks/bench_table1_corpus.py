@@ -1,0 +1,32 @@
+"""Experiment T1: the §4 benchmark table (suite / program / lines / procedures).
+
+Paper: 10 programs, 254 procedures, 21549 lines total.  Our corpus mirrors
+the suite/program breakdown and procedure counts exactly and calibrates the
+line totals; the timing measures corpus generation + lowering itself.
+"""
+
+from repro.synth.corpus import corpus_table, standard_corpus
+
+from conftest import write_result
+
+
+def test_table1_corpus(benchmark, corpus):
+    def regenerate():
+        # bypass the cache to time actual generation + lowering
+        return standard_corpus(seed=4242)
+
+    generated = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert sum(p.num_procedures for p in generated) == 254
+
+    table = corpus_table(corpus)
+    total_lines = sum(p.lines for p in corpus)
+    text = (
+        "Experiment T1 -- benchmark corpus (paper: 254 procedures, 21549 lines)\n"
+        + table
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("table1_corpus", text)
+    benchmark.extra_info["procedures"] = 254
+    benchmark.extra_info["lines"] = total_lines
+    assert 0.7 * 21549 <= total_lines <= 1.3 * 21549

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Besides timing via pytest-benchmark, each
+writes its rows/series to ``benchmarks/results/<experiment>.txt`` so the
+numbers recorded in EXPERIMENTS.md can be re-derived at any time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.core.pst import ProgramStructureTree, build_pst
+from repro.ir import LoweredProcedure
+from repro.synth.corpus import CorpusProgram, all_procedures, standard_corpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def corpus() -> List[CorpusProgram]:
+    """The full 254-procedure corpus calibrated to the paper's table."""
+    return standard_corpus()
+
+
+@pytest.fixture(scope="session")
+def procedures(corpus) -> List[LoweredProcedure]:
+    return all_procedures(corpus)
+
+
+@pytest.fixture(scope="session")
+def psts(procedures) -> List[ProgramStructureTree]:
+    return [build_pst(proc.cfg) for proc in procedures]
+
+
+def best_of(fn, repeats: int = 3):
+    """(best wall-clock seconds, last result), with warmup and GC paused.
+
+    The corpus fixtures keep a lot of objects alive for the whole session;
+    without this, generational GC pauses dominate sub-100ms measurements.
+    """
+    import gc
+    import time
+
+    fn()  # warmup
+    best = float("inf")
+    result = None
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if enabled:
+            gc.enable()
+    return best, result
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered table/series under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path

@@ -1,0 +1,77 @@
+"""A full front-to-back compiler pipeline on MiniLang source.
+
+Parses a procedure with nested control flow (and one unstructured goto),
+lowers it to a block-level CFG, builds the PST, places φ-functions with
+both the classic Cytron algorithm and the paper's PST-based algorithm
+(asserting they agree), and prints the renamed SSA form.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+from repro import build_pst
+from repro.lang import lower_program, parse_program
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import place_phis_pst
+from repro.ssa.rename import construct_ssa
+from repro.ssa.verify import verify_ssa
+
+SOURCE = """
+proc interp(n, mode) {
+    total = 0;
+    i = 0;
+    while (i < n) {
+        if (mode == 1) {
+            total = total + i;
+        } else {
+            switch (mode) {
+                case 2: { total = total + 2 * i; }
+                case 3: { total = total - i; }
+                default: { goto overflow; }
+            }
+        }
+        i = i + 1;
+    }
+    repeat {
+        total = total - n;
+    } until (total < 1000);
+    overflow:
+    result = total;
+    return result;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    [proc] = lower_program(program)
+    print(f"lowered {proc.name!r}: {proc.cfg.num_nodes} blocks, "
+          f"{proc.cfg.num_edges} edges, {proc.num_statements()} statements")
+
+    pst = build_pst(proc.cfg)
+    print(f"PST: {len(pst.canonical_regions())} regions, max depth {pst.max_depth()}")
+
+    classic = phi_blocks_cytron(proc)
+    pst_result = place_phis_pst(proc, pst)
+    for var in classic:
+        assert classic[var] == pst_result.phi_blocks[var], var
+    print("\nφ-placement (classic == PST-based, asserted):")
+    for var in sorted(classic):
+        blocks = sorted(classic[var], key=str)
+        fraction = pst_result.examined_fraction(var)
+        print(f"  {var:>8}: φ at {blocks or '[]'}  "
+              f"(examined {100 * fraction:.0f}% of regions)")
+
+    ssa = construct_ssa(proc, placement=pst_result.phi_blocks)
+    problems = verify_ssa(ssa)
+    assert not problems, problems
+    print("\nSSA form (verified):")
+    for block in ssa.cfg.nodes:
+        statements = ssa.blocks.get(block, [])
+        if statements:
+            print(f"  {block}:")
+            for stmt in statements:
+                print(f"      {stmt!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Incremental dataflow analysis via the PST (§6.3's closing suggestion).
+
+The paper points out that the PST "can be used to isolate regions of the
+graph where information must be recomputed" after an edit.  This example
+builds a large procedure, solves liveness once, then repeatedly edits
+single statements and re-solves incrementally, reporting how little of the
+PST each update actually touched -- while asserting the result always
+equals a from-scratch solve.
+
+Run:  python examples/incremental_analysis.py
+"""
+
+import time
+
+from repro import build_pst
+from repro.dataflow import IncrementalDataflow, LiveVariables, solve_iterative
+from repro.ir import Assign
+from repro.synth.structured import random_lowered_procedure
+
+
+def main() -> None:
+    proc = random_lowered_procedure(seed=23, target_statements=400, name="editbuf")
+    pst = build_pst(proc.cfg)
+    total_regions = len(pst.canonical_regions()) + 1
+    print(
+        f"procedure {proc.name!r}: {proc.cfg.num_nodes} blocks, "
+        f"{proc.num_statements()} statements, {total_regions} PST regions\n"
+    )
+
+    engine = IncrementalDataflow(proc.cfg, LiveVariables(proc), pst)
+    assert engine.solution() == solve_iterative(proc.cfg, LiveVariables(proc))
+
+    # Edit a handful of blocks, one at a time.
+    editable = [
+        block
+        for block in proc.cfg.nodes
+        if any(isinstance(s, Assign) for s in proc.blocks.get(block, []))
+    ][:8]
+
+    print(f"{'edited block':>14}  {'summaries':>9}  {'regions':>8}  "
+          f"{'changed blocks':>14}  {'incremental':>11}  {'full':>8}")
+    for block in editable:
+        statements = proc.blocks[block]
+        index = next(i for i, s in enumerate(statements) if isinstance(s, Assign))
+        old = statements[index]
+        # rewrite the statement to use no variables (kills its uses)
+        statements[index] = Assign(old.target, (), "0")
+
+        fresh_problem = LiveVariables(proc)
+        started = time.perf_counter()
+        changed = engine.update([block], fresh_problem)
+        incremental_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        full = solve_iterative(proc.cfg, fresh_problem)
+        full_ms = (time.perf_counter() - started) * 1000
+        assert engine.solution() == full
+
+        print(
+            f"{str(block):>14}  {engine.last_summaries_recomputed:>9}  "
+            f"{engine.last_regions_resolved:>8}  {len(changed):>14}  "
+            f"{incremental_ms:>9.2f}ms  {full_ms:>6.2f}ms"
+        )
+
+    print(
+        f"\nevery update touched a handful of the {total_regions} regions and "
+        "matched the from-scratch solution (asserted)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Sparse dataflow with quick propagation graphs (§6.2).
+
+Generates a mid-sized procedure, then for each variable solves the
+"reaching definitions of v" instance three ways -- plain iterative over the
+whole CFG, PST elimination, and QPG-sparse -- checks all three agree, and
+reports how much smaller the QPG is than the CFG (the paper reports QPGs
+averaging under 10% of the statement-level CFG).
+
+Run:  python examples/sparse_dataflow.py
+"""
+
+from repro import build_pst
+from repro.dataflow import (
+    ReachingDefinitions,
+    VariableReachingDefs,
+    solve_elimination,
+    solve_iterative,
+    solve_qpg,
+)
+from repro.synth.structured import random_lowered_procedure
+
+
+def main() -> None:
+    proc = random_lowered_procedure(seed=7, target_statements=120, name="demo")
+    pst = build_pst(proc.cfg)
+    print(f"procedure {proc.name!r}: {proc.cfg.num_nodes} blocks, "
+          f"{proc.num_statements()} statements, "
+          f"{len(pst.canonical_regions())} SESE regions\n")
+
+    print(f"{'variable':>10}  {'defs':>4}  {'QPG nodes':>9}  {'CFG nodes':>9}  ratio")
+    ratios = []
+    for var in proc.variables():
+        problem = VariableReachingDefs(proc, var)
+        baseline = solve_iterative(proc.cfg, problem)
+        sparse = solve_qpg(proc.cfg, problem, pst)
+        assert sparse.solution == baseline, f"QPG solution mismatch for {var}"
+        ratio = sparse.size_ratio(proc.cfg)
+        ratios.append(ratio)
+        print(f"{var:>10}  {len(proc.defs_of(var)):>4}  {sparse.qpg_nodes:>9}  "
+              f"{proc.cfg.num_nodes:>9}  {100 * ratio:5.1f}%")
+    print(f"\naverage QPG size: {100 * sum(ratios) / len(ratios):.1f}% of the block-level CFG")
+
+    # The all-variables bit-vector problem, solved by PST elimination.
+    problem = ReachingDefinitions(proc)
+    elim = solve_elimination(proc.cfg, problem, pst)
+    assert elim == solve_iterative(proc.cfg, problem)
+    reaching_end = sorted(elim.before[proc.cfg.end], key=str)
+    print(f"\nfull reaching-definitions via PST elimination: "
+          f"{len(reaching_end)} definitions reach `end` (matches iterative)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro -- the Program Structure Tree (Johnson, Pearson & Pingali, PLDI 1994).
+
+A complete reproduction of the paper's system:
+
+* linear-time edge cycle equivalence (:mod:`repro.core.cycle_equiv`),
+* canonical SESE regions and the PST (:mod:`repro.core`),
+* linear-time control regions (:mod:`repro.controldep`),
+* dominance substrate incl. Lengauer-Tarjan (:mod:`repro.dominance`),
+* SSA construction, classic and PST-based (:mod:`repro.ssa`),
+* dataflow analysis: iterative, elimination, and QPG-sparse
+  (:mod:`repro.dataflow`),
+* the MiniLang front end (:mod:`repro.lang`) and synthetic workload
+  generators (:mod:`repro.synth`) standing in for the paper's FORTRAN
+  benchmarks.
+
+Quickstart::
+
+    from repro import cfg_from_edges, build_pst
+
+    g = cfg_from_edges([
+        ("start", "a"), ("a", "b", "T"), ("a", "c", "F"),
+        ("b", "d"), ("c", "d"), ("d", "end"),
+    ])
+    pst = build_pst(g)
+    for region in pst.canonical_regions():
+        print(region.describe(), "depth", region.depth)
+"""
+
+from repro.cfg import CFG, CFGBuilder, Edge, InvalidCFGError, cfg_from_edges
+from repro.core import (
+    ProgramStructureTree,
+    RegionKind,
+    SESERegion,
+    build_pst,
+    canonical_sese_regions,
+    classify_pst,
+    classify_region,
+    cycle_equivalence,
+    cycle_equivalence_scc,
+)
+from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFG",
+    "CFGBuilder",
+    "Edge",
+    "InvalidCFGError",
+    "cfg_from_edges",
+    "ProgramStructureTree",
+    "RegionKind",
+    "SESERegion",
+    "build_pst",
+    "canonical_sese_regions",
+    "classify_pst",
+    "classify_region",
+    "cycle_equivalence",
+    "cycle_equivalence_scc",
+    "cycle_equivalence_of_cfg",
+    "__version__",
+]

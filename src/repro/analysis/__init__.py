@@ -1,0 +1,27 @@
+"""Empirical analysis: the statistics behind the paper's §4 and §6 figures."""
+
+from repro.analysis.pst_stats import (
+    CorpusStats,
+    DepthDistribution,
+    corpus_stats,
+    depth_distribution,
+    kind_distribution,
+    phi_sparsity,
+    procedure_profile,
+    qpg_sizes,
+)
+from repro.analysis.tables import format_histogram, format_scatter, format_table
+
+__all__ = [
+    "CorpusStats",
+    "DepthDistribution",
+    "corpus_stats",
+    "depth_distribution",
+    "kind_distribution",
+    "phi_sparsity",
+    "procedure_profile",
+    "qpg_sizes",
+    "format_histogram",
+    "format_scatter",
+    "format_table",
+]

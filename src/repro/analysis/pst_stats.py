@@ -1,0 +1,164 @@
+"""Statistics over PSTs of a corpus: the data behind Figures 5, 6, 7, 9, 10.
+
+Every function takes :class:`~repro.ir.LoweredProcedure` lists (usually the
+synthetic corpus from :mod:`repro.synth.corpus`) and returns plain data
+structures the benchmark harnesses print as the paper's rows/series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.region_kinds import RegionKind, classify_pst, is_completely_structured, region_weight
+from repro.dataflow.problems import VariableReachingDefs
+from repro.dataflow.qpg import build_qpg
+from repro.ir import LoweredProcedure
+from repro.ssa.pst_phi import place_phis_pst
+
+
+@dataclass
+class DepthDistribution:
+    """Figure 5: region counts per nesting depth."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def average(self) -> float:
+        if not self.counts:
+            return 0.0
+        return sum(d * c for d, c in self.counts.items()) / self.total
+
+    @property
+    def maximum(self) -> int:
+        return max(self.counts, default=0)
+
+    def cumulative_fraction(self, depth: int) -> float:
+        """Fraction of regions at nesting depth <= ``depth`` (Figure 5b)."""
+        if self.total == 0:
+            return 0.0
+        covered = sum(c for d, c in self.counts.items() if d <= depth)
+        return covered / self.total
+
+
+@dataclass
+class CorpusStats:
+    """Aggregate §4 statistics over a set of procedures."""
+
+    procedures: int = 0
+    regions: int = 0
+    completely_structured: int = 0
+    depth: DepthDistribution = field(default_factory=DepthDistribution)
+    kind_weights: Dict[RegionKind, int] = field(default_factory=dict)
+    # (procedure size in blocks, PST size, average depth, max region size)
+    profile: List[Tuple[int, int, float, int]] = field(default_factory=list)
+
+
+def depth_distribution(psts: List[ProgramStructureTree]) -> DepthDistribution:
+    """Region counts per depth over many PSTs (Figure 5)."""
+    dist = DepthDistribution()
+    for pst in psts:
+        for region in pst.canonical_regions():
+            dist.counts[region.depth] = dist.counts.get(region.depth, 0) + 1
+    return dist
+
+
+def kind_distribution(psts: List[ProgramStructureTree]) -> Dict[RegionKind, int]:
+    """Weighted region-kind counts (Figure 7)."""
+    weights: Dict[RegionKind, int] = {kind: 0 for kind in RegionKind}
+    for pst in psts:
+        for region, kind in classify_pst(pst).items():
+            weights[kind] += region_weight(region)
+    return weights
+
+
+def procedure_profile(procs: List[LoweredProcedure]) -> List[Tuple[int, int, float, int]]:
+    """Per-procedure (size, PST size, avg depth, max region size).
+
+    The series behind Figures 6(a), 6(b) and 9: procedure size is the block
+    count, PST size the number of canonical regions, and max region size
+    the node count of the largest *proper* canonical region.
+    """
+    out: List[Tuple[int, int, float, int]] = []
+    for proc in procs:
+        pst = build_pst(proc.cfg)
+        regions = pst.canonical_regions()
+        depths = [r.depth for r in regions]
+        avg_depth = sum(depths) / len(depths) if depths else 0.0
+        max_size = max((r.size() for r in regions), default=0)
+        out.append((proc.cfg.num_nodes, len(regions), avg_depth, max_size))
+    return out
+
+
+def corpus_stats(procs: List[LoweredProcedure]) -> CorpusStats:
+    """All §4 aggregates in one pass over the corpus."""
+    stats = CorpusStats()
+    stats.kind_weights = {kind: 0 for kind in RegionKind}
+    for proc in procs:
+        pst = build_pst(proc.cfg)
+        regions = pst.canonical_regions()
+        stats.procedures += 1
+        stats.regions += len(regions)
+        for region in regions:
+            stats.depth.counts[region.depth] = stats.depth.counts.get(region.depth, 0) + 1
+        kinds = classify_pst(pst)
+        for region, kind in kinds.items():
+            stats.kind_weights[kind] += region_weight(region)
+        if is_completely_structured(kinds):
+            stats.completely_structured += 1
+        depths = [r.depth for r in regions]
+        avg_depth = sum(depths) / len(depths) if depths else 0.0
+        max_size = max((r.size() for r in regions), default=0)
+        stats.profile.append((proc.cfg.num_nodes, len(regions), avg_depth, max_size))
+    return stats
+
+
+def phi_sparsity(procs: List[LoweredProcedure]) -> List[float]:
+    """Per-variable fraction of regions examined during φ-placement.
+
+    The Figure 10 series: one sample per (procedure, variable) pair.  The
+    paper reports 5072 variables with ~70% of them examining less than a
+    fifth of the regions.
+    """
+    fractions: List[float] = []
+    for proc in procs:
+        pst = build_pst(proc.cfg)
+        result = place_phis_pst(proc, pst)
+        for var in result.regions_examined:
+            fractions.append(result.examined_fraction(var))
+    return fractions
+
+
+def qpg_sizes(
+    procs: List[LoweredProcedure],
+    max_vars_per_proc: Optional[int] = None,
+    granularity: str = "statement",
+) -> List[Tuple[int, int, int]]:
+    """(cfg nodes, statements, qpg nodes) per per-variable instance.
+
+    The §6.2 measurement: the paper reports QPGs averaging less than 10% of
+    the *statement-level* CFG for single-instance problems, so the default
+    granularity explodes blocks into statement chains
+    (:func:`repro.ir.statement_level`); pass ``granularity="block"`` to
+    measure against block-level CFGs instead.
+    """
+    from repro.ir import statement_level
+
+    out: List[Tuple[int, int, int]] = []
+    for proc in procs:
+        target = statement_level(proc) if granularity == "statement" else proc
+        pst = build_pst(target.cfg)
+        statements = proc.num_statements()
+        variables = target.variables()
+        if max_vars_per_proc is not None:
+            variables = variables[:max_vars_per_proc]
+        for var in variables:
+            problem = VariableReachingDefs(target, var)
+            qpg, _, _ = build_qpg(target.cfg, problem, pst)
+            out.append((target.cfg.num_nodes, statements, qpg.num_nodes))
+    return out

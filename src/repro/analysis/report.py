@@ -1,0 +1,95 @@
+"""One-call regeneration of every paper statistic (no timing).
+
+``python -m repro.analysis.report [scale]`` prints the full set of
+evaluation tables and series (experiments T1, F5, F6, F7, F9, F10, P4 of
+DESIGN.md) for the standard corpus; the benchmark harness under
+``benchmarks/`` adds the timing experiments on top of the same functions.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.analysis.pst_stats import corpus_stats, phi_sparsity, qpg_sizes
+from repro.analysis.tables import format_histogram, format_scatter, format_table
+from repro.synth.corpus import CorpusProgram, all_procedures, corpus_table, standard_corpus
+
+
+def generate_report(scale: float = 1.0, corpus: Optional[List[CorpusProgram]] = None) -> str:
+    """The full evaluation report as one text block."""
+    corpus = standard_corpus(scale=scale) if corpus is None else corpus
+    procs = all_procedures(corpus)
+    stats = corpus_stats(procs)
+    sections: List[str] = []
+
+    sections.append("== T1: benchmark corpus ==\n" + corpus_table(corpus))
+
+    depth = stats.depth
+    sections.append(
+        "== F5: region nesting depth ==\n"
+        f"regions: {depth.total}   average depth: {depth.average:.2f}   "
+        f"max: {depth.maximum}   at depth <= 6: {100 * depth.cumulative_fraction(6):.1f}%\n"
+        + format_histogram(depth.counts, label="depth")
+    )
+
+    sections.append(
+        "== F6(a): PST size vs procedure size ==\n"
+        + format_scatter([(s, r) for s, r, _, _ in stats.profile], "procedure size", "regions")
+        + "\n\n== F6(b): average depth vs procedure size ==\n"
+        + format_scatter([(s, d) for s, _, d, _ in stats.profile], "procedure size", "avg depth")
+    )
+
+    total_weight = sum(stats.kind_weights.values())
+    rows = [
+        [kind.value, weight, f"{100 * weight / max(1, total_weight):.1f}%"]
+        for kind, weight in sorted(stats.kind_weights.items(), key=lambda kv: -kv[1])
+    ]
+    sections.append(
+        "== F7: weighted region kinds ==\n"
+        + format_table(["kind", "weight", "share"], rows)
+        + f"\ncompletely structured procedures: {stats.completely_structured}/{stats.procedures}"
+    )
+
+    sections.append(
+        "== F9: max region size vs procedure size ==\n"
+        + format_scatter(
+            [(s, m) for s, _, _, m in stats.profile], "procedure size", "max region"
+        )
+    )
+
+    fractions = phi_sparsity(procs)
+    under_fifth = sum(1 for f in fractions if f < 0.2) / max(1, len(fractions))
+    buckets = {}
+    for fraction in fractions:
+        bucket = min(9, int(fraction * 10))
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    sections.append(
+        "== F10: fraction of regions examined per variable ==\n"
+        f"variables: {len(fractions)}   under 1/5 of regions: {100 * under_fifth:.1f}%\n"
+        + format_histogram(buckets, label="decile")
+    )
+
+    qpg_rows = qpg_sizes(procs)
+    aggregate = sum(q for _, _, q in qpg_rows) / max(1, sum(n for n, _, _ in qpg_rows))
+    ratios = [q / max(1, n) for n, _, q in qpg_rows]
+    sections.append(
+        "== P4: QPG sizes (per-variable reaching definitions) ==\n"
+        f"instances: {len(qpg_rows)}   aggregate vs statement-level CFG: "
+        f"{100 * aggregate:.1f}%   per-instance median: "
+        f"{100 * statistics.median(ratios):.1f}%"
+    )
+
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    scale = float(argv[0]) if argv else 1.0
+    sys.stdout.write(generate_report(scale=scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Plain-text rendering of tables, histograms and scatter summaries.
+
+The benchmark harnesses print the paper's tables and figure series as text;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with right-aligned numeric columns."""
+    texts = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in texts:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, i: int, numeric: bool) -> str:
+        return cell.rjust(widths[i]) if numeric else cell.ljust(widths[i])
+
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row, text_row in zip(rows, texts):
+        cells = []
+        for i, cell in enumerate(text_row):
+            numeric = isinstance(row[i], (int, float))
+            cells.append(align(cell, i, numeric))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_histogram(counts: Dict[int, int], label: str = "value", width: int = 40) -> str:
+    """An ASCII bar histogram keyed by integer buckets."""
+    if not counts:
+        return "(empty)"
+    peak = max(counts.values())
+    total = sum(counts.values())
+    lines = []
+    cumulative = 0
+    for key in sorted(counts):
+        count = counts[key]
+        cumulative += count
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(
+            f"{label} {key:>3}: {count:>6}  {bar}  ({100 * cumulative / total:5.1f}% cum)"
+        )
+    return "\n".join(lines)
+
+
+def format_scatter(
+    points: Sequence[Tuple[float, float]],
+    x_label: str,
+    y_label: str,
+    buckets: int = 8,
+) -> str:
+    """Summarize a scatter series by bucketed means (text stand-in for a plot)."""
+    if not points:
+        return "(empty)"
+    xs = [p[0] for p in points]
+    lo, hi = min(xs), max(xs)
+    span = max(hi - lo, 1e-9)
+    sums = [0.0] * buckets
+    counts = [0] * buckets
+    for x, y in points:
+        index = min(buckets - 1, int((x - lo) / span * buckets))
+        sums[index] += y
+        counts[index] += 1
+    lines = [f"{x_label:>24}  {'n':>6}  mean {y_label}"]
+    for i in range(buckets):
+        if counts[i] == 0:
+            continue
+        left = lo + span * i / buckets
+        right = lo + span * (i + 1) / buckets
+        lines.append(f"{f'[{left:.0f}, {right:.0f})':>24}  {counts[i]:>6}  {sums[i] / counts[i]:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Convenience constructors for CFGs.
+
+Most tests and examples want to write a CFG down as a list of edges; the
+helpers here turn that into a validated :class:`~repro.cfg.graph.CFG`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cfg.graph import CFG, Edge, NodeId
+
+EdgeSpec = Union[Tuple[NodeId, NodeId], Tuple[NodeId, NodeId, Optional[str]]]
+
+
+def cfg_from_edges(
+    edges: Iterable[EdgeSpec],
+    start: NodeId = "start",
+    end: NodeId = "end",
+    name: str = "cfg",
+    validate: bool = True,
+) -> CFG:
+    """Build a CFG from ``(source, target)`` or ``(source, target, label)`` specs.
+
+    ``start`` and ``end`` are added even if they appear in no edge.  With
+    ``validate=True`` (the default) the result is checked against
+    Definition 1 and an :class:`InvalidCFGError` is raised on violation.
+    """
+    cfg = CFG(start=start, end=end, name=name)
+    for spec in edges:
+        if len(spec) == 2:
+            source, target = spec  # type: ignore[misc]
+            label = None
+        else:
+            source, target, label = spec  # type: ignore[misc]
+        cfg.add_edge(source, target, label)
+    if validate:
+        from repro.cfg.validate import validate_cfg
+
+        validate_cfg(cfg)
+    return cfg
+
+
+class CFGBuilder:
+    """Incremental CFG builder with auto-generated block names.
+
+    Useful when lowering ASTs or generating synthetic graphs: blocks get
+    sequential names (``b0``, ``b1``, ...) and branch edges get consistent
+    labels.
+
+    >>> b = CFGBuilder()
+    >>> cond = b.block("cond")
+    >>> then = b.block()
+    >>> b.branch(cond, then, b.end, "T", "F")
+    >>> b.goto(then, b.end)
+    >>> b.goto(b.start, cond)
+    >>> cfg = b.finish()
+    >>> cfg.num_nodes
+    4
+    """
+
+    def __init__(self, name: str = "cfg", start: NodeId = "start", end: NodeId = "end"):
+        self.cfg = CFG(start=start, end=end, name=name)
+        self._counter = 0
+
+    @property
+    def start(self) -> NodeId:
+        return self.cfg.start
+
+    @property
+    def end(self) -> NodeId:
+        return self.cfg.end
+
+    def block(self, name: Optional[NodeId] = None) -> NodeId:
+        """Create (or ensure) a block; auto-names it if ``name`` is None."""
+        if name is None:
+            name = f"b{self._counter}"
+            self._counter += 1
+        return self.cfg.add_node(name)
+
+    def goto(self, source: NodeId, target: NodeId, label: Optional[str] = None) -> Edge:
+        """Add an unconditional edge."""
+        return self.cfg.add_edge(source, target, label)
+
+    def branch(
+        self,
+        source: NodeId,
+        true_target: NodeId,
+        false_target: NodeId,
+        true_label: str = "T",
+        false_label: str = "F",
+    ) -> Tuple[Edge, Edge]:
+        """Add a two-way conditional branch with labelled edges."""
+        t = self.cfg.add_edge(source, true_target, true_label)
+        f = self.cfg.add_edge(source, false_target, false_label)
+        return t, f
+
+    def switch(self, source: NodeId, targets: Sequence[NodeId]) -> List[Edge]:
+        """Add an n-way branch; edges are labelled by case index."""
+        return [self.cfg.add_edge(source, t, str(i)) for i, t in enumerate(targets)]
+
+    def finish(self, validate: bool = True) -> CFG:
+        """Validate (optionally) and return the constructed CFG."""
+        if validate:
+            from repro.cfg.validate import validate_cfg
+
+            validate_cfg(self.cfg)
+        return self.cfg
+
+
+def linear_chain(length: int, name: str = "chain") -> CFG:
+    """A straight-line CFG: start -> n1 -> ... -> n_length -> end."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    edges: List[Tuple[NodeId, NodeId]] = []
+    prev: NodeId = "start"
+    for i in range(length):
+        node = f"n{i}"
+        edges.append((prev, node))
+        prev = node
+    edges.append((prev, "end"))
+    return cfg_from_edges(edges, name=name)

@@ -1,0 +1,42 @@
+"""Graphviz DOT export for CFGs and PSTs (text only; no graphviz dependency)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.graph import CFG
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def cfg_to_dot(cfg: CFG, title: Optional[str] = None) -> str:
+    """Render a CFG as DOT text; start/end are drawn as double circles."""
+    lines = [f"digraph {_quote(title or cfg.name)} {{"]
+    lines.append("  node [shape=box, fontname=monospace];")
+    for node in cfg.nodes:
+        attrs = ""
+        if node == cfg.start or node == cfg.end:
+            attrs = " [shape=doublecircle]"
+        lines.append(f"  {_quote(node)}{attrs};")
+    for edge in cfg.edges:
+        label = f" [label={_quote(edge.label)}]" if edge.label is not None else ""
+        lines.append(f"  {_quote(edge.source)} -> {_quote(edge.target)}{label};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pst_to_dot(pst, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.core.pst.ProgramStructureTree` as DOT text."""
+    lines = [f"digraph {_quote(title or 'pst')} {{"]
+    lines.append("  node [shape=ellipse, fontname=monospace];")
+    for region in pst.regions():
+        lines.append(f"  {_quote(region.region_id)} [label={_quote(region.describe())}];")
+    for region in pst.regions():
+        for child in region.children:
+            lines.append(f"  {_quote(region.region_id)} -> {_quote(child.region_id)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,51 @@
+"""Interoperability with networkx (optional dependency).
+
+``networkx`` is not required by the library proper; these helpers exist for
+users who already have graphs in networkx form and for the test suite,
+which uses ``networkx.immediate_dominators`` as yet another independent
+oracle for the dominance substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.graph import CFG, NodeId
+
+
+def to_networkx(cfg: CFG):
+    """Convert a CFG to a ``networkx.MultiDiGraph``.
+
+    Node identity is preserved; each edge carries its ``eid`` and ``label``
+    as attributes, and the graph carries ``start``/``end`` attributes.
+    """
+    import networkx as nx
+
+    graph = nx.MultiDiGraph(name=cfg.name, start=cfg.start, end=cfg.end)
+    graph.add_nodes_from(cfg.nodes)
+    for edge in cfg.edges:
+        graph.add_edge(edge.source, edge.target, eid=edge.eid, label=edge.label)
+    return graph
+
+
+def from_networkx(graph, start: Optional[NodeId] = None, end: Optional[NodeId] = None) -> CFG:
+    """Build a CFG from any networkx directed graph.
+
+    ``start``/``end`` default to the graph attributes of the same name.
+    Edge ``label`` attributes are preserved; multi-edges map to parallel
+    edges.  The result is *not* validated (call
+    :func:`repro.cfg.validate.validate_cfg` if Definition 1 must hold).
+    """
+    attrs = getattr(graph, "graph", {})
+    start = attrs.get("start") if start is None else start
+    end = attrs.get("end") if end is None else end
+    cfg = CFG(start=start, end=end, name=attrs.get("name", "networkx"))
+    for node in graph.nodes:
+        cfg.add_node(node)
+    if graph.is_multigraph():
+        for source, target, data in graph.edges(data=True):
+            cfg.add_edge(source, target, data.get("label"))
+    else:
+        for source, target, data in graph.edges(data=True):
+            cfg.add_edge(source, target, data.get("label"))
+    return cfg

@@ -1,0 +1,137 @@
+"""Allen-Cocke interval partitioning ([AC76]; see also [Ken81], [RP86]).
+
+An *interval* I(h) with header ``h`` is the maximal single-entry subgraph
+obtained by repeatedly absorbing nodes all of whose predecessors already
+lie in the interval.  Collapsing every interval to its header yields the
+first *derived graph*; iterating produces the derived sequence, whose limit
+is a single node exactly when the flowgraph is reducible -- providing an
+independent oracle for :func:`repro.cfg.reducibility.is_reducible` (the
+T1/T2 characterization), which the tests exploit.
+
+The paper positions the PST as an alternative hierarchical decomposition
+to intervals for elimination-style dataflow (§6.2, citing Allen & Cocke
+and Graham & Wegman), and notes Theorem 10's consequence that unstructured
+SESE regions of a reducible graph can still be handled by interval methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import CFG, NodeId
+
+
+class Interval:
+    """One interval: a header plus its absorbed nodes, in interval order."""
+
+    __slots__ = ("header", "nodes")
+
+    def __init__(self, header: NodeId):
+        self.header = header
+        self.nodes: List[NodeId] = [header]
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in set(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interval({self.header!r}, {len(self.nodes)} nodes)"
+
+
+def interval_partition(cfg: CFG, root: Optional[NodeId] = None) -> List[Interval]:
+    """Partition the nodes reachable from ``root`` into intervals.
+
+    Nodes inside each interval are listed in *interval order* (every
+    non-header node appears after all of its intra-interval predecessors),
+    which the interval dataflow solver relies on.
+    """
+    root = cfg.start if root is None else root
+    interval_of: Dict[NodeId, Interval] = {}
+    intervals: List[Interval] = []
+    header_worklist: List[NodeId] = [root]
+    queued = {root}
+
+    while header_worklist:
+        header = header_worklist.pop(0)
+        if header in interval_of:
+            continue
+        interval = Interval(header)
+        interval_of[header] = interval
+        members = {header}
+        changed = True
+        while changed:
+            changed = False
+            for node in list(members):
+                for succ in cfg.successors(node):
+                    if succ in members or succ in interval_of or succ == root:
+                        continue
+                    # Self-loops do not block absorption (they are the T1
+                    # case: a one-node cycle is internal wherever the node
+                    # lands); the dataflow solver applies a per-node closure
+                    # for them.
+                    preds = [p for p in cfg.predecessors(succ) if p != succ]
+                    if preds and all(p in members for p in preds):
+                        members.add(succ)
+                        interval.nodes.append(succ)
+                        interval_of[succ] = interval
+                        changed = True
+        intervals.append(interval)
+        # new headers: nodes outside any interval with a predecessor inside
+        for node in interval.nodes:
+            for succ in cfg.successors(node):
+                if succ not in interval_of and succ not in queued:
+                    queued.add(succ)
+                    header_worklist.append(succ)
+    return intervals
+
+
+def derived_graph(cfg: CFG, intervals: List[Interval], root: Optional[NodeId] = None) -> CFG:
+    """Collapse each interval to its header; one edge per crossing pair.
+
+    Every inter-interval edge necessarily targets a header (that is what
+    makes the partition single-entry), so the derived graph simply connects
+    headers.  Intra-interval edges -- including back edges to the own
+    header -- are summarized away.
+    """
+    root = cfg.start if root is None else root
+    interval_of: Dict[NodeId, Interval] = {}
+    for interval in intervals:
+        for node in interval.nodes:
+            interval_of[node] = interval
+    out = CFG(name=f"{cfg.name}.derived")
+    out.start = interval_of[root].header if root in interval_of else root
+    for interval in intervals:
+        out.add_node(interval.header)
+    seen = set()
+    for edge in cfg.edges:
+        if edge.source not in interval_of or edge.target not in interval_of:
+            continue
+        src = interval_of[edge.source]
+        dst = interval_of[edge.target]
+        if src is dst:
+            continue
+        pair = (src.header, dst.header)
+        if pair not in seen:
+            seen.add(pair)
+            out.add_edge(*pair)
+    return out
+
+
+def derived_sequence(cfg: CFG, root: Optional[NodeId] = None, limit: int = 10_000) -> List[CFG]:
+    """G = G0, G1, ... until the graph stops shrinking (the limit graph)."""
+    root = cfg.start if root is None else root
+    sequence = [cfg]
+    current = cfg
+    for _ in range(limit):
+        intervals = interval_partition(current, root)
+        nxt = derived_graph(current, intervals, root)
+        if nxt.num_nodes == current.num_nodes:
+            return sequence
+        root = nxt.start
+        sequence.append(nxt)
+        current = nxt
+    raise RuntimeError("derived sequence did not converge")
+
+
+def is_reducible_by_intervals(cfg: CFG, root: Optional[NodeId] = None) -> bool:
+    """Reducibility via the derived-sequence limit (Allen-Cocke/Hecht)."""
+    return derived_sequence(cfg, root)[-1].num_nodes == 1

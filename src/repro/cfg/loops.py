@@ -1,0 +1,87 @@
+"""Natural loops and the loop-nesting forest.
+
+A *natural loop* is induced by a backedge ``latch -> header`` whose header
+dominates the latch: its body is everything that reaches the latch without
+passing through the header.  Loops with a shared header are merged (the
+usual convention), and bodies of distinct headers are either disjoint or
+nested in reducible graphs, giving a forest.
+
+This substrate complements the PST: the region-kind classifier recognizes
+LOOP regions structurally, and the tests cross-check that every natural
+loop of a reducible graph is contained in some PST loop region boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import CFG, NodeId
+from repro.dominance.tree import DominatorTree, dominator_tree
+
+
+class NaturalLoop:
+    """One natural loop: header, latches, and body (header included)."""
+
+    __slots__ = ("header", "latches", "body", "parent", "children")
+
+    def __init__(self, header: NodeId):
+        self.header = header
+        self.latches: List[NodeId] = []
+        self.body: Set[NodeId] = {header}
+        self.parent: Optional["NaturalLoop"] = None
+        self.children: List["NaturalLoop"] = []
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NaturalLoop(header={self.header!r}, |body|={len(self.body)})"
+
+
+def natural_loops(cfg: CFG, dtree: Optional[DominatorTree] = None) -> List[NaturalLoop]:
+    """All natural loops (same-header loops merged), unordered."""
+    if dtree is None:
+        dtree = dominator_tree(cfg)
+    loops: Dict[NodeId, NaturalLoop] = {}
+    for edge in cfg.edges:
+        if edge.source not in dtree or edge.target not in dtree:
+            continue
+        if not dtree.dominates(edge.target, edge.source):
+            continue  # not a backedge of a natural loop
+        loop = loops.setdefault(edge.target, NaturalLoop(edge.target))
+        loop.latches.append(edge.source)
+        # body: reverse reachability from the latch, stopping at the header
+        stack = [edge.source]
+        while stack:
+            node = stack.pop()
+            if node in loop.body:
+                continue
+            loop.body.add(node)
+            for pred in cfg.predecessors(node):
+                if pred not in loop.body:
+                    stack.append(pred)
+    return list(loops.values())
+
+
+def loop_nest_forest(cfg: CFG, dtree: Optional[DominatorTree] = None) -> List[NaturalLoop]:
+    """Top-level loops with parent/children links populated by containment.
+
+    For reducible graphs bodies nest cleanly; for irreducible graphs the
+    natural-loop notion is already partial, and this function simply nests
+    by body containment (ties broken by size).
+    """
+    loops = natural_loops(cfg, dtree)
+    by_size = sorted(loops, key=lambda l: len(l.body))
+    for index, inner in enumerate(by_size):
+        for outer in by_size[index + 1 :]:
+            if inner is not outer and inner.body <= outer.body:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    return [loop for loop in loops if loop.parent is None]

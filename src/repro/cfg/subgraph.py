@@ -1,0 +1,67 @@
+"""Extraction of a SESE region as a standalone CFG.
+
+Per the paper, "each SESE region is a control flow graph in its own right":
+this is the mechanism behind every divide-and-conquer application (per-region
+SSA, per-region dominators, elimination dataflow).  Given a region's entry
+edge ``a = (u, v)`` and exit edge ``b = (w, x)`` together with the set of
+interior nodes, :func:`region_subgraph` builds a fresh CFG whose synthetic
+``start`` stands for the entry edge and whose synthetic ``end`` stands for the
+exit edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.cfg.graph import CFG, Edge, InvalidCFGError, NodeId
+
+REGION_START = "$region_start$"
+REGION_END = "$region_end$"
+
+
+def region_subgraph(
+    cfg: CFG,
+    entry: Edge,
+    exit: Edge,
+    interior: Iterable[NodeId],
+    name: Optional[str] = None,
+) -> Tuple[CFG, Dict[Edge, Edge]]:
+    """Extract the SESE region ``(entry, exit)`` as a standalone CFG.
+
+    ``interior`` must be the region's nodes (entry.target ... exit.source,
+    inclusive).  Returns ``(sub, edge_map)`` where ``edge_map`` maps each edge
+    of ``cfg`` that lies inside the region (including ``entry`` and ``exit``)
+    to its copy in ``sub``.  The synthetic start/end nodes of ``sub`` are
+    :data:`REGION_START` and :data:`REGION_END`.
+
+    Raises :class:`InvalidCFGError` if an interior node has an edge escaping
+    the region other than through ``exit`` (which would mean the pair is not
+    actually single entry single exit for the given interior).
+    """
+    inside: Set[NodeId] = set(interior)
+    if entry.target not in inside or exit.source not in inside:
+        raise InvalidCFGError(
+            "region interior must contain the entry target and exit source"
+        )
+    sub = CFG(start=REGION_START, end=REGION_END, name=name or f"{cfg.name}.region")
+    for node in inside:
+        sub.add_node(node)
+
+    edge_map: Dict[Edge, Edge] = {}
+    edge_map[entry] = sub.add_edge(REGION_START, entry.target, entry.label)
+    for node in inside:
+        for edge in cfg.out_edges(node):
+            if edge is exit:
+                edge_map[edge] = sub.add_edge(node, REGION_END, edge.label)
+            elif edge.target in inside:
+                edge_map[edge] = sub.add_edge(node, edge.target, edge.label)
+            else:
+                raise InvalidCFGError(
+                    f"edge {edge!r} escapes the region without being its exit"
+                )
+        for edge in cfg.in_edges(node):
+            if edge is not entry and edge.source not in inside:
+                raise InvalidCFGError(
+                    f"edge {edge!r} enters the region without being its entry"
+                )
+    return sub, edge_map

@@ -1,0 +1,119 @@
+"""Deterministic graph traversals.
+
+All traversals are iterative (no recursion) so that the library handles the
+deep graphs produced by the worst-case benchmark generators, and all follow
+adjacency-list insertion order so repeated runs visit edges identically --
+a property the two-pass PST construction depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cfg.graph import CFG, Edge, NodeId
+
+
+def dfs_preorder(cfg: CFG, root: Optional[NodeId] = None) -> List[NodeId]:
+    """Nodes in depth-first preorder from ``root`` (default: ``cfg.start``)."""
+    root = cfg.start if root is None else root
+    seen: Set[NodeId] = set()
+    order: List[NodeId] = []
+    stack: List[NodeId] = [root]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # reversed so that the first adjacency-list edge is explored first
+        for edge in reversed(cfg.out_edges(node)):
+            if edge.target not in seen:
+                stack.append(edge.target)
+    return order
+
+
+def dfs_postorder(cfg: CFG, root: Optional[NodeId] = None) -> List[NodeId]:
+    """Nodes in depth-first postorder from ``root`` (default: ``cfg.start``)."""
+    root = cfg.start if root is None else root
+    seen: Set[NodeId] = {root}
+    order: List[NodeId] = []
+    # stack holds (node, iterator over out-edges)
+    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.out_edges(root)))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for edge in it:
+            if edge.target not in seen:
+                seen.add(edge.target)
+                stack.append((edge.target, iter(cfg.out_edges(edge.target))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(cfg: CFG, root: Optional[NodeId] = None) -> List[NodeId]:
+    """Reverse postorder (a topological order on the acyclic part)."""
+    order = dfs_postorder(cfg, root)
+    order.reverse()
+    return order
+
+
+def dfs_edges(
+    cfg: CFG,
+    root: Optional[NodeId] = None,
+    on_edge: Optional[Callable[[Edge], None]] = None,
+) -> List[Edge]:
+    """Every edge reachable from ``root``, in deterministic DFS visit order.
+
+    An edge is "visited" when its source node is expanded, whether or not the
+    target was already discovered; each edge is reported exactly once.  This
+    is the traversal order used by canonical-SESE-region discovery (§3.6 of
+    the paper): within a cycle-equivalence class, it coincides with the
+    dominance order of the class's edges.
+    """
+    root = cfg.start if root is None else root
+    seen: Set[NodeId] = {root}
+    visited: List[Edge] = []
+    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.out_edges(root)))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for edge in it:
+            visited.append(edge)
+            if on_edge is not None:
+                on_edge(edge)
+            if edge.target not in seen:
+                seen.add(edge.target)
+                stack.append((edge.target, iter(cfg.out_edges(edge.target))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return visited
+
+
+def reachable_from(cfg: CFG, root: Optional[NodeId] = None) -> Set[NodeId]:
+    """The set of nodes reachable from ``root`` (default: ``cfg.start``)."""
+    return set(dfs_preorder(cfg, root))
+
+
+def reaches(cfg: CFG, sink: Optional[NodeId] = None) -> Set[NodeId]:
+    """The set of nodes from which ``sink`` (default: ``cfg.end``) is reachable."""
+    sink = cfg.end if sink is None else sink
+    seen: Set[NodeId] = {sink}
+    stack: List[NodeId] = [sink]
+    while stack:
+        node = stack.pop()
+        for edge in cfg.in_edges(node):
+            if edge.source not in seen:
+                seen.add(edge.source)
+                stack.append(edge.source)
+    return seen
+
+
+def dfs_numbering(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, int]:
+    """Preorder DFS numbers (0-based) for reachable nodes."""
+    return {node: i for i, node in enumerate(dfs_preorder(cfg, root))}

@@ -1,0 +1,61 @@
+"""Validation of the CFG invariants from Definition 1 of the paper.
+
+A valid CFG has distinguished ``start`` and ``end`` nodes, ``start`` has no
+predecessors, ``end`` has no successors, and every node occurs on some path
+from ``start`` to ``end``.  The cycle-equivalence algorithm *requires* these
+invariants (they make ``G + (end -> start)`` strongly connected), so the
+library checks them eagerly and reports precise diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cfg.graph import CFG, InvalidCFGError
+from repro.cfg.traversal import reachable_from, reaches
+
+
+def check_cfg(cfg: CFG) -> List[str]:
+    """Return a list of human-readable violations (empty list means valid)."""
+    problems: List[str] = []
+    if cfg.start is None:
+        problems.append("start node is not set")
+    elif not cfg.has_node(cfg.start):
+        problems.append(f"start node {cfg.start!r} is not in the graph")
+    if cfg.end is None:
+        problems.append("end node is not set")
+    elif not cfg.has_node(cfg.end):
+        problems.append(f"end node {cfg.end!r} is not in the graph")
+    if problems:
+        return problems
+
+    if cfg.start == cfg.end:
+        problems.append("start and end must be distinct nodes")
+    if cfg.in_degree(cfg.start) > 0:
+        problems.append(f"start node {cfg.start!r} has predecessors")
+    if cfg.out_degree(cfg.end) > 0:
+        problems.append(f"end node {cfg.end!r} has successors")
+
+    from_start = reachable_from(cfg)
+    to_end = reaches(cfg)
+    for node in cfg.nodes:
+        if node not in from_start:
+            problems.append(f"node {node!r} is unreachable from start")
+        elif node not in to_end:
+            problems.append(f"node {node!r} cannot reach end")
+    return problems
+
+
+def validate_cfg(cfg: CFG) -> CFG:
+    """Raise :class:`InvalidCFGError` if ``cfg`` violates Definition 1."""
+    problems = check_cfg(cfg)
+    if problems:
+        raise InvalidCFGError(
+            f"invalid CFG {cfg.name!r}: " + "; ".join(problems)
+        )
+    return cfg
+
+
+def is_valid_cfg(cfg: CFG) -> bool:
+    """True iff ``cfg`` satisfies Definition 1."""
+    return not check_cfg(cfg)

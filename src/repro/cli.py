@@ -1,0 +1,124 @@
+"""Command-line interface: run the paper's analyses on MiniLang sources.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro program.mini                # summary of every procedure
+    python -m repro program.mini --pst          # print the PST
+    python -m repro program.mini --regions      # canonical SESE regions
+    python -m repro program.mini --control-regions
+    python -m repro program.mini --ssa          # SSA form (PST φ-placement)
+    python -m repro program.mini --dot          # CFG as Graphviz DOT
+    python -m repro program.mini --proc name    # restrict to one procedure
+
+With ``-`` as the file name, source is read from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cfg.dot import cfg_to_dot, pst_to_dot
+from repro.controldep import control_regions
+from repro.core.pst import build_pst
+from repro.core.region_kinds import classify_pst
+from repro.ir import LoweredProcedure
+from repro.lang import lower_program, parse_program
+from repro.ssa.pst_phi import place_phis_pst
+from repro.ssa.rename import construct_ssa
+from repro.ssa.verify import verify_ssa
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Program Structure Tree analyses (Johnson, Pearson & Pingali, PLDI 1994)",
+    )
+    parser.add_argument("source", help="MiniLang source file, or '-' for stdin")
+    parser.add_argument("--proc", help="analyze only the procedure with this name")
+    parser.add_argument("--pst", action="store_true", help="print the program structure tree")
+    parser.add_argument("--regions", action="store_true", help="list canonical SESE regions")
+    parser.add_argument(
+        "--control-regions", action="store_true", help="print control regions (O(E) algorithm)"
+    )
+    parser.add_argument("--ssa", action="store_true", help="print the SSA form")
+    parser.add_argument("--dot", action="store_true", help="print the CFG in Graphviz DOT")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = sys.stdout if out is None else out
+    args = build_arg_parser().parse_args(argv)
+
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.source) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        procedures = lower_program(parse_program(source))
+    except Exception as error:  # lex/parse/lowering diagnostics
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.proc is not None:
+        procedures = [p for p in procedures if p.name == args.proc]
+        if not procedures:
+            print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
+            return 1
+
+    for proc in procedures:
+        _report(proc, args, out)
+    return 0
+
+
+def _report(proc: LoweredProcedure, args, out) -> None:
+    pst = build_pst(proc.cfg)
+    print(
+        f"proc {proc.name}: {proc.cfg.num_nodes} blocks, {proc.cfg.num_edges} edges, "
+        f"{proc.num_statements()} statements, {len(pst.canonical_regions())} SESE regions, "
+        f"max depth {pst.max_depth()}",
+        file=out,
+    )
+    if args.dot:
+        print(cfg_to_dot(proc.cfg, title=proc.name), file=out)
+    if args.regions:
+        kinds = classify_pst(pst)
+        for region in pst.canonical_regions():
+            print(f"  {region.describe()}  depth={region.depth}  kind={kinds[region].value}", file=out)
+    if args.pst:
+        kinds = classify_pst(pst)
+
+        def show(region, indent):
+            label = "root" if region.is_root else region.describe()
+            print("  " * indent + f"- {label} [{kinds[region].value}]", file=out)
+            for child in region.children:
+                show(child, indent + 1)
+
+        show(pst.root, 1)
+        if args.dot:
+            print(pst_to_dot(pst, title=f"{proc.name}.pst"), file=out)
+    if args.control_regions:
+        for group in control_regions(proc.cfg):
+            print(f"  control region: {group}", file=out)
+    if args.ssa:
+        placement = place_phis_pst(proc, pst).phi_blocks
+        ssa = construct_ssa(proc, placement=placement)
+        problems = verify_ssa(ssa)
+        assert not problems, problems
+        for block in ssa.cfg.nodes:
+            statements = ssa.blocks.get(block, [])
+            if statements:
+                print(f"  {block}:", file=out)
+                for stmt in statements:
+                    print(f"      {stmt!r}", file=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Ferrante-Ottenstein-Warren control dependence (Definition 8).
+
+A node ``n`` is control dependent on node ``c`` with direction ``l`` (an
+out-edge of ``c``) iff there is a path from ``c`` through ``l`` to ``n`` on
+which ``n`` postdominates every node after ``c``, and ``n`` does not strictly
+postdominate ``c``.  Equivalently (the standard postdominator-tree
+formulation): for each CFG edge ``l = (c, m)``, the nodes control dependent
+on ``(c, l)`` are exactly those on the postdominator-tree path from ``m`` up
+to, but excluding, ``ipostdom(c)``.
+
+This module is the *oracle* side of Theorem 7: grouping nodes by equal
+control-dependence sets must coincide with node cycle equivalence in
+``S = G + (end -> start)``.
+
+**The augmentation edge matters.**  FOW87 compute control dependence on a
+graph augmented with a special ENTRY -> EXIT edge so that always-executed
+nodes are explicitly control dependent on the augmentation; the paper's
+``end -> start`` edge plays exactly that role.  Without it, a node that
+executes unconditionally *and* sits inside a loop (e.g. the body of a
+repeat-until) would share its CD set with conditionally-executed latch
+blocks, and Theorem 7 would fail: the big ``start..end`` cycles of ``S``
+distinguish the two, and so does the dependence on the augmentation edge.
+Dominance and postdominance themselves are unchanged by the added edge, so
+the walks below run on the plain postdominator tree, with the augmentation
+edge handled as one extra walk from ``start`` to the tree root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from repro.cfg.graph import CFG, Edge, NodeId
+from repro.dominance.tree import DominatorTree, postdominator_tree
+
+#: Sentinel standing for the ``end -> start`` augmentation edge in CD sets.
+RETURN_EDGE = "$end->start$"
+
+
+def control_dependence(cfg: CFG) -> Dict[NodeId, Set[Tuple[NodeId, object]]]:
+    """CD sets on the augmented graph: node -> {(controlling node, edge)}.
+
+    The augmentation edge appears as ``(end, RETURN_EDGE)``; its dependents
+    are exactly the always-executed nodes (those postdominating ``start``).
+    """
+    pdtree = postdominator_tree(cfg)
+    cd: Dict[NodeId, Set[Tuple[NodeId, object]]] = {node: set() for node in cfg.nodes}
+    for edge in cfg.edges:
+        for node in dependents_of_edge(cfg, pdtree, edge):
+            cd[node].add((edge.source, edge))
+    for node in dependents_of_return_edge(cfg, pdtree):
+        cd[node].add((cfg.end, RETURN_EDGE))
+    return cd
+
+
+def dependents_of_return_edge(cfg: CFG, pdtree: DominatorTree) -> List[NodeId]:
+    """Nodes control dependent on the ``end -> start`` augmentation edge.
+
+    The walk from ``start`` to the postdominator-tree root (``ipostdom`` of
+    the edge's source ``end`` is nothing, so the walk covers the whole
+    chain): precisely the nodes that postdominate ``start``.
+    """
+    out: List[NodeId] = []
+    runner: Union[NodeId, None] = cfg.start
+    while runner is not None:
+        out.append(runner)
+        runner = pdtree.parent(runner)
+    return out
+
+
+def dependents_of_edge(cfg: CFG, pdtree: DominatorTree, edge: Edge) -> List[NodeId]:
+    """Nodes control dependent on ``edge`` (postdominator-tree walk)."""
+    c, m = edge.source, edge.target
+    stop = pdtree.parent(c)  # ipostdom(c); None when c is the end node
+    out: List[NodeId] = []
+    runner = m
+    while runner is not None and runner != stop:
+        out.append(runner)
+        runner = pdtree.parent(runner)
+    return out
+
+
+def control_regions_by_definition(cfg: CFG) -> List[List[NodeId]]:
+    """Control regions: nodes grouped by *equal* control-dependence sets.
+
+    This is the problem statement executed literally (FOW87-style); it is
+    used to validate the linear-time algorithm of
+    :mod:`repro.controldep.regions_fast`.  Regions are returned sorted for
+    deterministic comparison.
+    """
+    cd = control_dependence(cfg)
+    buckets: Dict[FrozenSet, List[NodeId]] = {}
+    for node, deps in cd.items():
+        key = frozenset(
+            (c, e.eid if isinstance(e, Edge) else e) for c, e in deps
+        )
+        buckets.setdefault(key, []).append(node)
+    regions = [sorted(nodes, key=repr) for nodes in buckets.values()]
+    regions.sort(key=repr)
+    return regions

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: cycle equivalence, SESE regions, PST.
+
+* :mod:`repro.core.bracketlist` -- the BracketList ADT of §3.5 (O(1) push,
+  top, delete, concat, size).
+* :mod:`repro.core.cycle_equiv` -- the linear-time cycle-equivalence
+  algorithm (Figure 4), plus the directed->undirected reduction (Theorem 3)
+  and the SESE reduction (Theorem 2).
+* :mod:`repro.core.cycle_equiv_slow` -- two independent oracles: brute-force
+  simple-cycle enumeration and the §3.3 bracket-set algorithm.
+* :mod:`repro.core.sese` -- canonical SESE regions from equivalence classes.
+* :mod:`repro.core.pst` -- the Program Structure Tree.
+* :mod:`repro.core.region_kinds` -- the Figure 7 structural classifier.
+"""
+
+from repro.core.bracketlist import Bracket, BracketList
+from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence, cycle_equivalence_scc
+from repro.core.sese import SESERegion, canonical_sese_regions
+from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.region_kinds import RegionKind, classify_region, classify_pst
+
+__all__ = [
+    "Bracket",
+    "BracketList",
+    "CycleEquivalence",
+    "cycle_equivalence",
+    "cycle_equivalence_scc",
+    "SESERegion",
+    "canonical_sese_regions",
+    "ProgramStructureTree",
+    "build_pst",
+    "RegionKind",
+    "classify_region",
+    "classify_pst",
+]

@@ -1,0 +1,142 @@
+"""The BracketList abstract data type of §3.5.
+
+A bracket list is a stack of *brackets* (backedges of the undirected DFS
+tree) that additionally supports deletion from any position and O(1)
+concatenation.  The concrete representation follows the paper exactly: a
+doubly-linked list plus a tail pointer and an explicit size; each bracket
+remembers the cell that currently holds it, which is what makes ``delete``
+constant time.
+
+All six operations -- ``create``, ``size``, ``push``, ``top``, ``delete``,
+``concat`` -- are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class Bracket:
+    """A bracket: a backedge of the undirected DFS, real or capping.
+
+    Carries the two per-bracket memo fields of the algorithm:
+    ``recent_size`` (size of the bracket list when this bracket was most
+    recently the topmost element) and ``recent_class`` (the equivalence class
+    handed out at that moment).  Real backedges also carry ``class_id``, the
+    cycle-equivalence class of the backedge itself.
+    """
+
+    __slots__ = ("payload", "is_capping", "class_id", "recent_size", "recent_class", "cell")
+
+    def __init__(self, payload: object = None, is_capping: bool = False):
+        self.payload = payload
+        self.is_capping = is_capping
+        self.class_id: Optional[int] = None
+        self.recent_size: int = -1
+        self.recent_class: Optional[int] = None
+        self.cell: Optional[_Cell] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "capping" if self.is_capping else "bracket"
+        return f"<{kind} {self.payload!r}>"
+
+
+class _Cell:
+    __slots__ = ("bracket", "prev", "next")
+
+    def __init__(self, bracket: Bracket):
+        self.bracket = bracket
+        self.prev: Optional[_Cell] = None
+        self.next: Optional[_Cell] = None
+
+
+class BracketList:
+    """Doubly-linked bracket stack with O(1) push/top/delete/concat/size.
+
+    The *top* is the most recently pushed bracket.  ``concat`` splices
+    another list *below* this one (this list's top stays on top) and empties
+    the other list; after a concat, brackets that lived in the other list are
+    deletable through this one.
+    """
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self) -> None:
+        self._head: Optional[_Cell] = None  # top of the stack
+        self._tail: Optional[_Cell] = None  # bottom of the stack
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, bracket: Bracket) -> None:
+        """Push ``bracket`` on top.  The bracket must not be in any list."""
+        if bracket.cell is not None:
+            raise ValueError(f"{bracket!r} is already in a bracket list")
+        cell = _Cell(bracket)
+        bracket.cell = cell
+        cell.next = self._head
+        if self._head is not None:
+            self._head.prev = cell
+        self._head = cell
+        if self._tail is None:
+            self._tail = cell
+        self._size += 1
+
+    def top(self) -> Bracket:
+        """The topmost (most recently pushed) bracket."""
+        if self._head is None:
+            raise IndexError("top of empty BracketList")
+        return self._head.bracket
+
+    def delete(self, bracket: Bracket) -> None:
+        """Remove ``bracket`` from any position in this list.  O(1)."""
+        cell = bracket.cell
+        if cell is None:
+            raise ValueError(f"{bracket!r} is not in a bracket list")
+        if cell.prev is not None:
+            cell.prev.next = cell.next
+        else:
+            self._head = cell.next
+        if cell.next is not None:
+            cell.next.prev = cell.prev
+        else:
+            self._tail = cell.prev
+        bracket.cell = None
+        cell.prev = cell.next = None
+        self._size -= 1
+
+    def concat(self, other: "BracketList") -> "BracketList":
+        """Splice ``other`` below this list; ``other`` becomes empty.  O(1)."""
+        if other is self:
+            raise ValueError("cannot concat a BracketList with itself")
+        if other._size == 0:
+            return self
+        if self._size == 0:
+            self._head, self._tail = other._head, other._tail
+        else:
+            assert self._tail is not None and other._head is not None
+            self._tail.next = other._head
+            other._head.prev = self._tail
+            self._tail = other._tail
+        self._size += other._size
+        other._head = other._tail = None
+        other._size = 0
+        return self
+
+    def __iter__(self) -> Iterator[Bracket]:
+        """Brackets from top to bottom (for tests and debugging)."""
+        cell = self._head
+        while cell is not None:
+            yield cell.bracket
+            cell = cell.next
+
+    def to_list(self) -> List[Bracket]:
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BracketList(size={self._size}, top={self._head.bracket if self._head else None!r})"

@@ -1,0 +1,199 @@
+"""Slow, independently derived cycle-equivalence algorithms.
+
+Two oracles validate the fast Figure 4 implementation:
+
+* :func:`cycle_equivalence_bruteforce` -- enumerate *all* simple cycles of
+  the directed multigraph and bucket edges by the exact set of cycles
+  containing them.  This is Definition 4 executed literally (exponential;
+  use on graphs with at most ~14 nodes).
+* :func:`cycle_equivalence_bracket_sets` -- the paper's §3.3 "slow
+  algorithm": undirected DFS, full bracket set per tree edge (Theorem 5),
+  backedge/tree-edge merging when a backedge is the sole bracket
+  (Theorem 4).  O(V·B) time; usable on medium graphs and structurally very
+  different from the fast algorithm, so it is a meaningful cross-check.
+
+Both return a mapping ``edge -> frozenset-or-int`` grouping edges exactly as
+the fast algorithm's integer classes should.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.cfg.graph import CFG, Edge, InvalidCFGError, NodeId
+
+
+def enumerate_simple_cycles(graph: CFG, limit: int = 1_000_000) -> List[Tuple[Edge, ...]]:
+    """All simple cycles (edge sequences, node-disjoint) of a directed graph.
+
+    Multigraph-aware: parallel edges yield distinct cycles; a self-loop is a
+    one-edge cycle.  Cycles are canonicalized to start at their
+    smallest-indexed node so each is reported once.  Raises
+    :class:`RuntimeError` if more than ``limit`` cycles are found.
+    """
+    order = {node: i for i, node in enumerate(graph.nodes)}
+    cycles: List[Tuple[Edge, ...]] = []
+
+    for root in graph.nodes:
+        root_rank = order[root]
+        # DFS over paths from root using only nodes with rank >= root_rank,
+        # never revisiting a node; closing back at root yields a cycle.
+        path_edges: List[Edge] = []
+        on_path: Set[NodeId] = {root}
+
+        def explore(node: NodeId) -> None:
+            for edge in graph.out_edges(node):
+                target = edge.target
+                if target == root:
+                    cycles.append(tuple(path_edges + [edge]))
+                    if len(cycles) > limit:
+                        raise RuntimeError("cycle enumeration limit exceeded")
+                    continue
+                if order[target] <= root_rank or target in on_path:
+                    continue
+                on_path.add(target)
+                path_edges.append(edge)
+                explore(target)
+                path_edges.pop()
+                on_path.discard(target)
+
+        explore(root)
+    return cycles
+
+
+def cycle_equivalence_bruteforce(graph: CFG) -> Dict[Edge, FrozenSet[int]]:
+    """Definition 4 executed literally over all simple cycles.
+
+    Every edge of a strongly connected graph lies on at least one cycle; an
+    :class:`InvalidCFGError` is raised otherwise, since cycle equivalence is
+    only defined within a strongly connected component.
+    """
+    cycles = enumerate_simple_cycles(graph)
+    membership: Dict[Edge, Set[int]] = {edge: set() for edge in graph.edges}
+    for index, cycle in enumerate(cycles):
+        for edge in cycle:
+            membership[edge].add(index)
+    for edge, cycles_of_edge in membership.items():
+        if not cycles_of_edge:
+            raise InvalidCFGError(f"edge {edge!r} lies on no cycle; graph is not strongly connected")
+    return {edge: frozenset(ids) for edge, ids in membership.items()}
+
+
+def cycle_equivalence_bracket_sets(graph: CFG) -> Dict[Edge, FrozenSet]:
+    """The §3.3 slow algorithm: compare full bracket sets (Theorems 4 & 5).
+
+    Returns a mapping from each directed edge to a hashable class key; edges
+    with equal keys are cycle equivalent.  Tree edges are keyed by their full
+    bracket set; a backedge is keyed by the singleton of itself, which by
+    Theorem 4 matches exactly the tree edges it is the sole bracket of.
+    Self-loops get unique keys.
+    """
+    if graph.num_nodes == 0:
+        return {}
+    root = graph.nodes[0]
+
+    # Undirected DFS with explicit edge identity.
+    adjacency: Dict[NodeId, List[Tuple[Edge, NodeId]]] = {n: [] for n in graph.nodes}
+    self_loops: List[Edge] = []
+    for edge in graph.edges:
+        if edge.is_self_loop:
+            self_loops.append(edge)
+            continue
+        adjacency[edge.source].append((edge, edge.target))
+        adjacency[edge.target].append((edge, edge.source))
+
+    dfsnum: Dict[NodeId, int] = {root: 0}
+    parent_edge: Dict[NodeId, Edge] = {}
+    visit_order: List[NodeId] = [root]
+    processed: Set[Edge] = set()
+    backedges: List[Tuple[Edge, NodeId, NodeId]] = []  # (edge, origin, dest)
+    stack: List[Tuple[NodeId, int]] = [(root, 0)]
+    while stack:
+        node, index = stack[-1]
+        if index >= len(adjacency[node]):
+            stack.pop()
+            continue
+        stack[-1] = (node, index + 1)
+        edge, other = adjacency[node][index]
+        if edge in processed:
+            continue
+        processed.add(edge)
+        if other not in dfsnum:
+            dfsnum[other] = len(visit_order)
+            visit_order.append(other)
+            parent_edge[other] = edge
+            stack.append((other, 0))
+        else:
+            backedges.append((edge, node, other))
+
+    if len(dfsnum) != graph.num_nodes:
+        raise InvalidCFGError("graph is not connected in its undirected form")
+
+    # Subtree intervals for ancestor tests.  The tree parent of `node` is the
+    # other endpoint of its parent edge (self-loops were excluded, so the
+    # endpoints are distinct).
+    children: Dict[NodeId, List[NodeId]] = {n: [] for n in graph.nodes}
+    for node in visit_order[1:]:
+        pedge = parent_edge[node]
+        parent = pedge.target if pedge.source == node else pedge.source
+        children[parent].append(node)
+
+    tin: Dict[NodeId, int] = {}
+    tout: Dict[NodeId, int] = {}
+    clock = 0
+    walk: List[Tuple[NodeId, bool]] = [(root, False)]
+    while walk:
+        node, closing = walk.pop()
+        if closing:
+            tout[node] = clock
+            clock += 1
+            continue
+        tin[node] = clock
+        clock += 1
+        walk.append((node, True))
+        for child in reversed(children[node]):
+            walk.append((child, False))
+
+    def in_subtree(descendant: NodeId, ancestor: NodeId) -> bool:
+        return tin[ancestor] <= tin[descendant] and tout[descendant] <= tout[ancestor]
+
+    # Bracket set of the tree edge into `node`: backedges with origin in
+    # subtree(node) and destination a proper ancestor of node.
+    keys: Dict[Edge, FrozenSet] = {}
+    for node in visit_order[1:]:
+        brackets = set()
+        for edge, origin, dest in backedges:
+            # Orient: the endpoint deeper in the tree is the origin.
+            lo, hi = (origin, dest) if dfsnum[origin] > dfsnum[dest] else (dest, origin)
+            if in_subtree(lo, node) and dfsnum[hi] < dfsnum[node]:
+                brackets.add(edge)
+        if not brackets:
+            raise InvalidCFGError(
+                f"tree edge into {node!r} has no brackets (bridge); "
+                "input is not strongly connected"
+            )
+        keys[parent_edge[node]] = frozenset(brackets)
+    for edge, _, _ in backedges:
+        keys[edge] = frozenset({edge})
+    for edge in self_loops:
+        keys[edge] = frozenset({("self", edge.eid)})
+    return keys
+
+
+def group_by_class(classes: Dict[Edge, object]) -> Dict[object, List[Edge]]:
+    """Invert an edge->key mapping into key -> sorted edge list."""
+    out: Dict[object, List[Edge]] = {}
+    for edge, key in classes.items():
+        out.setdefault(key, []).append(edge)
+    for edges in out.values():
+        edges.sort()
+    return out
+
+
+def same_partition(a: Dict[Edge, object], b: Dict[Edge, object]) -> bool:
+    """True iff two edge->key mappings induce the same partition of edges."""
+    if set(a) != set(b):
+        return False
+    groups_a = {frozenset(edges) for edges in group_by_class(a).values()}
+    groups_b = {frozenset(edges) for edges in group_by_class(b).values()}
+    return groups_a == groups_b

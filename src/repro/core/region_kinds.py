@@ -1,0 +1,163 @@
+"""Structural classification of SESE regions (the Figure 7 heuristic).
+
+The paper runs "a simple pattern-matching pass" identifying each region as a
+basic block, a case construct (if-then-else included), a loop, a dag, or a
+cyclic unstructured region, with each region weighted by the number of
+nested maximal SESE regions it contains (blocks weigh 1, an if-then-else
+weighs 2).  The classifier here works on the region's *collapsed* CFG, so
+nested regions participate as single summary nodes -- exactly the view the
+paper's weighting implies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set
+
+from repro.cfg.graph import CFG, NodeId
+from repro.core.pst import ProgramStructureTree
+from repro.core.sese import SESERegion
+
+
+class RegionKind(enum.Enum):
+    """The five structural kinds of Figure 7."""
+
+    BLOCK = "block"
+    CASE = "case"  # if-then-else and n-way case constructs
+    LOOP = "loop"
+    DAG = "dag"  # acyclic but not block/case
+    CYCLIC = "cyclic"  # cyclic and not a single natural loop
+
+    @property
+    def is_structured(self) -> bool:
+        return self in (RegionKind.BLOCK, RegionKind.CASE, RegionKind.LOOP)
+
+
+def classify_region(pst: ProgramStructureTree, region: SESERegion) -> RegionKind:
+    """Classify one region by the shape of its collapsed CFG."""
+    sub, _ = pst.collapsed_cfg(region)
+    interior = [n for n in sub.nodes if n != sub.start and n != sub.end]
+    if not interior:
+        return RegionKind.BLOCK
+    if _is_acyclic(sub):
+        if _is_chain(sub, interior):
+            return RegionKind.BLOCK
+        if _is_case(sub, interior):
+            return RegionKind.CASE
+        return RegionKind.DAG
+    if _is_single_loop(sub, interior):
+        return RegionKind.LOOP
+    return RegionKind.CYCLIC
+
+
+def classify_pst(pst: ProgramStructureTree) -> Dict[SESERegion, RegionKind]:
+    """Kind of every region (root included)."""
+    return {region: classify_region(pst, region) for region in pst.regions()}
+
+
+def region_weight(region: SESERegion) -> int:
+    """The Figure 7 weight: nested maximal regions, at least 1."""
+    return max(1, len(region.children))
+
+
+def is_completely_structured(kinds: Dict[SESERegion, RegionKind]) -> bool:
+    """True iff every region of the PST has a structured kind."""
+    return all(kind.is_structured for kind in kinds.values())
+
+
+# ----------------------------------------------------------------------
+# shape predicates on the collapsed CFG
+# ----------------------------------------------------------------------
+
+def _is_acyclic(sub: CFG) -> bool:
+    indeg = {n: sub.in_degree(n) for n in sub.nodes}
+    ready = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        for nxt in sub.successors(node):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    return seen == sub.num_nodes
+
+
+def _is_chain(sub: CFG, interior: List[NodeId]) -> bool:
+    """start -> n1 -> ... -> nk -> end with no branching anywhere."""
+    node: NodeId = sub.start
+    visited = 0
+    while node != sub.end:
+        if sub.out_degree(node) != 1:
+            return False
+        node = sub.successors(node)[0]
+        if node != sub.end and sub.in_degree(node) != 1:
+            return False
+        visited += 1
+    return visited == len(interior) + 1
+
+
+def _is_case(sub: CFG, interior: List[NodeId]) -> bool:
+    """One branch node fanning out to disjoint chain arms that rejoin.
+
+    Covers if-then (one empty arm), if-then-else and n-way case constructs.
+    Because nested constructs are already collapsed to summary nodes and
+    sequentially composed regions are siblings, an arm is in general a
+    *chain* of nodes, not a single node.  Shape: start -> b; each successor
+    of b starts a chain of single-in single-out nodes ending at m; m -> end.
+    """
+    if sub.out_degree(sub.start) != 1:
+        return False
+    branch = sub.successors(sub.start)[0]
+    if branch == sub.end or sub.out_degree(branch) < 2:
+        return False
+    if sub.in_degree(sub.end) != 1:
+        return False
+    merge = sub.predecessors(sub.end)[0]
+    if merge == branch:
+        return False
+    covered: Set[NodeId] = {branch, merge}
+    for edge in sub.out_edges(branch):
+        node = edge.target
+        while node != merge:
+            if node in covered or node in (sub.end, sub.start, branch):
+                return False
+            if sub.in_degree(node) != 1 or sub.out_degree(node) != 1:
+                return False
+            covered.add(node)
+            node = sub.successors(node)[0]
+    return len(covered) == len(interior)
+
+
+def _is_single_loop(sub: CFG, interior: List[NodeId]) -> bool:
+    """A single natural loop: all retreating edges target the header.
+
+    The header is the region's entry target; the region is a loop when the
+    graph minus the edges into the header (from inside) is acyclic and every
+    interior node lies on a cycle through the header or on the straight path
+    through the loop.  This covers ``while``, ``repeat-until`` and ``for``
+    shapes once their bodies have been collapsed.
+    """
+    if sub.out_degree(sub.start) != 1:
+        return False
+    header = sub.successors(sub.start)[0]
+    if header == sub.end:
+        return False
+    # Remove latch edges (interior -> header); the rest must be acyclic.
+    indeg: Dict[NodeId, int] = {n: 0 for n in sub.nodes}
+    succs: Dict[NodeId, List[NodeId]] = {n: [] for n in sub.nodes}
+    for edge in sub.edges:
+        if edge.target == header and edge.source != sub.start:
+            continue
+        succs[edge.source].append(edge.target)
+        indeg[edge.target] += 1
+    ready = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        for nxt in succs[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    return seen == sub.num_nodes

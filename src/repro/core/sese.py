@@ -1,0 +1,115 @@
+"""Canonical SESE regions from cycle-equivalence classes (§3.6).
+
+Within one cycle-equivalence class, the edges are totally ordered by
+dominance (each dominates the next, and each postdominates the previous); a
+directed DFS from ``start`` visits them in exactly that order, because the
+tree path that discovers an edge's source must already contain every edge
+dominating it.  Each *adjacent* pair in the order is a canonical SESE region
+(Definition 5); non-adjacent pairs are SESE regions too but not canonical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import CFG, Edge, NodeId
+from repro.cfg.traversal import dfs_edges
+from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence_of_cfg
+
+
+class SESERegion:
+    """A single entry single exit region ``(entry, exit)``.
+
+    The *root* region of a PST is a pseudo-region with ``entry is None`` and
+    ``exit is None`` standing for the whole procedure.  ``own_nodes`` are the
+    nodes whose innermost enclosing region is this one; the full interior is
+    available via :meth:`nodes`.
+    """
+
+    __slots__ = ("entry", "exit", "class_id", "region_id", "parent", "children", "own_nodes", "depth")
+
+    def __init__(
+        self,
+        entry: Optional[Edge],
+        exit: Optional[Edge],
+        class_id: Optional[int] = None,
+        region_id: int = -1,
+    ):
+        self.entry = entry
+        self.exit = exit
+        self.class_id = class_id
+        self.region_id = region_id
+        self.parent: Optional["SESERegion"] = None
+        self.children: List["SESERegion"] = []
+        self.own_nodes: List[NodeId] = []
+        self.depth: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.entry is None
+
+    def nodes(self) -> List[NodeId]:
+        """All nodes contained in the region, including nested ones."""
+        out: List[NodeId] = []
+        stack: List["SESERegion"] = [self]
+        while stack:
+            region = stack.pop()
+            out.extend(region.own_nodes)
+            stack.extend(region.children)
+        return out
+
+    def size(self) -> int:
+        """Number of contained nodes (nested regions included)."""
+        total = 0
+        stack: List["SESERegion"] = [self]
+        while stack:
+            region = stack.pop()
+            total += len(region.own_nodes)
+            stack.extend(region.children)
+        return total
+
+    def descendants(self) -> List["SESERegion"]:
+        """All regions strictly inside this one (preorder)."""
+        out: List["SESERegion"] = []
+        stack = list(reversed(self.children))
+        while stack:
+            region = stack.pop()
+            out.append(region)
+            stack.extend(reversed(region.children))
+        return out
+
+    def describe(self) -> str:
+        """Short human-readable label (used by DOT export)."""
+        if self.is_root:
+            return "root"
+        assert self.entry is not None and self.exit is not None
+        return (
+            f"R{self.region_id} "
+            f"({self.entry.source}->{self.entry.target} .. "
+            f"{self.exit.source}->{self.exit.target})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SESERegion<{self.describe()}>"
+
+
+def canonical_sese_regions(
+    cfg: CFG, equiv: Optional[CycleEquivalence] = None
+) -> List[SESERegion]:
+    """All canonical SESE regions of ``cfg``, in DFS discovery order.
+
+    ``equiv`` may be passed to reuse a previously computed cycle
+    equivalence over ``cfg.edges`` (e.g. from
+    :func:`repro.core.cycle_equiv.cycle_equivalence_of_cfg`).
+    """
+    if equiv is None:
+        equiv = cycle_equivalence_of_cfg(cfg)
+    last_in_class: Dict[int, Edge] = {}
+    regions: List[SESERegion] = []
+    for edge in dfs_edges(cfg):
+        cls = equiv.class_of[edge]
+        prev = last_in_class.get(cls)
+        if prev is not None:
+            regions.append(SESERegion(prev, edge, class_id=cls, region_id=len(regions)))
+        last_in_class[cls] = edge
+    return regions

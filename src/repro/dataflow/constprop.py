@@ -1,0 +1,160 @@
+"""Constant propagation: a non-bit-vector client of the framework.
+
+The lattice per variable is the classic three-level one: ``UNDEF`` (top,
+represented by absence from the state mapping), a concrete integer, or
+``NAC`` ("not a constant", bottom).  A dataflow state is an immutable
+mapping ``variable -> int | NAC``.
+
+Transfer functions *interpret* block statements: assignments whose
+right-hand side carries a structured expression (:class:`repro.ir.Assign`
+``expr``, produced by the MiniLang lowering) are evaluated over the current
+state with full constant folding; assignments without one (parameters,
+``undef``, opaque calls) produce ``NAC``, except that a plain integer
+``text`` is treated as that literal, which keeps hand-built test procedures
+convenient.
+
+Because the problem is not gen/kill, only the iterative and QPG solvers
+apply (blocks containing no assignment are identity nodes, so the sparse
+machinery of §6.2 works unchanged); the elimination solver's two-probe
+summaries do not, and :func:`repro.dataflow.elimination.solve_elimination`
+rejects non-gen/kill problems by construction (it requires the
+``GenKillProblem`` interface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.cfg.graph import NodeId
+from repro.dataflow.framework import DataflowProblem, FORWARD
+from repro.ir import Assign, LoweredProcedure
+
+
+class _NotAConstant:
+    """The lattice bottom; a singleton with a readable repr."""
+
+    _instance: Optional["_NotAConstant"] = None
+
+    def __new__(cls) -> "_NotAConstant":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NAC"
+
+
+NAC = _NotAConstant()
+
+Value = Union[int, _NotAConstant]
+State = Tuple[Tuple[str, Value], ...]  # canonical, hashable form
+
+
+def make_state(mapping: Mapping[str, Value]) -> State:
+    """Canonicalize a variable->value mapping (sorted tuple of items)."""
+    return tuple(sorted(mapping.items()))
+
+
+def state_dict(state: State) -> Dict[str, Value]:
+    return dict(state)
+
+
+def constant_value(state: State, var: str) -> Optional[int]:
+    """The constant ``var`` holds in ``state``, or None (UNDEF/NAC)."""
+    for name, value in state:
+        if name == var and isinstance(value, int):
+            return value
+    return None
+
+
+class ConstantPropagation(DataflowProblem):
+    """Forward constant propagation over a :class:`LoweredProcedure`."""
+
+    direction = FORWARD
+
+    def __init__(self, proc: LoweredProcedure):
+        self.proc = proc
+
+    # -- lattice ----------------------------------------------------------
+    def boundary(self) -> State:
+        return ()  # everything UNDEF at entry
+
+    def top(self) -> State:
+        return ()
+
+    def meet(self, a: State, b: State) -> State:
+        if a == b:
+            return a
+        left, right = dict(a), dict(b)
+        merged: Dict[str, Value] = {}
+        for var in set(left) | set(right):
+            # A variable missing on one side is UNDEF there; UNDEF is the
+            # identity of meet.
+            if var not in left:
+                merged[var] = right[var]
+            elif var not in right:
+                merged[var] = left[var]
+            elif left[var] == right[var]:
+                merged[var] = left[var]
+            else:
+                merged[var] = NAC
+        return make_state(merged)
+
+    # -- transfer -----------------------------------------------------------
+    def transfer(self, node: NodeId, value: State) -> State:
+        statements = self.proc.blocks.get(node, [])
+        if not any(isinstance(stmt, Assign) for stmt in statements):
+            return value
+        state = dict(value)
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                state[stmt.target] = self._evaluate(stmt, state)
+        return make_state(state)
+
+    def is_identity(self, node: NodeId) -> bool:
+        return not any(
+            isinstance(stmt, Assign) for stmt in self.proc.blocks.get(node, [])
+        )
+
+    # -- expression evaluation ---------------------------------------------
+    def _evaluate(self, stmt: Assign, state: Dict[str, Value]) -> Value:
+        if stmt.expr is not None:
+            return evaluate_expression(stmt.expr, state)
+        if not stmt.uses:
+            try:
+                return int(stmt.text)
+            except (TypeError, ValueError):
+                return NAC
+        return NAC
+
+
+def evaluate_expression(expr, state: Mapping[str, Value]) -> Value:
+    """Fold a MiniLang expression over a constant-propagation state.
+
+    UNDEF operands stay optimistic (UNDEF op x = UNDEF would require a
+    four-level treatment; we conservatively treat UNDEF reads as NAC, which
+    is sound and standard for non-SSA constant propagation); NAC is
+    absorbing.  Arithmetic follows the language's reference semantics
+    (:func:`repro.interp.apply_op`: 64-bit wraparound, ``x/0 == 0``).
+    """
+    from repro.lang import astnodes as ast
+
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        value = state.get(expr.name)
+        return value if isinstance(value, int) else NAC
+    if isinstance(expr, ast.BinOp):
+        left = evaluate_expression(expr.left, state)
+        right = evaluate_expression(expr.right, state)
+        if not isinstance(left, int) or not isinstance(right, int):
+            return NAC
+        # One definition of arithmetic semantics, shared with the reference
+        # interpreters (64-bit wraparound, x/0 == 0): folding must agree
+        # with execution or the soundness property tests would fail.
+        from repro.interp import apply_op
+
+        return apply_op(expr.op, left, right)
+    if isinstance(expr, ast.Call):
+        return NAC  # opaque
+    return NAC

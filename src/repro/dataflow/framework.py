@@ -1,0 +1,111 @@
+"""The monotone dataflow framework interface.
+
+A :class:`DataflowProblem` packages direction, lattice meet, boundary value
+and per-node transfer functions.  Values must be immutable (frozensets are
+used throughout); solvers compare with ``==`` to detect the fixpoint.
+
+:class:`GenKillProblem` specializes to the classic bit-vector form
+``f(x) = gen ∪ (x - kill)``.  For these (distributive) problems a whole
+region's transfer function is again of the closed form
+``F(x) = F(∅) ∪ (x ∩ F(U))``, which is what makes the PST elimination
+solver's two-probe region summaries exact (see
+:mod:`repro.dataflow.elimination`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generic, TypeVar
+
+from repro.cfg.graph import CFG, NodeId
+
+V = TypeVar("V")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem(Generic[V]):
+    """A monotone dataflow problem over the blocks of a CFG."""
+
+    direction: str = FORWARD
+
+    def boundary(self) -> V:
+        """Value at the program entry (forward) or exit (backward)."""
+        raise NotImplementedError
+
+    def top(self) -> V:
+        """The optimistic initial value (identity of ``meet``)."""
+        raise NotImplementedError
+
+    def meet(self, a: V, b: V) -> V:
+        raise NotImplementedError
+
+    def transfer(self, node: NodeId, value: V) -> V:
+        raise NotImplementedError
+
+    def is_identity(self, node: NodeId) -> bool:
+        """True when the node's transfer function is the identity.
+
+        Drives QPG bypassing; a conservative ``False`` is always safe.
+        """
+        return False
+
+
+class Solution(Generic[V]):
+    """Per-node dataflow values in *program order*.
+
+    ``before[n]`` is the value at the node's entry and ``after[n]`` at its
+    exit, for both forward and backward problems (backward solvers fill
+    ``before`` with the transferred value, matching the usual in/out
+    convention).
+    """
+
+    def __init__(self, before: Dict[NodeId, V], after: Dict[NodeId, V]):
+        self.before = before
+        self.after = after
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Solution)
+            and self.before == other.before
+            and self.after == other.after
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Solution({len(self.before)} nodes)"
+
+
+class GenKillProblem(DataflowProblem[FrozenSet]):
+    """Bit-vector problems: ``f(x) = gen(n) ∪ (x - kill(n))``.
+
+    Subclasses provide ``gen``/``kill`` per node, the fact ``universe``,
+    the ``direction`` and whether ``meet`` is union (may) or intersection
+    (must, via ``meet_is_union = False``).
+    """
+
+    meet_is_union: bool = True
+
+    def universe(self) -> FrozenSet:
+        raise NotImplementedError
+
+    def gen(self, node: NodeId) -> FrozenSet:
+        raise NotImplementedError
+
+    def kill(self, node: NodeId) -> FrozenSet:
+        raise NotImplementedError
+
+    # -- framework implementation ----------------------------------------
+    def boundary(self) -> FrozenSet:
+        return frozenset()
+
+    def top(self) -> FrozenSet:
+        return frozenset() if self.meet_is_union else self.universe()
+
+    def meet(self, a: FrozenSet, b: FrozenSet) -> FrozenSet:
+        return a | b if self.meet_is_union else a & b
+
+    def transfer(self, node: NodeId, value: FrozenSet) -> FrozenSet:
+        return self.gen(node) | (value - self.kill(node))
+
+    def is_identity(self, node: NodeId) -> bool:
+        return not self.gen(node) and not self.kill(node)

@@ -1,0 +1,169 @@
+"""Allen-Cocke interval elimination for dataflow ([AC76], [Ken81] §3).
+
+The classic elimination method the paper contrasts the PST against
+(§6.2): summarize each interval by transfer functions from its header,
+collapse to the derived graph, repeat until the limit graph, then
+propagate entry values back down.  Gen/kill transfer functions are closed
+under composition and (union) meet, and a loop's closure is simply
+``f*(x) = x ∪ gen(cycle)`` for union-meet frameworks, so every step is
+closed-form; if the limit graph has more than one node (irreducible graph)
+it is solved by a small worklist iteration -- the "hybrid" fallback the
+paper mentions.
+
+Scope: forward or backward *union-meet* gen/kill problems (reaching
+definitions, liveness).  Must-problems (available expressions) would need
+a different closure treatment and are rejected -- use
+:func:`repro.dataflow.elimination.solve_elimination` or the iterative
+solver for those.  Backward problems run on the reverse graph, which may
+be irreducible even when the forward graph is not; the hybrid fallback
+covers that transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, Edge, NodeId
+from repro.cfg.intervals import Interval, interval_partition
+from repro.dataflow.framework import BACKWARD, GenKillProblem, Solution
+from repro.dataflow.structural import _GenPass, apply_function, compose, identity_function, meet_functions
+
+
+def solve_interval(cfg: CFG, problem: GenKillProblem) -> Solution:
+    """Interval-elimination solve of a union-meet gen/kill problem."""
+    if not problem.meet_is_union:
+        raise ValueError(
+            "interval elimination here supports union-meet problems only; "
+            "use solve_elimination/solve_iterative for must-problems"
+        )
+    backward = problem.direction == BACKWARD
+    graph = cfg.reversed() if backward else cfg
+    universe = problem.universe()
+
+    # Level 0: each edge (u, v) carries u's transfer function.
+    edge_fn: Dict[Edge, _GenPass] = {
+        edge: (problem.gen(edge.source), universe - problem.kill(edge.source))
+        for edge in graph.edges
+    }
+
+    # ---- phase 1: build the derived sequence with summaries -------------
+    levels: List[Tuple[CFG, List[Interval], Dict[NodeId, _GenPass]]] = []
+    current = graph
+    while True:
+        intervals = interval_partition(current)
+        paths = _interval_paths(current, intervals, edge_fn, universe)
+        levels.append((current, intervals, paths))
+        if all(len(interval.nodes) == 1 for interval in intervals):
+            break  # limit graph reached (no interval absorbed anything)
+        current, edge_fn = _next_level(current, intervals, paths, edge_fn, universe)
+
+    # ---- phase 2a: solve the limit graph (worklist over edge functions) --
+    limit_graph = current
+    entries: Dict[NodeId, FrozenSet] = {node: problem.top() for node in limit_graph.nodes}
+    entries[limit_graph.start] = problem.boundary()
+    worklist = [n for n in limit_graph.nodes if n != limit_graph.start]
+    changed = True
+    while changed:
+        changed = False
+        for node in limit_graph.nodes:
+            if node == limit_graph.start:
+                continue
+            value: Optional[FrozenSet] = None
+            for edge in limit_graph.in_edges(node):
+                contribution = apply_function(edge_fn[edge], entries[edge.source])
+                value = contribution if value is None else problem.meet(value, contribution)
+            if value is not None and value != entries[node]:
+                entries[node] = value
+                changed = True
+
+    # ---- phase 2b: push entries down the derived sequence ----------------
+    for level_graph, intervals, paths in reversed(levels):
+        finer: Dict[NodeId, FrozenSet] = {}
+        for interval in intervals:
+            header_entry = entries.get(interval.header, problem.top())
+            for node in interval.nodes:
+                finer[node] = apply_function(paths[node], header_entry)
+        entries = finer
+
+    before = {node: entries.get(node, problem.top()) for node in graph.nodes}
+    after = {node: problem.transfer(node, before[node]) for node in graph.nodes}
+    if backward:
+        return Solution(before=after, after=before)
+    return Solution(before=before, after=after)
+
+
+def _interval_paths(
+    graph: CFG,
+    intervals: List[Interval],
+    edge_fn: Dict[Edge, _GenPass],
+    universe: FrozenSet,
+) -> Dict[NodeId, _GenPass]:
+    """Per node: the function from its interval header's entry to its entry.
+
+    Computed in interval order (all predecessors of a non-header member lie
+    in the interval and precede it), then composed with the header's loop
+    closure ``x ∪ gen(cycle)``.
+    """
+    paths: Dict[NodeId, _GenPass] = {}
+    for interval in intervals:
+        members = set(interval.nodes)
+        raw: Dict[NodeId, _GenPass] = {interval.header: identity_function(universe)}
+        for node in interval.nodes[1:]:
+            incoming = [
+                compose(edge_fn[edge], raw[edge.source])
+                for edge in graph.in_edges(node)
+                if edge.source in members and edge.source != node
+            ]
+            raw[node] = meet_functions(incoming, union_meet=True, universe=universe)
+            # Self-loop closure: in*(x) = in(x) ∪ gen(f_self) for union meet.
+            self_gen: FrozenSet = frozenset()
+            has_self = False
+            for edge in graph.in_edges(node):
+                if edge.source == node:
+                    has_self = True
+                    self_gen = self_gen | edge_fn[edge][0]
+            if has_self:
+                raw[node] = compose((self_gen, universe), raw[node])
+        # loop closure: contributions of back edges into the header
+        cycle_gen: FrozenSet = frozenset()
+        for edge in graph.in_edges(interval.header):
+            if edge.source in members:
+                fn = compose(edge_fn[edge], raw[edge.source])
+                cycle_gen = cycle_gen | fn[0]
+        closure: _GenPass = (cycle_gen, universe)
+        for node in interval.nodes:
+            paths[node] = compose(raw[node], closure)
+    return paths
+
+
+def _next_level(
+    graph: CFG,
+    intervals: List[Interval],
+    paths: Dict[NodeId, _GenPass],
+    edge_fn: Dict[Edge, _GenPass],
+    universe: FrozenSet,
+) -> Tuple[CFG, Dict[Edge, _GenPass]]:
+    """The derived graph plus its edge functions (meet of crossing edges)."""
+    interval_of: Dict[NodeId, Interval] = {}
+    for interval in intervals:
+        for node in interval.nodes:
+            interval_of[node] = interval
+
+    accumulated: Dict[Tuple[NodeId, NodeId], List[_GenPass]] = {}
+    for edge in graph.edges:
+        src = interval_of.get(edge.source)
+        dst = interval_of.get(edge.target)
+        if src is None or dst is None or src is dst:
+            continue
+        fn = compose(edge_fn[edge], paths[edge.source])
+        accumulated.setdefault((src.header, dst.header), []).append(fn)
+
+    out = CFG(name=f"{graph.name}+")
+    out.start = interval_of[graph.start].header
+    for interval in intervals:
+        out.add_node(interval.header)
+    next_fn: Dict[Edge, _GenPass] = {}
+    for (src_header, dst_header), functions in accumulated.items():
+        edge = out.add_edge(src_header, dst_header)
+        next_fn[edge] = meet_functions(functions, union_meet=True, universe=universe)
+    return out, next_fn

@@ -1,0 +1,64 @@
+"""The baseline iterative worklist solver.
+
+Works on any CFG and any :class:`~repro.dataflow.framework.DataflowProblem`.
+Nodes are seeded in reverse postorder (postorder for backward problems) so
+typical programs converge in a couple of sweeps.  Returns a
+:class:`~repro.dataflow.framework.Solution` with values in program order
+(``before``/``after`` per node) regardless of direction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from repro.cfg.graph import CFG, NodeId
+from repro.cfg.traversal import reverse_postorder
+from repro.dataflow.framework import BACKWARD, DataflowProblem, Solution
+
+
+def solve_iterative(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Solve ``problem`` over ``cfg`` to its maximal fixpoint."""
+    backward = problem.direction == BACKWARD
+    if backward:
+        graph = cfg.reversed()
+    else:
+        graph = cfg
+    root = graph.start
+
+    order = reverse_postorder(graph, root)
+    position = {node: i for i, node in enumerate(order)}
+    # Nodes unreachable in the solving direction keep top (e.g. a node that
+    # cannot reach `end` never arises in a valid CFG, but subgraphs used by
+    # the elimination solver may have them transiently).
+    entry: Dict[NodeId, object] = {node: problem.top() for node in graph.nodes}
+    exit_: Dict[NodeId, object] = {}
+    entry[root] = problem.boundary()
+    for node in graph.nodes:
+        exit_[node] = problem.transfer(node, entry[node])
+
+    pending: Set[NodeId] = set(order)
+    queue = deque(order)
+    while queue:
+        node = queue.popleft()
+        pending.discard(node)
+        if node != root:
+            preds = graph.predecessors(node)
+            value = None
+            for pred in preds:
+                value = exit_[pred] if value is None else problem.meet(value, exit_[pred])
+            if value is None:
+                value = problem.top()
+            entry[node] = value
+        new_exit = problem.transfer(node, entry[node])
+        if new_exit != exit_[node]:
+            exit_[node] = new_exit
+            for succ in graph.successors(node):
+                if succ not in pending:
+                    pending.add(succ)
+                    queue.append(succ)
+
+    if backward:
+        # program order: `before` is the transferred (in) value.
+        return Solution(before=exit_, after=entry)
+    return Solution(before=entry, after=exit_)

@@ -1,0 +1,296 @@
+"""Structure-based region processing (§6.2's "local structure" point).
+
+    "most regions are simple constructs such as blocks, if-then or loop
+    constructs; these regions may be processed quickly using
+    structure-based methods [Ken81]"
+
+This solver refines :mod:`repro.dataflow.elimination`: regions classified
+as BLOCK or CASE by the Figure 7 classifier are summarized and solved with
+*closed-form* transfer-function algebra -- composition along chains and
+pointwise meet across arms -- with no fixpoint iteration at all.  Loops,
+dags and cyclic regions fall back to the generic per-region worklist (the
+paper's "hybrid" fallback for unstructured regions).
+
+Transfer functions of gen/kill problems are closed under both operations:
+
+* composition:  (g2,p2) ∘ (g1,p1) = (g2 ∪ (g1 ∩ p2), p1 ∩ p2)
+* meet (∪):     (g1,p1) ∧ (g2,p2) = (g1 ∪ g2, p1 ∪ p2)
+* meet (∩):     (g1,p1) ∧ (g2,p2) = (g1 ∩ g2, (g1 ∪ p1) ∩ (g2 ∪ p2))
+
+where a function is written ``f(x) = g ∪ (x ∩ p)`` (``p = U - kill``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, NodeId
+from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.region_kinds import RegionKind, classify_region
+from repro.core.sese import SESERegion
+from repro.dataflow.elimination import _CollapsedProblem, _probe
+from repro.dataflow.framework import BACKWARD, GenKillProblem, Solution
+from repro.dataflow.iterative import solve_iterative
+
+_GenPass = Tuple[FrozenSet, FrozenSet]  # f(x) = gen ∪ (x ∩ pass)
+
+
+def compose(outer: _GenPass, inner: _GenPass) -> _GenPass:
+    """``outer ∘ inner`` (inner runs first)."""
+    g1, p1 = inner
+    g2, p2 = outer
+    return (g2 | (g1 & p2), p1 & p2)
+
+
+def meet_functions(functions: List[_GenPass], union_meet: bool, universe: FrozenSet) -> _GenPass:
+    """Pointwise meet of parallel transfer functions."""
+    if not functions:
+        # no path: the meet identity (top as a constant function)
+        return (frozenset(), frozenset()) if union_meet else (universe, frozenset())
+    gens = [g for g, _ in functions]
+    passes = [p for _, p in functions]
+    if union_meet:
+        gen = frozenset().union(*gens)
+        pas = frozenset().union(*passes)
+        return (gen, pas)
+    gen = gens[0]
+    avail = gens[0] | passes[0]
+    for g, p in functions[1:]:
+        gen = gen & g
+        avail = avail & (g | p)
+    # F(x) = (∩ g_i) ∪ (x ∩ ∩(g_i ∪ p_i)); overlap between gen and pass is
+    # harmless in the (gen, pass) representation.
+    return (gen, avail)
+
+
+def identity_function(universe: FrozenSet) -> _GenPass:
+    return (frozenset(), universe)
+
+
+def apply_function(fn: _GenPass, value: FrozenSet) -> FrozenSet:
+    gen, pas = fn
+    return gen | (value & pas)
+
+
+class StructuralSolver:
+    """PST elimination with closed-form handling of structured regions."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        problem: GenKillProblem,
+        pst: Optional[ProgramStructureTree] = None,
+    ):
+        self.cfg = cfg
+        self.problem = problem
+        self.pst = build_pst(cfg) if pst is None else pst
+        self.backward = problem.direction == BACKWARD
+        self.universe = problem.universe()
+        self.union_meet = problem.meet_is_union
+        self.kinds: Dict[int, RegionKind] = {}
+        self.summaries: Dict[int, Tuple[FrozenSet, FrozenSet]] = {}  # (F∅, FU)
+        # statistics: how many regions took the closed-form path
+        self.closed_form_regions = 0
+        self.iterative_regions = 0
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Solution:
+        for region in sorted(self.pst.regions(), key=lambda r: -r.depth):
+            if region.is_root:
+                continue
+            self.summaries[region.region_id] = self._summarize(region)
+
+        before: Dict[NodeId, FrozenSet] = {}
+        after: Dict[NodeId, FrozenSet] = {}
+        stack: List[Tuple[SESERegion, FrozenSet]] = [(self.pst.root, self.problem.boundary())]
+        while stack:
+            region, entry = stack.pop()
+            solution = self._solve_region(region, entry)
+            for node in region.own_nodes:
+                before[node] = solution.before[node]
+                after[node] = solution.after[node]
+            for child in region.children:
+                summary_node = self.pst.child_summary_id(child)
+                child_entry = (
+                    solution.before[summary_node]
+                    if not self.backward
+                    else solution.after[summary_node]
+                )
+                stack.append((child, child_entry))
+        return Solution(before, after)
+
+    # ------------------------------------------------------------------
+    def _node_function(self, region: SESERegion, node: NodeId) -> _GenPass:
+        """Transfer function of one collapsed-graph node as (gen, pass)."""
+        from repro.core.pst import REGION_ENTRY, REGION_EXIT
+
+        if isinstance(node, tuple) and len(node) == 2 and node[0] == "region":
+            f_bottom, f_top = self.summaries[node[1]]
+            # F(x) = F(∅) ∪ (x ∩ F(U)): gen = F(∅), pass = F(U).
+            return (f_bottom, f_top)
+        if node in (REGION_ENTRY, REGION_EXIT):
+            return identity_function(self.universe)
+        return (self.problem.gen(node), self.universe - self.problem.kill(node))
+
+    def _kind(self, region: SESERegion) -> RegionKind:
+        kind = self.kinds.get(region.region_id)
+        if kind is None:
+            kind = classify_region(self.pst, region)
+            self.kinds[region.region_id] = kind
+        return kind
+
+    def _summarize(self, region: SESERegion) -> Tuple[FrozenSet, FrozenSet]:
+        fn = self._region_function(region)
+        if fn is not None:
+            self.closed_form_regions += 1
+            return (apply_function(fn, frozenset()), apply_function(fn, self.universe))
+        self.iterative_regions += 1
+        sub, _ = self.pst.collapsed_cfg(region)
+        child_summaries = {
+            self.pst.child_summary_id(child): self.summaries[child.region_id]
+            for child in region.children
+        }
+        return (
+            _probe(sub, self.problem, child_summaries, frozenset(), self.backward),
+            _probe(sub, self.problem, child_summaries, self.universe, self.backward),
+        )
+
+    def _region_function(self, region: SESERegion) -> Optional[_GenPass]:
+        """Closed-form (gen, pass) of a BLOCK or CASE region, else None."""
+        kind = self._kind(region)
+        sub, _ = self.pst.collapsed_cfg(region)
+        if kind is RegionKind.BLOCK:
+            return self._chain_function(region, sub, sub.start, sub.end)
+        if kind is RegionKind.CASE:
+            return self._case_function(region, sub)
+        return None
+
+    def _chain_function(
+        self, region: SESERegion, sub: CFG, start: NodeId, stop: NodeId
+    ) -> _GenPass:
+        """Composition along the unique path start -> ... -> stop."""
+        order: List[NodeId] = []
+        node = start
+        while node != stop:
+            if node != start:
+                order.append(node)
+            (edge,) = sub.out_edges(node)
+            node = edge.target
+        if self.backward:
+            order.reverse()
+        fn = identity_function(self.universe)
+        for item in order:
+            fn = compose(self._node_function(region, item), fn)
+        return fn
+
+    def _case_function(self, region: SESERegion, sub: CFG) -> _GenPass:
+        branch = sub.successors(sub.start)[0]
+        merge = sub.predecessors(sub.end)[0]
+        arms: List[_GenPass] = []
+        for edge in sub.out_edges(branch):
+            fn = identity_function(self.universe)
+            node = edge.target
+            chain: List[NodeId] = []
+            while node != merge:
+                chain.append(node)
+                node = sub.successors(node)[0]
+            if self.backward:
+                chain.reverse()
+            for item in chain:
+                fn = compose(self._node_function(region, item), fn)
+            arms.append(fn)
+        arm_fn = meet_functions(arms, self.union_meet, self.universe)
+        branch_fn = self._node_function(region, branch)
+        merge_fn = self._node_function(region, merge)
+        if self.backward:
+            return compose(branch_fn, compose(arm_fn, merge_fn))
+        return compose(merge_fn, compose(arm_fn, branch_fn))
+
+    # ------------------------------------------------------------------
+    def _solve_region(self, region: SESERegion, entry: FrozenSet) -> Solution:
+        """Per-node values inside one region, closed-form where possible."""
+        sub, _ = self.pst.collapsed_cfg(region)
+        kind = self._kind(region) if not region.is_root else None
+        if kind is RegionKind.BLOCK:
+            return self._solve_chain(region, sub, entry)
+        if kind is RegionKind.CASE:
+            return self._solve_case(region, sub, entry)
+        child_summaries = {
+            self.pst.child_summary_id(child): self.summaries[child.region_id]
+            for child in region.children
+        }
+        local = _CollapsedProblem(self.problem, child_summaries, entry)
+        return solve_iterative(sub, local)
+
+    def _walk_values(
+        self, region: SESERegion, nodes: List[NodeId], entry: FrozenSet,
+        before: Dict[NodeId, FrozenSet], after: Dict[NodeId, FrozenSet],
+    ) -> FrozenSet:
+        """Propagate through a straight-line node sequence; returns exit value."""
+        value = entry
+        sequence = list(reversed(nodes)) if self.backward else nodes
+        for node in sequence:
+            out = apply_function(self._node_function(region, node), value)
+            if self.backward:
+                before[node] = out
+                after[node] = value
+            else:
+                before[node] = value
+                after[node] = out
+            value = out
+        return value
+
+    def _solve_chain(self, region: SESERegion, sub: CFG, entry: FrozenSet) -> Solution:
+        before: Dict[NodeId, FrozenSet] = {}
+        after: Dict[NodeId, FrozenSet] = {}
+        order: List[NodeId] = []
+        node = sub.start
+        while node != sub.end:
+            order.append(node)
+            (edge,) = sub.out_edges(node)
+            node = edge.target
+        order.append(sub.end)
+        self._walk_values(region, order, entry, before, after)
+        return Solution(before, after)
+
+    def _solve_case(self, region: SESERegion, sub: CFG, entry: FrozenSet) -> Solution:
+        before: Dict[NodeId, FrozenSet] = {}
+        after: Dict[NodeId, FrozenSet] = {}
+        branch = sub.successors(sub.start)[0]
+        merge = sub.predecessors(sub.end)[0]
+        if not self.backward:
+            head = self._walk_values(region, [sub.start, branch], entry, before, after)
+            arm_outs: List[FrozenSet] = []
+            for edge in sub.out_edges(branch):
+                chain: List[NodeId] = []
+                node = edge.target
+                while node != merge:
+                    chain.append(node)
+                    node = sub.successors(node)[0]
+                arm_outs.append(self._walk_values(region, chain, head, before, after))
+            merged = arm_outs[0]
+            for value in arm_outs[1:]:
+                merged = self.problem.meet(merged, value)
+            self._walk_values(region, [merge, sub.end], merged, before, after)
+        else:
+            tail = self._walk_values(region, [merge, sub.end], entry, before, after)
+            arm_outs = []
+            for edge in sub.out_edges(branch):
+                chain = []
+                node = edge.target
+                while node != merge:
+                    chain.append(node)
+                    node = sub.successors(node)[0]
+                arm_outs.append(self._walk_values(region, chain, tail, before, after))
+            merged = arm_outs[0]
+            for value in arm_outs[1:]:
+                merged = self.problem.meet(merged, value)
+            self._walk_values(region, [sub.start, branch], merged, before, after)
+        return Solution(before, after)
+
+
+def solve_structural(
+    cfg: CFG, problem: GenKillProblem, pst: Optional[ProgramStructureTree] = None
+) -> Solution:
+    """Convenience wrapper: structural elimination solve."""
+    return StructuralSolver(cfg, problem, pst).solve()

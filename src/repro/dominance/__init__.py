@@ -1,0 +1,38 @@
+"""Dominance substrate: dominators, postdominators, frontiers.
+
+Two independent immediate-dominator algorithms are provided:
+
+* :func:`repro.dominance.iterative.immediate_dominators` -- the
+  Cooper-Harvey-Kennedy data-flow formulation (simple, robust);
+* :func:`repro.dominance.lengauer_tarjan.lengauer_tarjan` -- the classic
+  near-linear algorithm the paper benchmarks its cycle-equivalence algorithm
+  against ([LT79]).
+
+They are cross-checked in the test suite.  On top of immediate dominators the
+package offers :class:`~repro.dominance.tree.DominatorTree` (O(1) dominance
+queries), dominance frontiers and iterated dominance frontiers (the Cytron et
+al. SSA substrate), postdominance via the reverse graph, and the PST-based
+divide-and-conquer dominator computation from §6.3 of the paper.
+"""
+
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.tree import DominatorTree, dominator_tree, postdominator_tree
+from repro.dominance.frontier import (
+    dominance_frontiers,
+    iterated_dominance_frontier,
+    postdominance_frontiers,
+)
+from repro.dominance.pst_dominators import pst_immediate_dominators
+
+__all__ = [
+    "pst_immediate_dominators",
+    "immediate_dominators",
+    "lengauer_tarjan",
+    "DominatorTree",
+    "dominator_tree",
+    "postdominator_tree",
+    "dominance_frontiers",
+    "iterated_dominance_frontier",
+    "postdominance_frontiers",
+]

@@ -1,0 +1,70 @@
+"""Dominance frontiers and iterated dominance frontiers (Cytron et al. 1991).
+
+These are the substrate for classic SSA construction and -- via the reverse
+graph -- for Ferrante-Ottenstein-Warren control dependence.  The paper's §6.1
+points out that dominance frontiers can be Θ(N²) in total size (nested
+repeat-until loops); the PST-based φ-placement in :mod:`repro.ssa.pst_phi`
+avoids that blowup, and ``benchmarks/bench_perf_ssa_worstcase.py`` measures
+the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.cfg.graph import CFG, NodeId
+from repro.dominance.tree import DominatorTree
+
+
+def dominance_frontiers(cfg: CFG, dtree: DominatorTree) -> Dict[NodeId, Set[NodeId]]:
+    """DF(n) for every reachable node, by the Cytron et al. join-walk.
+
+    For each join node ``m`` and each CFG predecessor ``p`` of ``m``, every
+    node on the dominator-tree path from ``p`` up to (but excluding)
+    ``idom(m)`` has ``m`` in its frontier.
+    """
+    df: Dict[NodeId, Set[NodeId]] = {node: set() for node in dtree.idom}
+    for node in dtree.idom:
+        idom_n = dtree.parent(node)
+        for pred in set(cfg.predecessors(node)):
+            if pred not in dtree.idom:
+                continue  # unreachable predecessor
+            runner = pred
+            # Walk up from the predecessor to (exclusive) idom(node); every
+            # node passed dominates a predecessor of `node` but not `node`
+            # strictly.  For single-predecessor nodes idom(node) == pred and
+            # the walk is empty, so no join test is needed up front.
+            while runner != idom_n:
+                df[runner].add(node)
+                if runner == dtree.root:
+                    break
+                runner = dtree.parent(runner)
+    return df
+
+
+def iterated_dominance_frontier(
+    df: Dict[NodeId, Set[NodeId]], seeds: Iterable[NodeId]
+) -> Set[NodeId]:
+    """DF+(seeds): the limit of DF(S), DF(S ∪ DF(S)), ... (worklist form)."""
+    result: Set[NodeId] = set()
+    worklist = [node for node in seeds if node in df]
+    enqueued = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        for frontier_node in df[node]:
+            if frontier_node not in result:
+                result.add(frontier_node)
+                if frontier_node not in enqueued:
+                    enqueued.add(frontier_node)
+                    worklist.append(frontier_node)
+    return result
+
+
+def postdominance_frontiers(cfg: CFG, pdtree: DominatorTree) -> Dict[NodeId, Set[NodeId]]:
+    """Postdominance frontiers: dominance frontiers of the reverse graph.
+
+    ``PDF(n)`` is exactly the set of nodes that ``n`` is control dependent on
+    (ignoring branch labels); see :mod:`repro.controldep.fow`.
+    """
+    rev = cfg.reversed()
+    return dominance_frontiers(rev, pdtree)

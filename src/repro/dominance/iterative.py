@@ -1,0 +1,71 @@
+"""Iterative immediate dominators (Cooper, Harvey & Kennedy, 2001).
+
+``A Simple, Fast Dominance Algorithm``: a data-flow fixpoint over reverse
+postorder using the "intersect by walking up postorder numbers" trick.  For
+the shallow graphs typical of programs it converges in a couple of passes.
+
+The returned mapping uses the convention ``idom[root] == root``; only nodes
+reachable from the root appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cfg.graph import CFG, NodeId
+from repro.cfg.traversal import reverse_postorder
+
+
+def immediate_dominators(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, NodeId]:
+    """Immediate dominators of all nodes reachable from ``root``.
+
+    ``root`` defaults to ``cfg.start``.  ``idom[root] == root``.
+    """
+    root = cfg.start if root is None else root
+    order = reverse_postorder(cfg, root)
+    postorder_num = {node: len(order) - 1 - i for i, node in enumerate(order)}
+    reachable = set(order)
+
+    idom: Dict[NodeId, NodeId] = {root: root}
+
+    def intersect(a: NodeId, b: NodeId) -> NodeId:
+        while a != b:
+            while postorder_num[a] < postorder_num[b]:
+                a = idom[a]
+            while postorder_num[b] < postorder_num[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            new_idom: Optional[NodeId] = None
+            for pred in cfg.predecessors(node):
+                if pred not in reachable or pred not in idom:
+                    continue
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is None:
+                continue  # no processed predecessor yet (can't happen after pass 1)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: Dict[NodeId, NodeId], a: NodeId, b: NodeId) -> bool:
+    """True iff ``a`` dominates ``b`` under the given idom mapping.
+
+    Walks the dominator-tree path from ``b`` to the root; O(depth).  For
+    repeated queries prefer :class:`repro.dominance.tree.DominatorTree`.
+    """
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return False
+        node = parent

@@ -1,0 +1,66 @@
+"""Divide-and-conquer dominator computation via the PST (§6.3).
+
+The paper sketches the approach: "first, build the dominator tree of each
+SESE region, and then piece together the local trees using global structure
+(nesting) information in the PST."
+
+The stitching rule rests on two facts about a SESE region ``(a, b)``:
+
+* every path from ``start`` into the region passes through ``a``, so the
+  immediate dominator of a node whose local idom is the region's synthetic
+  entry is ``a.source``;
+* every path leaving the region passes through ``b``, so when a node's
+  idom in the parent's *collapsed* graph is a child summary node, its real
+  idom is that child's ``exit.source`` (the last real node every path out
+  of the child traverses).
+
+Each real node appears in exactly one collapsed region graph (its innermost
+region's), so one local dominator computation per region determines every
+idom.  The local computations are independent -- this is also the shape a
+parallel or incremental implementation would exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cfg.graph import CFG, NodeId
+from repro.core.pst import REGION_ENTRY, ProgramStructureTree, build_pst
+from repro.dominance.iterative import immediate_dominators
+
+
+def pst_immediate_dominators(
+    cfg: CFG, pst: Optional[ProgramStructureTree] = None
+) -> Dict[NodeId, NodeId]:
+    """Immediate dominators computed region by region.
+
+    Same contract as :func:`repro.dominance.iterative.immediate_dominators`:
+    ``idom[start] == start``.  The test suite asserts equality with both
+    whole-graph algorithms.
+    """
+    if pst is None:
+        pst = build_pst(cfg)
+
+    idom: Dict[NodeId, NodeId] = {cfg.start: cfg.start}
+    by_id = {r.region_id: r for r in pst.canonical_regions()}
+    for region in pst.regions():
+        sub, _ = pst.collapsed_cfg(region)
+        local = immediate_dominators(sub)
+        own = set(region.own_nodes)
+
+        def resolve(node: NodeId) -> NodeId:
+            """Map a collapsed-graph idom back to a real CFG node."""
+            if node == REGION_ENTRY:
+                assert region.entry is not None
+                return region.entry.source
+            if isinstance(node, tuple) and len(node) == 2 and node[0] == "region":
+                child = by_id[node[1]]
+                assert child.exit is not None
+                return child.exit.source
+            return node
+
+        for node in own:
+            if node == cfg.start:
+                continue
+            idom[node] = resolve(local[node])
+    return idom

@@ -1,0 +1,114 @@
+"""Dominator-tree representation with O(1) dominance queries.
+
+The tree is built from an immediate-dominator mapping (either algorithm) and
+preprocesses a preorder interval ``[tin, tout]`` per node so that
+``a dominates b`` is an O(1) interval-containment check -- the workhorse
+query for the SESE-region definition oracle and the SSA renaming walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cfg.graph import CFG, NodeId
+
+
+class DominatorTree:
+    """A (post)dominator tree over the reachable nodes of a CFG."""
+
+    def __init__(self, idom: Dict[NodeId, NodeId], root: NodeId):
+        self.root = root
+        self.idom = dict(idom)
+        self._children: Dict[NodeId, List[NodeId]] = {node: [] for node in idom}
+        for node, parent in idom.items():
+            if node != root:
+                self._children[parent].append(node)
+        self._tin: Dict[NodeId, int] = {}
+        self._tout: Dict[NodeId, int] = {}
+        self._depth: Dict[NodeId, int] = {}
+        self._number()
+
+    def _number(self) -> None:
+        clock = 0
+        stack: List[tuple] = [(self.root, 0, False)]
+        while stack:
+            node, depth, closing = stack.pop()
+            if closing:
+                self._tout[node] = clock
+                clock += 1
+                continue
+            self._tin[node] = clock
+            clock += 1
+            self._depth[node] = depth
+            stack.append((node, depth, True))
+            for child in reversed(self._children[node]):
+                stack.append((child, depth + 1, False))
+
+    # ------------------------------------------------------------------
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """The immediate dominator of ``node`` (None for the root)."""
+        if node == self.root:
+            return None
+        return self.idom[node]
+
+    def children(self, node: NodeId) -> List[NodeId]:
+        return list(self._children[node])
+
+    def depth(self, node: NodeId) -> int:
+        """Distance from the root (root has depth 0)."""
+        return self._depth[node]
+
+    def dominates(self, a: NodeId, b: NodeId) -> bool:
+        """True iff ``a`` dominates ``b`` (every node dominates itself)."""
+        return self._tin[a] <= self._tin[b] and self._tout[b] <= self._tout[a]
+
+    def strictly_dominates(self, a: NodeId, b: NodeId) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def preorder(self) -> Iterator[NodeId]:
+        """Nodes in dominator-tree preorder (parents before children)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(self._children[node]):
+                stack.append(child)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.idom
+
+    def __len__(self) -> int:
+        return len(self.idom)
+
+
+def dominator_tree(cfg: CFG, algorithm: str = "iterative") -> DominatorTree:
+    """The dominator tree of ``cfg`` rooted at ``cfg.start``.
+
+    ``algorithm`` selects the idom computation: ``"iterative"``
+    (Cooper-Harvey-Kennedy) or ``"lt"`` (Lengauer-Tarjan).
+    """
+    idom = _compute_idoms(cfg, algorithm)
+    return DominatorTree(idom, cfg.start)
+
+
+def postdominator_tree(cfg: CFG, algorithm: str = "iterative") -> DominatorTree:
+    """The postdominator tree of ``cfg`` rooted at ``cfg.end``.
+
+    Computed as the dominator tree of the reverse graph; node ids are shared
+    with ``cfg``.
+    """
+    rev = cfg.reversed()
+    idom = _compute_idoms(rev, algorithm)
+    return DominatorTree(idom, rev.start)
+
+
+def _compute_idoms(cfg: CFG, algorithm: str) -> Dict[NodeId, NodeId]:
+    if algorithm == "iterative":
+        from repro.dominance.iterative import immediate_dominators
+
+        return immediate_dominators(cfg)
+    if algorithm == "lt":
+        from repro.dominance.lengauer_tarjan import lengauer_tarjan
+
+        return lengauer_tarjan(cfg)
+    raise ValueError(f"unknown dominator algorithm {algorithm!r}")

@@ -1,0 +1,67 @@
+"""MiniLang: the imperative front end standing in for the paper's FORTRAN.
+
+The paper's empirical section is driven by 254 FORTRAN procedures parsed
+with a Sigma front end; this package replaces that pipeline with a small
+imperative language featuring the same control-flow vocabulary -- nested
+``if``/``while``/``repeat``/``for``/``switch``, plus ``break``, ``continue``
+and unstructured ``goto`` -- so both structured and irreducible CFGs arise.
+
+Pipeline: source text -> :mod:`lexer` -> :mod:`parser` (AST in
+:mod:`astnodes`) -> :mod:`lower` (block-level CFG + statement IR as a
+:class:`repro.ir.LoweredProcedure`).
+"""
+
+from repro.lang.astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    For,
+    Goto,
+    If,
+    Label,
+    Num,
+    Procedure,
+    Program,
+    Repeat,
+    Return,
+    Switch,
+    Var,
+    While,
+)
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse_procedure, parse_program
+from repro.lang.lower import lower_procedure, lower_program
+from repro.lang.pretty import pretty_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "For",
+    "Goto",
+    "If",
+    "Label",
+    "Num",
+    "Procedure",
+    "Program",
+    "Repeat",
+    "Return",
+    "Switch",
+    "Var",
+    "While",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse_procedure",
+    "parse_program",
+    "lower_procedure",
+    "lower_program",
+    "pretty_program",
+]

@@ -1,0 +1,263 @@
+"""MiniLang abstract syntax trees."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple
+
+
+class Expr:
+    """Base expression; knows the variables it reads."""
+
+    __slots__ = ()
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def text(self) -> str:
+        raise NotImplementedError
+
+
+class Num(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def text(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Num({self.value})"
+
+
+class Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def text(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def text(self) -> str:
+        return f"({self.left.text()} {self.op} {self.right.text()})"
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        self.name = name
+        self.args = list(args)
+
+    def variables(self) -> Set[str]:
+        out: Set[str] = set()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def text(self) -> str:
+        return f"{self.name}({', '.join(a.text() for a in self.args)})"
+
+    def __repr__(self) -> str:
+        return f"Call({self.name!r}, {self.args!r})"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+class Stmt:
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr):
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Assign({self.target!r}, {self.value!r})"
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Stmt]):
+        self.statements = list(statements)
+
+    def __repr__(self) -> str:
+        return f"Block({self.statements!r})"
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expr, then: Block, els: Optional[Block] = None):
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r}, {self.then!r}, {self.els!r})"
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Block):
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"While({self.cond!r}, {self.body!r})"
+
+
+class Repeat(Stmt):
+    """``repeat { body } until (cond);`` -- body executes at least once."""
+
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Block, cond: Expr):
+        self.body = body
+        self.cond = cond
+
+    def __repr__(self) -> str:
+        return f"Repeat({self.body!r}, {self.cond!r})"
+
+
+class For(Stmt):
+    """``for (v = lo to hi) { body }`` -- counted loop."""
+
+    __slots__ = ("var", "lo", "hi", "body")
+
+    def __init__(self, var: str, lo: Expr, hi: Expr, body: Block):
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"For({self.var!r}, {self.lo!r}, {self.hi!r}, {self.body!r})"
+
+
+class Switch(Stmt):
+    """``switch (expr) { case k: block ... default: block }``."""
+
+    __slots__ = ("expr", "cases", "default")
+
+    def __init__(self, expr: Expr, cases: Sequence[Tuple[int, Block]], default: Optional[Block]):
+        self.expr = expr
+        self.cases = list(cases)
+        self.default = default
+
+    def __repr__(self) -> str:
+        return f"Switch({self.expr!r}, {self.cases!r}, {self.default!r})"
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Break()"
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Continue()"
+
+
+class Goto(Stmt):
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"Goto({self.label!r})"
+
+
+class Label(Stmt):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Label({self.name!r})"
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr] = None):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Return({self.value!r})"
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+
+class Procedure:
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: Sequence[str], body: Block):
+        self.name = name
+        self.params = list(params)
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.name!r}, {self.params!r})"
+
+
+def substitute(expr: Expr, mapping) -> Expr:
+    """A copy of ``expr`` with variable names replaced per ``mapping``.
+
+    Unmapped variables are kept; used by SSA renaming to keep the
+    structured right-hand sides consistent with the versioned names.
+    """
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.name, [substitute(arg, mapping) for arg in expr.args])
+    return expr  # Num and other leaves are immutable
+
+
+class Program:
+    __slots__ = ("procedures",)
+
+    def __init__(self, procedures: Sequence[Procedure]):
+        self.procedures = list(procedures)
+
+    def __repr__(self) -> str:
+        return f"Program({[p.name for p in self.procedures]!r})"

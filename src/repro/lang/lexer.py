@@ -1,0 +1,96 @@
+"""MiniLang lexer: a hand-rolled scanner producing a token stream."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+KEYWORDS = {
+    "proc",
+    "if",
+    "else",
+    "while",
+    "repeat",
+    "until",
+    "for",
+    "to",
+    "switch",
+    "case",
+    "default",
+    "break",
+    "continue",
+    "goto",
+    "return",
+}
+
+TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||"}
+ONE_CHAR_OPS = set("+-*/%<>=!(){}:;,")
+
+
+class LexError(ValueError):
+    """Raised on malformed input, with line/column context."""
+
+
+class Token(NamedTuple):
+    kind: str  # "kw", "ident", "num", "op", "eof"
+    value: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.value}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniLang source; always ends with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "kw" if word in KEYWORDS else "ident"
+            yield Token(kind, word, line, col)
+            col += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            yield Token("num", source[start:i], line, col)
+            col += i - start
+            continue
+        two = source[i : i + 2]
+        if two in TWO_CHAR_OPS:
+            yield Token("op", two, line, col)
+            i += 2
+            col += 2
+            continue
+        if ch in ONE_CHAR_OPS:
+            yield Token("op", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at line {line}, column {col}")
+    yield Token("eof", "", line, col)

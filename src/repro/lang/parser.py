@@ -1,0 +1,297 @@
+"""MiniLang recursive-descent parser.
+
+Grammar (EBNF)::
+
+    program   := procedure*
+    procedure := 'proc' IDENT '(' [IDENT (',' IDENT)*] ')' block
+    block     := '{' statement* '}'
+    statement := IDENT '=' expr ';'
+               | IDENT ':'                         (label)
+               | 'if' '(' expr ')' block ['else' (block | if-stmt)]
+               | 'while' '(' expr ')' block
+               | 'repeat' block 'until' '(' expr ')' ';'
+               | 'for' '(' IDENT '=' expr 'to' expr ')' block
+               | 'switch' '(' expr ')' '{' case* ['default' ':' block] '}'
+               | 'break' ';' | 'continue' ';'
+               | 'goto' IDENT ';' | 'return' [expr] ';'
+    case      := 'case' NUM ':' block
+    expr      := precedence-climbing over || && == != < <= > >= + - * / %
+    primary   := NUM | IDENT | IDENT '(' [expr (',' expr)*] ')'
+               | '(' expr ')' | '-' primary | '!' primary
+
+Unary ``-e`` and ``!e`` are desugared to ``0 - e`` and ``e == 0``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.astnodes import (
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    For,
+    Goto,
+    If,
+    Label,
+    Num,
+    Procedure,
+    Program,
+    Repeat,
+    Return,
+    Stmt,
+    Switch,
+    Var,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class ParseError(ValueError):
+    """Raised on syntax errors, with token context."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(
+                f"expected {want!r} but found {token.value!r} "
+                f"at line {token.line}, column {token.col}"
+            )
+        return self.advance()
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    # -- grammar productions --------------------------------------------
+    def program(self) -> Program:
+        procedures = []
+        while not self.at("eof"):
+            procedures.append(self.procedure())
+        return Program(procedures)
+
+    def procedure(self) -> Procedure:
+        self.expect("kw", "proc")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect("ident").value)
+            while self.at("op", ","):
+                self.advance()
+                params.append(self.expect("ident").value)
+        self.expect("op", ")")
+        return Procedure(name, params, self.block())
+
+    def block(self) -> Block:
+        self.expect("op", "{")
+        statements: List[Stmt] = []
+        while not self.at("op", "}"):
+            statements.append(self.statement())
+        self.expect("op", "}")
+        return Block(statements)
+
+    def statement(self) -> Stmt:
+        if self.at("kw", "if"):
+            return self.if_statement()
+        if self.at("kw", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.expression()
+            self.expect("op", ")")
+            return While(cond, self.block())
+        if self.at("kw", "repeat"):
+            self.advance()
+            body = self.block()
+            self.expect("kw", "until")
+            self.expect("op", "(")
+            cond = self.expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return Repeat(body, cond)
+        if self.at("kw", "for"):
+            self.advance()
+            self.expect("op", "(")
+            var = self.expect("ident").value
+            self.expect("op", "=")
+            lo = self.expression()
+            self.expect("kw", "to")
+            hi = self.expression()
+            self.expect("op", ")")
+            return For(var, lo, hi, self.block())
+        if self.at("kw", "switch"):
+            return self.switch_statement()
+        if self.at("kw", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return Break()
+        if self.at("kw", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return Continue()
+        if self.at("kw", "goto"):
+            self.advance()
+            label = self.expect("ident").value
+            self.expect("op", ";")
+            return Goto(label)
+        if self.at("kw", "return"):
+            self.advance()
+            value = None if self.at("op", ";") else self.expression()
+            self.expect("op", ";")
+            return Return(value)
+        if self.at("ident") and self.peek(1).kind == "op" and self.peek(1).value == ":":
+            name = self.advance().value
+            self.advance()  # ':'
+            return Label(name)
+        if self.at("ident"):
+            target = self.advance().value
+            self.expect("op", "=")
+            value = self.expression()
+            self.expect("op", ";")
+            return Assign(target, value)
+        token = self.peek()
+        raise ParseError(
+            f"unexpected token {token.value!r} at line {token.line}, column {token.col}"
+        )
+
+    def if_statement(self) -> If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        then = self.block()
+        els: Optional[Block] = None
+        if self.at("kw", "else"):
+            self.advance()
+            if self.at("kw", "if"):
+                els = Block([self.if_statement()])
+            else:
+                els = self.block()
+        return If(cond, then, els)
+
+    def switch_statement(self) -> Switch:
+        self.expect("kw", "switch")
+        self.expect("op", "(")
+        expr = self.expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[Tuple[int, Block]] = []
+        default: Optional[Block] = None
+        while not self.at("op", "}"):
+            if self.at("kw", "case"):
+                self.advance()
+                value = int(self.expect("num").value)
+                self.expect("op", ":")
+                cases.append((value, self.block()))
+            elif self.at("kw", "default"):
+                self.advance()
+                self.expect("op", ":")
+                default = self.block()
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"expected 'case' or 'default' at line {token.line}, column {token.col}"
+                )
+        self.expect("op", "}")
+        return Switch(expr, cases, default)
+
+    # -- expressions -----------------------------------------------------
+    def expression(self, min_precedence: int = 1) -> Expr:
+        left = self.primary()
+        while True:
+            token = self.peek()
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                break
+            self.advance()
+            right = self.expression(precedence + 1)
+            left = BinOp(token.value, left, right)
+        return left
+
+    def primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            return Num(int(token.value))
+        if token.kind == "ident":
+            self.advance()
+            if self.at("op", "("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.at("op", ")"):
+                    args.append(self.expression())
+                    while self.at("op", ","):
+                        self.advance()
+                        args.append(self.expression())
+                self.expect("op", ")")
+                return Call(token.value, args)
+            return Var(token.value)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "op" and token.value == "-":
+            self.advance()
+            return BinOp("-", Num(0), self.primary())
+        if token.kind == "op" and token.value == "!":
+            self.advance()
+            return BinOp("==", self.primary(), Num(0))
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression "
+            f"at line {token.line}, column {token.col}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniLang source into a :class:`Program`."""
+    parser = _Parser(tokenize(source))
+    program = parser.program()
+    return program
+
+
+def parse_procedure(source: str) -> Procedure:
+    """Parse a single procedure (convenience for tests and examples)."""
+    program = parse_program(source)
+    if len(program.procedures) != 1:
+        raise ParseError(f"expected exactly one procedure, found {len(program.procedures)}")
+    return program.procedures[0]

@@ -1,0 +1,79 @@
+"""Pretty-printer: MiniLang ASTs back to (re-parseable) source text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import astnodes as ast
+
+_INDENT = "    "
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program; the output re-parses to an equivalent AST."""
+    return "\n".join(pretty_procedure(proc) for proc in program.procedures)
+
+
+def pretty_procedure(procedure: ast.Procedure) -> str:
+    lines: List[str] = [f"proc {procedure.name}({', '.join(procedure.params)}) {{"]
+    _render_block_body(procedure.body, lines, 1)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_block_body(block: ast.Block, lines: List[str], depth: int) -> None:
+    for statement in block.statements:
+        _render_statement(statement, lines, depth)
+
+
+def _render_statement(statement: ast.Stmt, lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(statement, ast.Assign):
+        lines.append(f"{pad}{statement.target} = {statement.value.text()};")
+    elif isinstance(statement, ast.If):
+        lines.append(f"{pad}if ({statement.cond.text()}) {{")
+        _render_block_body(statement.then, lines, depth + 1)
+        if statement.els is not None:
+            lines.append(f"{pad}}} else {{")
+            _render_block_body(statement.els, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(statement, ast.While):
+        lines.append(f"{pad}while ({statement.cond.text()}) {{")
+        _render_block_body(statement.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(statement, ast.Repeat):
+        lines.append(f"{pad}repeat {{")
+        _render_block_body(statement.body, lines, depth + 1)
+        lines.append(f"{pad}}} until ({statement.cond.text()});")
+    elif isinstance(statement, ast.For):
+        lines.append(
+            f"{pad}for ({statement.var} = {statement.lo.text()} to {statement.hi.text()}) {{"
+        )
+        _render_block_body(statement.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(statement, ast.Switch):
+        lines.append(f"{pad}switch ({statement.expr.text()}) {{")
+        for value, block in statement.cases:
+            lines.append(f"{pad}case {value}: {{")
+            _render_block_body(block, lines, depth + 1)
+            lines.append(f"{pad}}}")
+        if statement.default is not None:
+            lines.append(f"{pad}default: {{")
+            _render_block_body(statement.default, lines, depth + 1)
+            lines.append(f"{pad}}}")
+        lines.append(f"{pad}}}")
+    elif isinstance(statement, ast.Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(statement, ast.Continue):
+        lines.append(f"{pad}continue;")
+    elif isinstance(statement, ast.Goto):
+        lines.append(f"{pad}goto {statement.label};")
+    elif isinstance(statement, ast.Label):
+        lines.append(f"{pad}{statement.name}:")
+    elif isinstance(statement, ast.Return):
+        if statement.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {statement.value.text()};")
+    else:
+        raise TypeError(f"unknown statement {statement!r}")

@@ -1,0 +1,34 @@
+"""SSA construction: classic (Cytron et al.) and PST-based (§6.1).
+
+* :mod:`repro.ssa.phi_placement` -- the dominance-frontier φ-placement of
+  [CFR+91]: the baseline the paper accelerates.
+* :mod:`repro.ssa.pst_phi` -- the paper's Theorem 9 algorithm: per-variable
+  φ-placement restricted to marked SESE regions with nested regions
+  collapsed, exploiting both nesting structure and sparsity.  Also exports
+  the "fraction of regions examined" statistic behind Figure 10.
+* :mod:`repro.ssa.rename` -- SSA renaming (dominator-tree walk).
+* :mod:`repro.ssa.verify` -- SSA invariant checking used by the tests.
+
+Both placement algorithms treat the CFG entry as an implicit definition of
+every variable (the usual minimal-SSA convention for possibly-uninitialized
+variables), which makes their results directly comparable; the test suite
+asserts they place identical φ sets.
+"""
+
+from repro.ssa.phi_placement import phi_blocks_cytron, place_phis_cytron
+from repro.ssa.pst_phi import PSTPhiResult, phi_blocks_pst, place_phis_pst
+from repro.ssa.rename import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.verify import SSAViolation, verify_ssa
+
+__all__ = [
+    "destruct_ssa",
+    "phi_blocks_cytron",
+    "place_phis_cytron",
+    "PSTPhiResult",
+    "phi_blocks_pst",
+    "place_phis_pst",
+    "construct_ssa",
+    "SSAViolation",
+    "verify_ssa",
+]

@@ -1,0 +1,81 @@
+"""Out-of-SSA translation: replace φ-functions with explicit copies.
+
+The standard pitfalls are handled:
+
+* **critical edges** (predecessor with several successors into a block with
+  several predecessors) are split with a fresh block, so a copy inserted
+  for one edge cannot execute on another path;
+* **parallel-copy semantics** (φs of one block all read their arguments
+  simultaneously; naive sequential copies break swaps like
+  ``x, y = y, x``) are preserved by staging every transfer through a fresh
+  temporary: ``tmp_i = a_i`` for all i, then ``t_i = tmp_i``.
+
+The result is a new :class:`~repro.ir.LoweredProcedure` over a new CFG
+(edge splitting changes the graph); it is ordinary, φ-free code that the
+reference interpreter executes identically to the SSA input -- the
+round-trip property the tests check on random programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cfg.graph import CFG, Edge, NodeId
+from repro.ir import Branch, Copy, LoweredProcedure, Phi, Stmt
+
+
+def destruct_ssa(proc: LoweredProcedure) -> LoweredProcedure:
+    """Replace every φ with copies on the incoming edges."""
+    # -- 1. decide which edges need splitting ---------------------------
+    needs_copies: Dict[Edge, List[Tuple[str, str]]] = {}
+    for block in proc.cfg.nodes:
+        phis = [s for s in proc.blocks.get(block, []) if isinstance(s, Phi)]
+        for phi in phis:
+            for edge, source in phi.args.items():
+                needs_copies.setdefault(edge, []).append((phi.target, source))
+
+    split: Dict[Edge, NodeId] = {}
+    counter = 0
+    for edge in needs_copies:
+        if proc.cfg.out_degree(edge.source) > 1 and proc.cfg.in_degree(edge.target) > 1:
+            split[edge] = f"$split{counter}$"
+            counter += 1
+
+    # -- 2. rebuild the CFG with split edges ----------------------------
+    cfg = CFG(start=proc.cfg.start, end=proc.cfg.end, name=f"{proc.cfg.name}.nossa")
+    for node in proc.cfg.nodes:
+        cfg.add_node(node)
+    edge_image: Dict[Edge, Edge] = {}
+    for edge in proc.cfg.edges:
+        middle = split.get(edge)
+        if middle is None:
+            edge_image[edge] = cfg.add_edge(edge.source, edge.target, edge.label)
+        else:
+            cfg.add_edge(edge.source, middle, edge.label)
+            edge_image[edge] = cfg.add_edge(middle, edge.target)
+
+    # -- 3. statements: drop φs, place staged copies --------------------
+    out = LoweredProcedure(f"{proc.name}.nossa", cfg)
+    for block in proc.cfg.nodes:
+        out.blocks[block] = [
+            s for s in proc.blocks.get(block, []) if not isinstance(s, Phi)
+        ]
+
+    tmp_counter = 0
+    for edge, moves in needs_copies.items():
+        target_block = split.get(edge, edge.source)
+        staged: List[Stmt] = []
+        finals: List[Stmt] = []
+        for phi_target, source in moves:
+            tmp = f"$t{tmp_counter}$"
+            tmp_counter += 1
+            staged.append(Copy(tmp, source))
+            finals.append(Copy(phi_target, tmp))
+        copies = staged + finals
+        statements = out.blocks[target_block]
+        # keep a trailing Branch (the block terminator) after the copies
+        if statements and isinstance(statements[-1], Branch):
+            out.blocks[target_block] = statements[:-1] + copies + [statements[-1]]
+        else:
+            out.blocks[target_block] = statements + copies
+    return out

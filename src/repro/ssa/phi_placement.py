@@ -1,0 +1,46 @@
+"""Classic φ-placement via iterated dominance frontiers ([CFR+91]).
+
+A φ-function for variable ``v`` is needed at exactly the iterated dominance
+frontier of ``v``'s definition sites.  The CFG entry counts as an implicit
+definition site of every variable (possibly-uninitialized semantics), so
+the algorithms here and in :mod:`repro.ssa.pst_phi` agree block-for-block.
+
+This is the paper's comparison baseline: its total dominance-frontier size
+is Θ(N²) on nested repeat-until loops (§6.1), which
+``benchmarks/bench_perf_ssa_worstcase.py`` demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cfg.graph import NodeId
+from repro.dominance.frontier import dominance_frontiers, iterated_dominance_frontier
+from repro.dominance.tree import dominator_tree
+from repro.ir import LoweredProcedure
+
+
+def phi_blocks_cytron(proc: LoweredProcedure, variables: List[str] = None) -> Dict[str, Set[NodeId]]:
+    """For each variable, the set of blocks needing a φ-function."""
+    if variables is None:
+        variables = proc.variables()
+    dtree = dominator_tree(proc.cfg)
+    frontiers = dominance_frontiers(proc.cfg, dtree)
+    placement: Dict[str, Set[NodeId]] = {}
+    for var in variables:
+        defs = set(proc.defs_of(var))
+        defs.add(proc.cfg.start)  # implicit definition at entry
+        placement[var] = iterated_dominance_frontier(frontiers, defs)
+    return placement
+
+
+def place_phis_cytron(proc: LoweredProcedure) -> Dict[NodeId, List[str]]:
+    """Blocks -> variables needing φ there (all variables of the procedure)."""
+    placement = phi_blocks_cytron(proc)
+    out: Dict[NodeId, List[str]] = {}
+    for var, blocks in placement.items():
+        for block in blocks:
+            out.setdefault(block, []).append(var)
+    for block in out:
+        out[block].sort()
+    return out

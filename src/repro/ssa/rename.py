@@ -1,0 +1,107 @@
+"""SSA renaming: dominator-tree walk with version stacks ([CFR+91] §5.2).
+
+Produces a *new* :class:`~repro.ir.LoweredProcedure` sharing the input CFG:
+φ-functions are materialized as :class:`repro.ir.Phi` statements at the
+head of their blocks (arguments keyed by incoming CFG edge), every
+definition gets a fresh ``name#version`` target, and every use is rewired
+to the dominating version.  Version 0 of each variable is materialized as
+an explicit ``undef``/parameter definition in the start block, so the
+result is self-contained: every SSA name has exactly one definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import NodeId
+from repro.dominance.tree import DominatorTree, dominator_tree
+from repro.ir import Assign, Branch, LoweredProcedure, Phi, Ret, Stmt
+from repro.ssa.phi_placement import phi_blocks_cytron
+
+
+def construct_ssa(
+    proc: LoweredProcedure,
+    placement: Optional[Dict[str, Set[NodeId]]] = None,
+    dtree: Optional[DominatorTree] = None,
+) -> LoweredProcedure:
+    """Convert ``proc`` to SSA form.
+
+    ``placement`` maps each variable to its φ blocks; by default the classic
+    Cytron placement is used (the PST-based placement from
+    :mod:`repro.ssa.pst_phi` yields the same sets and can be passed in).
+    """
+    variables = proc.variables()
+    if placement is None:
+        placement = phi_blocks_cytron(proc, variables)
+    if dtree is None:
+        dtree = dominator_tree(proc.cfg)
+
+    out = LoweredProcedure(f"{proc.name}.ssa", proc.cfg)
+    phis: Dict[NodeId, Dict[str, Phi]] = {}
+    for var in variables:
+        for block in placement.get(var, ()):
+            phi = Phi(var)  # target renamed during the walk
+            phis.setdefault(block, {})[var] = phi
+
+    counters: Dict[str, int] = {var: 0 for var in variables}
+    stacks: Dict[str, List[str]] = {var: [f"{var}#0"] for var in variables}
+    start = proc.cfg.start
+    for var in variables:
+        out.blocks[start].append(Assign(f"{var}#0", (), text="undef"))
+
+    def fresh(var: str) -> str:
+        counters[var] += 1
+        return f"{var}#{counters[var]}"
+
+    def rename_statement(stmt: Stmt) -> Stmt:
+        uses = tuple(stacks[use][-1] for use in stmt.uses)
+        expr = getattr(stmt, "expr", None)
+        if expr is not None:
+            # keep the structured rhs executable: rewrite its variables to
+            # the current versions
+            from repro.lang.astnodes import substitute
+
+            expr = substitute(expr, {use: stacks[use][-1] for use in stmt.uses})
+        if isinstance(stmt, Assign):
+            name = fresh(stmt.target)
+            stacks[stmt.target].append(name)
+            return Assign(name, uses, stmt.text, expr=expr)
+        if isinstance(stmt, Branch):
+            return Branch(uses, stmt.text, expr=expr)
+        if isinstance(stmt, Ret):
+            return Ret(uses, expr=expr)
+        raise TypeError(f"unexpected statement {stmt!r}")
+
+    # Iterative dominator-tree preorder walk with explicit undo log.
+    walk: List = [("visit", dtree.root)]
+    while walk:
+        action, payload = walk.pop()
+        if action == "pop":
+            var, count = payload
+            del stacks[var][-count:]
+            continue
+        block = payload
+        pushed: Dict[str, int] = {}
+        # 1. φ targets first: they define before any ordinary statement.
+        for var, phi in sorted(phis.get(block, {}).items()):
+            name = fresh(var)
+            phi.set_target(name)
+            stacks[var].append(name)
+            pushed[var] = pushed.get(var, 0) + 1
+            out.blocks[block].append(phi)
+        # 2. ordinary statements.
+        for stmt in proc.blocks.get(block, []):
+            renamed = rename_statement(stmt)
+            out.blocks[block].append(renamed)
+            if isinstance(stmt, Assign):
+                pushed[stmt.target] = pushed.get(stmt.target, 0) + 1
+        # 3. fill φ arguments of successors.
+        for edge in proc.cfg.out_edges(block):
+            for var, phi in phis.get(edge.target, {}).items():
+                phi.args[edge] = stacks[var][-1]
+        # 4. schedule children, then the undo of this block's pushes.
+        for var, count in pushed.items():
+            walk.append(("pop", (var, count)))
+        for child in reversed(dtree.children(block)):
+            walk.append(("visit", child))
+    return out

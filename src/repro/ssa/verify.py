@@ -1,0 +1,93 @@
+"""SSA invariant verification.
+
+Checks the structural SSA properties on a renamed
+:class:`~repro.ir.LoweredProcedure`:
+
+* **single assignment** -- every SSA name has exactly one definition;
+* **dominance of uses** -- the definition of a name dominates every ordinary
+  use (same block counts when the definition appears earlier);
+* **φ well-formedness** -- every φ has exactly one argument per incoming
+  CFG edge, and each argument's definition dominates the corresponding
+  predecessor block.
+
+Used by the test suite to validate :func:`repro.ssa.rename.construct_ssa`
+over both φ-placement algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cfg.graph import NodeId
+from repro.dominance.tree import dominator_tree
+from repro.ir import LoweredProcedure, Phi
+
+
+class SSAViolation(AssertionError):
+    """Raised by :func:`check_ssa` when an SSA invariant fails."""
+
+
+def verify_ssa(proc: LoweredProcedure) -> List[str]:
+    """Return a list of violated-invariant descriptions (empty if valid)."""
+    problems: List[str] = []
+    dtree = dominator_tree(proc.cfg)
+
+    # Definition sites: name -> (block, statement index)
+    defs: Dict[str, Tuple[NodeId, int]] = {}
+    for block in proc.cfg.nodes:
+        for index, stmt in enumerate(proc.blocks.get(block, [])):
+            name = stmt.target
+            if name is None:
+                continue
+            if name in defs:
+                problems.append(f"{name} defined more than once ({defs[name]} and {(block, index)})")
+            defs[name] = (block, index)
+
+    def def_dominates(name: str, block: NodeId, index: int) -> bool:
+        if name not in defs:
+            return False
+        dblock, dindex = defs[name]
+        if dblock == block:
+            return dindex < index
+        return dtree.dominates(dblock, block)
+
+    for block in proc.cfg.nodes:
+        statements = proc.blocks.get(block, [])
+        seen_ordinary = False
+        for index, stmt in enumerate(statements):
+            if isinstance(stmt, Phi):
+                if seen_ordinary:
+                    problems.append(f"φ after ordinary statement in block {block!r}")
+                in_edges = proc.cfg.in_edges(block)
+                if set(stmt.args.keys()) != set(in_edges):
+                    problems.append(
+                        f"φ {stmt.target} in block {block!r} does not cover its "
+                        f"{len(in_edges)} incoming edges"
+                    )
+                for edge, name in stmt.args.items():
+                    if name not in defs:
+                        problems.append(f"φ argument {name} has no definition")
+                    else:
+                        dblock, _ = defs[name]
+                        if not dtree.dominates(dblock, edge.source):
+                            problems.append(
+                                f"φ argument {name} (defined in {dblock!r}) does not "
+                                f"dominate predecessor {edge.source!r}"
+                            )
+            else:
+                seen_ordinary = True
+                for name in stmt.uses:
+                    if name not in defs:
+                        problems.append(f"use of undefined name {name} in block {block!r}")
+                    elif not def_dominates(name, block, index):
+                        problems.append(
+                            f"definition of {name} does not dominate its use in block {block!r}"
+                        )
+    return problems
+
+
+def check_ssa(proc: LoweredProcedure) -> None:
+    """Raise :class:`SSAViolation` when ``proc`` is not valid SSA."""
+    problems = verify_ssa(proc)
+    if problems:
+        raise SSAViolation("; ".join(problems[:10]))

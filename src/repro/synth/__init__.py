@@ -1,0 +1,49 @@
+"""Synthetic workloads standing in for the paper's FORTRAN benchmarks.
+
+* :mod:`repro.synth.patterns` -- named CFG families with known structure
+  (diamonds, loop nests, the O(N²) repeat-until nest of §6.1, irreducible
+  kernels, ...), used by tests and worst-case benchmarks.
+* :mod:`repro.synth.structured` -- random MiniLang procedure generator
+  (structured control flow, optional goto injection for unstructured and
+  irreducible shapes).
+* :mod:`repro.synth.unstructured` -- random *valid* CFG generators that do
+  not go through the front end (arbitrary, including irreducible, graphs).
+* :mod:`repro.synth.corpus` -- the deterministic 254-procedure corpus whose
+  per-"program" procedure counts mirror the paper's §4 benchmark table.
+"""
+
+from repro.synth.patterns import (
+    diamond,
+    if_then,
+    linear,
+    loop_while,
+    nested_loops,
+    irreducible_kernel,
+    repeat_until_nest,
+    switch_ladder,
+    sequence_of_diamonds,
+    paper_like_example,
+)
+from repro.synth.structured import random_procedure_ast, random_lowered_procedure
+from repro.synth.unstructured import random_cfg, random_dag_cfg
+from repro.synth.corpus import CorpusProgram, standard_corpus, corpus_table
+
+__all__ = [
+    "diamond",
+    "if_then",
+    "linear",
+    "loop_while",
+    "nested_loops",
+    "irreducible_kernel",
+    "repeat_until_nest",
+    "switch_ladder",
+    "sequence_of_diamonds",
+    "paper_like_example",
+    "random_procedure_ast",
+    "random_lowered_procedure",
+    "random_cfg",
+    "random_dag_cfg",
+    "CorpusProgram",
+    "standard_corpus",
+    "corpus_table",
+]

@@ -1,0 +1,170 @@
+"""Named CFG families with known region structure.
+
+These are the fixtures for unit tests and the parameterized inputs for the
+worst-case benchmarks (notably :func:`repeat_until_nest`, the nested
+repeat-until loops whose dominance frontiers blow up to Θ(N²) -- §6.1).
+"""
+
+from __future__ import annotations
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.graph import CFG
+
+
+def linear(length: int = 3) -> CFG:
+    """start -> n0 -> ... -> end; every adjacent edge pair is a region."""
+    edges = []
+    prev = "start"
+    for i in range(length):
+        edges.append((prev, f"n{i}"))
+        prev = f"n{i}"
+    edges.append((prev, "end"))
+    return cfg_from_edges(edges, name=f"linear{length}")
+
+
+def diamond() -> CFG:
+    """An if-then-else: two single-node arms meeting at a join."""
+    return cfg_from_edges(
+        [
+            ("start", "c"),
+            ("c", "t", "T"),
+            ("c", "f", "F"),
+            ("t", "j"),
+            ("f", "j"),
+            ("j", "end"),
+        ],
+        name="diamond",
+    )
+
+
+def if_then(arm_length: int = 1) -> CFG:
+    """A one-armed conditional (then-arm of ``arm_length`` nodes)."""
+    edges = [("start", "c"), ("c", "a0", "T")]
+    prev = "a0"
+    for i in range(1, arm_length):
+        edges.append((prev, f"a{i}"))
+        prev = f"a{i}"
+    edges += [(prev, "j"), ("c", "j", "F"), ("j", "end")]
+    return cfg_from_edges(edges, name=f"if_then{arm_length}")
+
+
+def loop_while(body_length: int = 1) -> CFG:
+    """A while loop: header branches to a body chain or the exit."""
+    edges = [("start", "h"), ("h", "b0", "T")]
+    prev = "b0"
+    for i in range(1, body_length):
+        edges.append((prev, f"b{i}"))
+        prev = f"b{i}"
+    edges += [(prev, "h"), ("h", "x", "F"), ("x", "end")]
+    return cfg_from_edges(edges, name=f"while{body_length}")
+
+
+def nested_loops(depth: int = 3) -> CFG:
+    """``depth`` while loops nested inside each other."""
+    edges = [("start", "h0")]
+    for i in range(depth - 1):
+        edges.append((f"h{i}", f"h{i+1}", "T"))
+    edges.append((f"h{depth-1}", f"body", "T"))
+    edges.append(("body", f"l{depth-1}"))
+    for i in range(depth - 1, 0, -1):
+        edges.append((f"l{i}", f"h{i}"))  # latch
+        edges.append((f"h{i}", f"l{i-1}", "F"))  # inner exit falls to outer latch
+    edges.append(("l0", "h0"))
+    edges.append(("h0", "x", "F"))
+    edges.append(("x", "end"))
+    return cfg_from_edges(edges, name=f"nested_loops{depth}")
+
+
+def repeat_until_nest(depth: int = 3) -> CFG:
+    """Nested repeat-until loops: the Θ(N²) dominance-frontier worst case.
+
+    Shape (depth 2)::
+
+        start -> b0 -> b1 -> c1 -> c0 -> end
+                        ^     |    |
+                        +--F--+    |   (c1 -> b1 latch)
+                  ^                |
+                  +-------F--------+   (c0 -> b0 latch)
+
+    Every body block ``b_i`` is the target of a latch from ``c_i``, so the
+    dominance frontier of ``b_i`` contains all enclosing headers, giving
+    quadratic total frontier size ([CFR+91], discussed in §6.1).
+    """
+    edges = [("start", "b0")]
+    for i in range(depth - 1):
+        edges.append((f"b{i}", f"b{i+1}"))
+    edges.append((f"b{depth-1}", f"c{depth-1}"))
+    for i in range(depth - 1, 0, -1):
+        edges.append((f"c{i}", f"b{i}", "F"))
+        edges.append((f"c{i}", f"c{i-1}", "T"))
+    edges.append(("c0", "b0", "F"))
+    edges.append(("c0", "end", "T"))
+    return cfg_from_edges(edges, name=f"repeat_nest{depth}")
+
+
+def switch_ladder(arms: int = 4) -> CFG:
+    """An ``arms``-way case construct with single-node arms."""
+    edges = [("start", "s")]
+    for i in range(arms):
+        edges.append(("s", f"a{i}", str(i)))
+        edges.append((f"a{i}", "j"))
+    edges.append(("j", "end"))
+    return cfg_from_edges(edges, name=f"switch{arms}")
+
+
+def sequence_of_diamonds(count: int = 3) -> CFG:
+    """``count`` sequentially composed diamonds: a broad, shallow PST."""
+    edges = []
+    prev = "start"
+    for i in range(count):
+        c, t, f, j = f"c{i}", f"t{i}", f"f{i}", f"j{i}"
+        edges += [(prev, c), (c, t, "T"), (c, f, "F"), (t, j), (f, j)]
+        prev = j
+    edges.append((prev, "end"))
+    return cfg_from_edges(edges, name=f"diamonds{count}")
+
+
+def irreducible_kernel() -> CFG:
+    """The classic two-entry loop: irreducible, still has a valid PST."""
+    return cfg_from_edges(
+        [
+            ("start", "c"),
+            ("c", "a", "T"),
+            ("c", "b", "F"),
+            ("a", "b"),
+            ("b", "a"),
+            ("a", "x"),
+            ("x", "end"),
+        ],
+        name="irreducible",
+    )
+
+
+def paper_like_example() -> CFG:
+    """A graph in the spirit of the paper's Figure 1.
+
+    A conditional containing a loop in one arm and a nested conditional in
+    the other, followed by a sequentially composed loop: it exhibits
+    nesting, sequential composition, and disjointness of canonical regions
+    all at once (used by documentation and tests).
+    """
+    return cfg_from_edges(
+        [
+            ("start", "a"),
+            ("a", "b", "T"),  # arm with a loop
+            ("a", "c", "F"),  # arm with a nested conditional
+            ("b", "d"),
+            ("d", "b", "T"),
+            ("d", "e", "F"),
+            ("c", "f", "T"),
+            ("c", "g", "F"),
+            ("f", "h"),
+            ("g", "h"),
+            ("h", "e"),
+            ("e", "i"),  # sequentially composed loop follows
+            ("i", "j"),
+            ("j", "i", "T"),
+            ("j", "end", "F"),
+        ],
+        name="figure1_like",
+    )

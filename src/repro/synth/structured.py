@@ -1,0 +1,213 @@
+"""Random MiniLang procedure generation.
+
+The generator produces procedures with the control-flow mix of typical
+numerical FORTRAN code (mostly straight-line assignments, conditionals and
+loops, shallow nesting), with optional goto injection to create the
+unstructured and irreducible shapes that 72 of the paper's 254 procedures
+exhibit.  All randomness flows through an explicit :class:`random.Random`
+so corpora are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.ir import LoweredProcedure
+from repro.lang import astnodes as ast
+from repro.lang.lower import lower_procedure
+
+_OPS = ["+", "-", "*", "+", "-"]
+_CMP = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, goto_rate: float, deep_nesting: bool = False):
+        self.rng = rng
+        self.goto_rate = goto_rate
+        self.deep_nesting = deep_nesting
+        self.variables: List[str] = []  # every variable ever created
+        self.live: List[str] = []  # lexically in-scope variables
+        self.loop_depth = 0
+        self.emitted_labels: List[str] = []
+        self.used_labels: List[str] = []
+        self._label_counter = 0
+
+    # -- expressions -----------------------------------------------------
+    def variable(self) -> str:
+        """Pick (or create) a variable to assign, with lexical locality.
+
+        Real programs use mostly short-lived locals: temporaries whose defs
+        and uses cluster inside one region, plus a few long-lived outer
+        variables.  The paper's sparsity results (Figure 10, the QPG sizes)
+        depend on that locality, so the generator models lexical scopes: a
+        nested block's temporaries die when the block ends (see
+        :meth:`statements`), and references strongly prefer the innermost
+        live ones.
+        """
+        rng = self.rng
+        if not self.live or rng.random() < 0.3:
+            name = f"v{len(self.variables)}"
+            self.variables.append(name)
+            self.live.append(name)
+            return name
+        return self._local_choice()
+
+    def _local_choice(self) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.85 or not self.variables:
+            window = self.live[-3:] or self.live  # innermost temporaries
+        elif roll < 0.97 and self.live:
+            window = self.live  # any enclosing scope
+        else:
+            window = self.variables  # rare "global" reuse
+        return rng.choice(window)
+
+    def atom(self) -> ast.Expr:
+        if self.live and self.rng.random() < 0.7:
+            return ast.Var(self._local_choice())
+        return ast.Num(self.rng.randint(0, 99))
+
+    def arith(self, depth: int = 2) -> ast.Expr:
+        if depth <= 0 or self.rng.random() < 0.4:
+            return self.atom()
+        return ast.BinOp(self.rng.choice(_OPS), self.arith(depth - 1), self.arith(depth - 1))
+
+    def condition(self) -> ast.Expr:
+        return ast.BinOp(self.rng.choice(_CMP), self.atom(), self.atom())
+
+    # -- statements -------------------------------------------------------
+    def statements(self, budget: int, depth: int) -> List[ast.Stmt]:
+        """Generate a block; variables created inside go out of scope after."""
+        scope_mark = len(self.live)
+        out: List[ast.Stmt] = []
+        while budget > 0:
+            statement, cost = self.statement(budget, depth)
+            out.append(statement)
+            budget -= cost
+        if depth > 0:
+            del self.live[scope_mark:]
+        return out
+
+    def statement(self, budget: int, depth: int) -> "tuple[ast.Stmt, int]":
+        rng = self.rng
+        roll = rng.random()
+        # Deep nesting and tiny budgets fall back to plain assignments; real
+        # programs nest shallowly most of the time but occasionally reach
+        # depth ~13 (the paper's maximum), so the cap is generous.
+        if budget < 3 or depth >= 10:
+            roll = 1.0
+
+        def inner_budget(cap_fraction: float = 0.75) -> int:
+            if self.deep_nesting:
+                cap_fraction = 0.95
+            upper = max(2, int((budget - 1) * cap_fraction))
+            lower = max(2, upper * 3 // 4) if self.deep_nesting else 2
+            return max(1, min(budget - 1, rng.randint(lower, max(lower, upper))))
+
+        if roll < 0.13:
+            inner = inner_budget()
+            then = ast.Block(self.statements((inner + 1) // 2, depth + 1))
+            els: Optional[ast.Block] = None
+            if rng.random() < 0.6:
+                els = ast.Block(self.statements(inner // 2 + 1, depth + 1))
+            return ast.If(self.condition(), then, els), inner + 1
+        if roll < 0.19:
+            inner = inner_budget()
+            return ast.While(self.condition(), ast.Block(self.body(inner, depth + 1))), inner + 1
+        if roll < 0.24:
+            inner = inner_budget()
+            return (
+                ast.For(self.variable(), self.atom(), self.atom(), ast.Block(self.body(inner, depth + 1))),
+                inner + 1,
+            )
+        if roll < 0.27:
+            inner = inner_budget(0.5)
+            return ast.Repeat(ast.Block(self.body(inner, depth + 1)), self.condition()), inner + 1
+        if roll < 0.30 and budget >= 4:
+            arms = rng.randint(2, min(4, budget - 1))
+            per_arm = max(1, (budget - 1) // (arms + 1))
+            cases = [(i, ast.Block(self.statements(per_arm, depth + 1))) for i in range(arms)]
+            default = ast.Block(self.statements(per_arm, depth + 1)) if rng.random() < 0.5 else None
+            return ast.Switch(self.atom(), cases, default), arms * per_arm + 1
+        if roll < 0.30 + self.goto_rate:
+            return self.goto_or_label(), 1
+        return ast.Assign(self.variable(), self.arith()), 1
+
+    def body(self, budget: int, depth: int) -> List[ast.Stmt]:
+        """Loop body: statements, possibly ending with break/continue.
+
+        Early loop exits are kept rare (FORTRAN-era code mostly used plain
+        counted loops); they are one of the sources of unstructured regions,
+        and the rate below is calibrated so that, together with goto
+        injection, about 182 of the 254 corpus procedures end up completely
+        structured -- the paper's measurement.
+        """
+        self.loop_depth += 1
+        statements = self.statements(budget, depth)
+        if self.loop_depth > 0 and self.rng.random() < 0.05:
+            guard = ast.If(
+                self.condition(),
+                ast.Block([ast.Break() if self.rng.random() < 0.5 else ast.Continue()]),
+            )
+            statements.append(guard)
+        self.loop_depth -= 1
+        return statements
+
+    def goto_or_label(self) -> ast.Stmt:
+        rng = self.rng
+        if rng.random() < 0.5 or not self.emitted_labels:
+            name = f"L{self._label_counter}"
+            self._label_counter += 1
+            self.emitted_labels.append(name)
+            return ast.Label(name)
+        # Gotos are always guarded by a conditional so the fall-through edge
+        # survives: an unguarded backward goto could form a loop with no exit,
+        # violating Definition 1 (every node must reach `end`).
+        if rng.random() < 0.85:
+            label = rng.choice(self.emitted_labels)  # backward or cross jump
+        else:
+            label = f"L{self._label_counter}"  # forward jump; label appended later
+            self._label_counter += 1
+        self.used_labels.append(label)
+        return ast.If(self.condition(), ast.Block([ast.Goto(label)]))
+
+
+def random_procedure_ast(
+    seed: int,
+    target_statements: int = 30,
+    goto_rate: float = 0.0,
+    name: Optional[str] = None,
+    deep_nesting: bool = False,
+) -> ast.Procedure:
+    """A random procedure AST with roughly ``target_statements`` statements.
+
+    ``goto_rate`` > 0 sprinkles labels and (possibly backward, possibly
+    loop-crossing) gotos through the body, producing unstructured and
+    occasionally irreducible CFGs.  Same seed, same procedure.
+    """
+    rng = random.Random(seed)
+    generator = _Generator(rng, goto_rate, deep_nesting)
+    params = [f"p{i}" for i in range(rng.randint(0, 3))]
+    generator.variables.extend(params)
+    generator.live.extend(params)
+    statements = generator.statements(max(1, target_statements), 0)
+    # Ensure every used label exists (missing ones are appended at the end).
+    missing = sorted(set(generator.used_labels) - set(generator.emitted_labels))
+    for label in missing:
+        statements.append(ast.Label(label))
+    statements.append(ast.Return(ast.Var(generator.variable())))
+    return ast.Procedure(name or f"p{seed}", params, ast.Block(statements))
+
+
+def random_lowered_procedure(
+    seed: int,
+    target_statements: int = 30,
+    goto_rate: float = 0.0,
+    name: Optional[str] = None,
+    deep_nesting: bool = False,
+) -> LoweredProcedure:
+    """Generate and lower a random procedure (validated CFG guaranteed)."""
+    procedure = random_procedure_ast(seed, target_statements, goto_rate, name, deep_nesting)
+    return lower_procedure(procedure)

@@ -1,0 +1,96 @@
+"""Tests for the empirical-analysis statistics."""
+
+import pytest
+
+from repro.core.pst import build_pst
+from repro.analysis.pst_stats import (
+    corpus_stats,
+    depth_distribution,
+    kind_distribution,
+    phi_sparsity,
+    procedure_profile,
+    qpg_sizes,
+)
+from repro.core.region_kinds import RegionKind
+from repro.synth.corpus import all_procedures, standard_corpus
+from repro.synth.patterns import diamond, sequence_of_diamonds
+from repro.synth.structured import random_lowered_procedure
+
+
+@pytest.fixture(scope="module")
+def procs():
+    return all_procedures(standard_corpus(scale=0.1))
+
+
+def test_depth_distribution_diamond():
+    dist = depth_distribution([build_pst(diamond())])
+    assert dist.counts == {1: 1, 2: 2}
+    assert dist.total == 3
+    assert dist.maximum == 2
+    assert dist.average == pytest.approx((1 + 2 + 2) / 3)
+    assert dist.cumulative_fraction(1) == pytest.approx(1 / 3)
+    assert dist.cumulative_fraction(2) == 1.0
+
+
+def test_depth_distribution_empty():
+    dist = depth_distribution([])
+    assert dist.total == 0
+    assert dist.average == 0.0
+    assert dist.cumulative_fraction(3) == 0.0
+
+
+def test_kind_distribution_counts_weights():
+    kinds = kind_distribution([build_pst(diamond())])
+    assert kinds[RegionKind.CASE] >= 2  # the outer region weighs 2
+    assert sum(kinds.values()) >= 3
+
+
+def test_procedure_profile_shapes(procs):
+    profile = procedure_profile(procs[:10])
+    assert len(profile) == 10
+    for size, regions, avg_depth, max_region in profile:
+        assert size >= 2
+        assert regions >= 0
+        assert avg_depth >= 0
+        assert max_region <= size
+
+
+def test_corpus_stats_aggregates(procs):
+    stats = corpus_stats(procs[:20])
+    assert stats.procedures == 20
+    assert stats.regions == stats.depth.total
+    assert 0 <= stats.completely_structured <= 20
+    assert len(stats.profile) == 20
+    assert sum(stats.kind_weights.values()) > 0
+
+
+def test_phi_sparsity_fractions(procs):
+    fractions = phi_sparsity(procs[:8])
+    assert fractions
+    assert all(0 < f <= 1 for f in fractions)
+
+
+def test_phi_sparsity_mostly_sparse():
+    """For a large procedure, most variables examine a minority of regions."""
+    proc = random_lowered_procedure(21, target_statements=250)
+    fractions = phi_sparsity([proc])
+    sparse = sum(1 for f in fractions if f < 0.5)
+    assert sparse > len(fractions) / 2
+
+
+def test_qpg_sizes_shape(procs):
+    rows = qpg_sizes(procs[:5], max_vars_per_proc=3)
+    assert rows
+    for blocks, statements, qpg_nodes in rows:
+        assert qpg_nodes <= blocks
+        assert statements >= 0
+
+
+def test_qpg_sizes_small_on_transparent_chain():
+    from repro.ir import Assign, LoweredProcedure
+
+    cfg = sequence_of_diamonds(6)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t0"].append(Assign("x", (), "1"))
+    [(blocks, _, qpg_nodes)] = qpg_sizes([proc])
+    assert qpg_nodes < blocks / 2

@@ -1,0 +1,23 @@
+"""Tests for the one-call report generator."""
+
+from repro.analysis.report import generate_report, main
+from repro.synth.corpus import standard_corpus
+
+
+def test_report_contains_all_sections():
+    report = generate_report(corpus=standard_corpus(scale=0.08))
+    for marker in ("== T1:", "== F5:", "== F6(a):", "== F7:", "== F9:", "== F10:", "== P4:"):
+        assert marker in report
+
+
+def test_report_numbers_present():
+    report = generate_report(corpus=standard_corpus(scale=0.08))
+    assert "regions:" in report
+    assert "completely structured procedures:" in report
+    assert "%" in report
+
+
+def test_main_prints(capsys):
+    assert main(["0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "== T1:" in out

@@ -1,0 +1,44 @@
+"""Tests for the text table/histogram/scatter renderers."""
+
+from repro.analysis.tables import format_histogram, format_scatter, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+    assert "22" in lines[3]
+    # numeric column right-aligned: 1 and 22 end at the same column
+    assert lines[2].rstrip().endswith("1")
+    assert lines[3].rstrip().endswith("22")
+
+
+def test_format_histogram_bars_and_cumulative():
+    text = format_histogram({1: 5, 2: 10, 3: 5}, label="depth")
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "depth   1" in lines[0]
+    assert "(100.0% cum)" in lines[2]
+    assert lines[1].count("#") > lines[0].count("#")
+
+
+def test_format_histogram_empty():
+    assert format_histogram({}) == "(empty)"
+
+
+def test_format_scatter_buckets():
+    points = [(i, float(i % 3)) for i in range(100)]
+    text = format_scatter(points, "size", "depth", buckets=4)
+    lines = text.splitlines()
+    assert "size" in lines[0]
+    assert len(lines) == 5  # header + 4 buckets
+
+
+def test_format_scatter_empty():
+    assert format_scatter([], "x", "y") == "(empty)"
+
+
+def test_format_scatter_single_point():
+    text = format_scatter([(5.0, 2.0)], "x", "y", buckets=3)
+    assert "2.00" in text

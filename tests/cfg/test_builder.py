@@ -1,0 +1,78 @@
+"""Tests for CFG construction helpers."""
+
+import pytest
+
+from repro.cfg.builder import CFGBuilder, cfg_from_edges, linear_chain
+from repro.cfg.graph import InvalidCFGError
+
+
+def test_cfg_from_edges_basic():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    assert cfg.num_nodes == 3
+    assert cfg.start == "start" and cfg.end == "end"
+
+
+def test_cfg_from_edges_with_labels():
+    cfg = cfg_from_edges(
+        [("start", "a"), ("a", "b", "T"), ("a", "end", "F"), ("b", "end")]
+    )
+    assert cfg.edge("a", "b").label == "T"
+    assert cfg.edge("a", "end").label == "F"
+
+
+def test_cfg_from_edges_validates():
+    with pytest.raises(InvalidCFGError):
+        cfg_from_edges([("start", "a"), ("a", "end"), ("b", "b")])
+
+
+def test_cfg_from_edges_validation_optional():
+    cfg = cfg_from_edges([("start", "a")], validate=False)
+    assert cfg.num_nodes == 3  # end present but dangling
+
+
+def test_builder_branch_and_goto():
+    builder = CFGBuilder()
+    cond = builder.block("cond")
+    builder.goto(builder.start, cond)
+    arm = builder.block()
+    t, f = builder.branch(cond, arm, builder.end)
+    builder.goto(arm, builder.end)
+    cfg = builder.finish()
+    assert t.label == "T" and f.label == "F"
+    assert cfg.num_nodes == 4
+
+
+def test_builder_switch_labels():
+    builder = CFGBuilder()
+    sw = builder.block("sw")
+    builder.goto(builder.start, sw)
+    arms = [builder.block() for _ in range(3)]
+    edges = builder.switch(sw, arms)
+    for arm in arms:
+        builder.goto(arm, builder.end)
+    cfg = builder.finish()
+    assert [e.label for e in edges] == ["0", "1", "2"]
+    assert cfg.out_degree(sw) == 3
+
+
+def test_builder_autonames_are_unique():
+    builder = CFGBuilder()
+    names = {builder.block() for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_linear_chain():
+    cfg = linear_chain(3)
+    assert cfg.num_nodes == 5
+    assert cfg.num_edges == 4
+
+
+def test_linear_chain_zero():
+    cfg = linear_chain(0)
+    assert cfg.num_edges == 1
+    assert cfg.edge("start", "end")
+
+
+def test_linear_chain_negative():
+    with pytest.raises(ValueError):
+        linear_chain(-1)

@@ -1,0 +1,30 @@
+"""Tests for DOT export."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.dot import cfg_to_dot, pst_to_dot
+from repro.core.pst import build_pst
+
+
+def test_cfg_dot_contains_nodes_and_edges():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end", "T"), ("a", "end", "F")])
+    dot = cfg_to_dot(cfg)
+    assert dot.startswith("digraph")
+    assert '"a"' in dot
+    assert '"a" -> "end" [label="T"];' in dot
+    assert dot.count('"a" -> "end"') == 2
+    assert "doublecircle" in dot  # start/end marked
+
+
+def test_cfg_dot_escapes_quotes():
+    cfg = cfg_from_edges([("start", 'we"ird'), ('we"ird', "end")])
+    dot = cfg_to_dot(cfg)
+    assert '\\"' in dot
+
+
+def test_pst_dot_mentions_every_region(paper_cfg):
+    pst = build_pst(paper_cfg)
+    dot = pst_to_dot(pst)
+    for region in pst.canonical_regions():
+        assert region.describe() in dot
+    # one tree edge per canonical region (each has exactly one parent)
+    assert dot.count(" -> ") == len(pst.canonical_regions())

@@ -1,0 +1,134 @@
+"""Unit tests for the CFG multigraph representation."""
+
+import pytest
+
+from repro.cfg.graph import CFG, Edge, InvalidCFGError
+
+
+def test_add_nodes_and_edges():
+    cfg = CFG(start="s", end="e")
+    edge = cfg.add_edge("s", "a")
+    cfg.add_edge("a", "e")
+    assert cfg.num_nodes == 3
+    assert cfg.num_edges == 2
+    assert edge.source == "s" and edge.target == "a"
+    assert cfg.successors("s") == ["a"]
+    assert cfg.predecessors("a") == ["s"]
+
+
+def test_start_end_added_at_construction():
+    cfg = CFG(start="s", end="e")
+    assert cfg.has_node("s") and cfg.has_node("e")
+    assert cfg.in_degree("s") == 0 and cfg.out_degree("e") == 0
+
+
+def test_parallel_edges_are_distinct_objects():
+    cfg = CFG(start="s", end="e")
+    e1 = cfg.add_edge("s", "e")
+    e2 = cfg.add_edge("s", "e")
+    assert e1 is not e2
+    assert e1 != e2
+    assert cfg.num_edges == 2
+    assert len(cfg.find_edges("s", "e")) == 2
+
+
+def test_self_loop():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a")
+    loop = cfg.add_edge("a", "a")
+    cfg.add_edge("a", "e")
+    assert loop.is_self_loop
+    assert cfg.in_degree("a") == 2
+    assert cfg.out_degree("a") == 2
+
+
+def test_edge_lookup_unique():
+    cfg = CFG(start="s", end="e")
+    edge = cfg.add_edge("s", "e")
+    assert cfg.edge("s", "e") is edge
+    cfg.add_edge("s", "e")
+    with pytest.raises(KeyError):
+        cfg.edge("s", "e")  # now ambiguous
+    with pytest.raises(KeyError):
+        cfg.edge("e", "s")  # absent
+
+
+def test_remove_edge_and_node():
+    cfg = CFG(start="s", end="e")
+    e1 = cfg.add_edge("s", "a")
+    cfg.add_edge("a", "a")
+    cfg.add_edge("a", "e")
+    cfg.remove_edge(e1)
+    assert cfg.num_edges == 2
+    cfg.remove_node("a")
+    assert cfg.num_edges == 0
+    assert not cfg.has_node("a")
+
+
+def test_copy_preserves_structure_and_order():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a", "T")
+    cfg.add_edge("s", "b", "F")
+    cfg.add_edge("a", "e")
+    cfg.add_edge("b", "e")
+    clone = cfg.copy()
+    assert clone.start == "s" and clone.end == "e"
+    assert [e.pair for e in clone.edges] == [e.pair for e in cfg.edges]
+    assert [e.label for e in clone.edges] == ["T", "F", None, None]
+    clone.add_edge("a", "b")
+    assert cfg.num_edges == 4  # original untouched
+
+
+def test_reversed_swaps_everything():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a")
+    cfg.add_edge("a", "e")
+    rev = cfg.reversed()
+    assert rev.start == "e" and rev.end == "s"
+    assert sorted(e.pair for e in rev.edges) == [("a", "s"), ("e", "a")]
+
+
+def test_edge_split_maps_every_edge():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a")
+    cfg.add_edge("a", "e")
+    split, mapping = cfg.edge_split()
+    assert len(mapping) == 2
+    assert split.num_edges == 4
+    for edge, mid in mapping.items():
+        assert split.find_edges(edge.source, mid)
+        assert split.find_edges(mid, edge.target)
+
+
+def test_with_return_edge():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "e")
+    aug, back = cfg.with_return_edge()
+    assert back.source == "e" and back.target == "s"
+    assert aug.num_edges == cfg.num_edges + 1
+    # positional correspondence used by cycle_equivalence_of_cfg
+    assert [e.pair for e in aug.edges[:-1]] == [e.pair for e in cfg.edges]
+
+
+def test_with_return_edge_requires_start_end():
+    cfg = CFG()
+    cfg.add_edge("a", "b")
+    with pytest.raises(InvalidCFGError):
+        cfg.with_return_edge()
+
+
+def test_edge_ordering_by_eid():
+    cfg = CFG(start="s", end="e")
+    e1 = cfg.add_edge("s", "e")
+    e2 = cfg.add_edge("s", "e")
+    assert e1 < e2
+    assert sorted([e2, e1]) == [e1, e2]
+
+
+def test_container_protocol():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "e")
+    assert "s" in cfg
+    assert "nope" not in cfg
+    assert set(iter(cfg)) == {"s", "e"}
+    assert len(cfg) == 2

@@ -1,0 +1,65 @@
+"""networkx interop round-trips, plus networkx as a dominance oracle."""
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from hypothesis import given, settings
+
+from repro.cfg.interop import from_networkx, to_networkx
+from repro.cfg.validate import is_valid_cfg
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.synth.patterns import diamond, irreducible_kernel, paper_like_example
+from tests.conftest import valid_cfgs
+
+
+def test_round_trip_preserves_structure():
+    cfg = paper_like_example()
+    back = from_networkx(to_networkx(cfg))
+    assert back.start == cfg.start and back.end == cfg.end
+    assert sorted(back.nodes, key=str) == sorted(cfg.nodes, key=str)
+    assert sorted(e.pair for e in back.edges) == sorted(e.pair for e in cfg.edges)
+    assert is_valid_cfg(back)
+
+
+def test_labels_survive():
+    cfg = diamond()
+    back = from_networkx(to_networkx(cfg))
+    assert sorted(e.label for e in back.find_edges("c", "t")) == ["T"]
+
+
+def test_parallel_edges_survive():
+    from repro.cfg.builder import cfg_from_edges
+
+    cfg = cfg_from_edges([("start", "a"), ("a", "end"), ("a", "end")])
+    back = from_networkx(to_networkx(cfg))
+    assert len(back.find_edges("a", "end")) == 2
+
+
+def test_explicit_start_end_override():
+    g = networkx.DiGraph()
+    g.add_edge("s", "e")
+    cfg = from_networkx(g, start="s", end="e")
+    assert is_valid_cfg(cfg)
+
+
+def _nx_idoms(cfg):
+    """networkx idoms normalized to our ``idom[root] == root`` convention."""
+    expected = dict(networkx.immediate_dominators(to_networkx(cfg), cfg.start))
+    expected[cfg.start] = cfg.start
+    return expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(valid_cfgs())
+def test_networkx_dominators_agree(cfg):
+    """networkx.immediate_dominators as a third dominance oracle."""
+    expected = _nx_idoms(cfg)
+    assert immediate_dominators(cfg) == expected
+    assert lengauer_tarjan(cfg) == expected
+
+
+def test_networkx_dominators_on_irreducible():
+    cfg = irreducible_kernel()
+    assert immediate_dominators(cfg) == _nx_idoms(cfg)

@@ -1,0 +1,98 @@
+"""Interval partitioning tests + derived-sequence reducibility oracle."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.intervals import (
+    derived_graph,
+    derived_sequence,
+    interval_partition,
+    is_reducible_by_intervals,
+)
+from repro.cfg.reducibility import is_reducible
+from repro.synth.patterns import (
+    diamond,
+    irreducible_kernel,
+    loop_while,
+    nested_loops,
+    repeat_until_nest,
+)
+from tests.conftest import valid_cfgs
+
+
+def test_linear_graph_single_interval():
+    cfg = cfg_from_edges([("start", "a"), ("a", "b"), ("b", "end")])
+    intervals = interval_partition(cfg)
+    assert len(intervals) == 1
+    assert intervals[0].header == "start"
+    assert set(intervals[0].nodes) == set(cfg.nodes)
+
+
+def test_diamond_single_interval():
+    intervals = interval_partition(diamond())
+    assert len(intervals) == 1
+
+
+def test_loop_creates_second_interval():
+    cfg = loop_while(1)
+    intervals = interval_partition(cfg)
+    headers = {interval.header for interval in intervals}
+    assert "h" in headers  # the loop header heads its own interval
+    assert len(intervals) >= 2
+
+
+def test_interval_order_preds_first():
+    cfg = diamond()
+    [interval] = interval_partition(cfg)
+    position = {node: i for i, node in enumerate(interval.nodes)}
+    for edge in cfg.edges:
+        if edge.target != interval.header:
+            assert position[edge.source] < position[edge.target]
+
+
+def test_derived_graph_of_loop():
+    cfg = loop_while(1)
+    intervals = interval_partition(cfg)
+    derived = derived_graph(cfg, intervals)
+    assert derived.num_nodes == len(intervals)
+    assert derived.start == "start"
+
+
+def test_derived_sequence_converges_to_one_node_when_reducible():
+    for cfg in (diamond(), loop_while(2), nested_loops(4), repeat_until_nest(5)):
+        sequence = derived_sequence(cfg)
+        assert sequence[-1].num_nodes == 1, cfg.name
+
+
+def test_irreducible_limit_is_bigger():
+    sequence = derived_sequence(irreducible_kernel())
+    assert sequence[-1].num_nodes > 1
+
+
+def test_intervals_partition_all_nodes():
+    cfg = nested_loops(3)
+    intervals = interval_partition(cfg)
+    seen = [node for interval in intervals for node in interval.nodes]
+    assert sorted(seen, key=str) == sorted(cfg.nodes, key=str)
+
+
+@settings(max_examples=120, deadline=None)
+@given(valid_cfgs())
+def test_matches_t1_t2_reducibility(cfg):
+    """The derived-sequence criterion equals the T1/T2 criterion."""
+    assert is_reducible_by_intervals(cfg) == is_reducible(cfg)
+
+
+@settings(max_examples=80, deadline=None)
+@given(valid_cfgs())
+def test_inter_interval_edges_enter_headers(cfg):
+    """The defining property: an edge entering an interval enters its header."""
+    intervals = interval_partition(cfg)
+    interval_of = {}
+    for interval in intervals:
+        for node in interval.nodes:
+            interval_of[node] = interval
+    for edge in cfg.edges:
+        src, dst = interval_of[edge.source], interval_of[edge.target]
+        if src is not dst:
+            assert edge.target == dst.header

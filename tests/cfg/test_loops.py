@@ -1,0 +1,104 @@
+"""Natural-loop and loop-forest tests."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.loops import loop_nest_forest, natural_loops
+from repro.synth.patterns import (
+    diamond,
+    irreducible_kernel,
+    loop_while,
+    nested_loops,
+    repeat_until_nest,
+)
+
+
+def test_acyclic_graph_has_no_loops():
+    assert natural_loops(diamond()) == []
+
+
+def test_while_loop_found():
+    cfg = loop_while(2)
+    [loop] = natural_loops(cfg)
+    assert loop.header == "h"
+    assert loop.body == {"h", "b0", "b1"}
+    assert loop.latches == ["b1"]
+
+
+def test_self_loop():
+    cfg = cfg_from_edges([("start", "a"), ("a", "a"), ("a", "end")])
+    [loop] = natural_loops(cfg)
+    assert loop.header == "a"
+    assert loop.body == {"a"}
+
+
+def test_shared_header_loops_merged():
+    cfg = cfg_from_edges(
+        [
+            ("start", "h"),
+            ("h", "a", "T"),
+            ("h", "b", "F"),
+            ("a", "h"),
+            ("b", "h"),
+            ("h", "x", "2"),
+            ("x", "end"),
+        ]
+    )
+    [loop] = natural_loops(cfg)
+    assert loop.body == {"h", "a", "b"}
+    assert sorted(loop.latches) == ["a", "b"]
+
+
+def test_nested_loops_forest():
+    cfg = nested_loops(3)
+    roots = loop_nest_forest(cfg)
+    assert len(roots) == 1
+    depth = 0
+    node = roots[0]
+    while node.children:
+        assert len(node.children) == 1
+        node = node.children[0]
+        depth += 1
+    assert depth == 2  # three loops, two nested below the root loop
+
+
+def test_repeat_until_nest_depths():
+    cfg = repeat_until_nest(4)
+    roots = loop_nest_forest(cfg)
+    assert len(roots) == 1
+    loops = natural_loops(cfg)
+    assert len(loops) == 4
+    assert max(l.depth for l in loop_nest_forest_all(cfg)) == 3
+
+
+def loop_nest_forest_all(cfg):
+    roots = loop_nest_forest(cfg)
+    out = []
+    stack = list(roots)
+    while stack:
+        loop = stack.pop()
+        out.append(loop)
+        stack.extend(loop.children)
+    return out
+
+
+def test_irreducible_cycle_has_no_natural_loop():
+    # in the two-entry loop neither a nor b dominates the other, so the
+    # cycle induces no natural loop at all
+    assert natural_loops(irreducible_kernel()) == []
+
+
+def test_loop_regions_contain_natural_loops():
+    """Every natural loop of these reducible graphs sits inside some PST
+    region classified as a loop."""
+    from repro.core.pst import build_pst
+    from repro.core.region_kinds import RegionKind, classify_pst
+
+    for cfg in (loop_while(3), nested_loops(3), repeat_until_nest(3)):
+        pst = build_pst(cfg)
+        kinds = classify_pst(pst)
+        loop_regions = [r for r, k in kinds.items() if k is RegionKind.LOOP]
+        for loop in natural_loops(cfg):
+            assert any(
+                loop.body <= set(region.nodes())
+                for region in loop_regions
+                if not region.is_root
+            ), loop

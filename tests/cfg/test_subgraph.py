@@ -1,0 +1,59 @@
+"""Tests for SESE region subgraph extraction."""
+
+import pytest
+
+from repro.cfg.graph import InvalidCFGError
+from repro.cfg.subgraph import REGION_END, REGION_START, region_subgraph
+from repro.cfg.validate import is_valid_cfg
+from repro.core.pst import build_pst
+from repro.synth.patterns import paper_like_example
+from repro.synth.structured import random_lowered_procedure
+
+
+def test_extract_diamond_arm(diamond_cfg):
+    entry = diamond_cfg.edge("c", "t")
+    exit_edge = diamond_cfg.edge("t", "j")
+    sub, edge_map = region_subgraph(diamond_cfg, entry, exit_edge, ["t"])
+    assert sub.start == REGION_START and sub.end == REGION_END
+    assert sub.num_nodes == 3
+    assert is_valid_cfg(sub)
+    assert edge_map[entry].source == REGION_START
+    assert edge_map[exit_edge].target == REGION_END
+
+
+def test_extract_loop_region(paper_cfg):
+    entry = paper_cfg.edge("e", "i")
+    exit_edge = paper_cfg.edge("j", "end")
+    sub, edge_map = region_subgraph(paper_cfg, entry, exit_edge, ["i", "j"])
+    assert is_valid_cfg(sub)
+    assert len(sub.find_edges("j", "i")) == 1  # the backedge survives
+    assert len(edge_map) == 4
+
+
+def test_rejects_wrong_interior(paper_cfg):
+    entry = paper_cfg.edge("e", "i")
+    exit_edge = paper_cfg.edge("j", "end")
+    with pytest.raises(InvalidCFGError):
+        region_subgraph(paper_cfg, entry, exit_edge, ["i"])  # j missing
+
+
+def test_rejects_escaping_edge(paper_cfg):
+    entry = paper_cfg.edge("a", "b")
+    exit_edge = paper_cfg.edge("d", "e")
+    # interior {b, d} is correct; now lie about it including h
+    with pytest.raises(InvalidCFGError):
+        region_subgraph(paper_cfg, entry, exit_edge, ["b", "d", "h"])
+
+
+def test_every_pst_region_extracts_cleanly():
+    proc = random_lowered_procedure(11, target_statements=40)
+    pst = build_pst(proc.cfg)
+    for region in pst.canonical_regions():
+        sub, edge_map = region_subgraph(
+            proc.cfg, region.entry, region.exit, region.nodes()
+        )
+        assert is_valid_cfg(sub)
+        assert sub.num_nodes == region.size() + 2
+        # every interior edge mapped
+        assert edge_map[region.entry].source == REGION_START
+        assert edge_map[region.exit].target == REGION_END

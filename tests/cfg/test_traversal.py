@@ -1,0 +1,104 @@
+"""Tests for deterministic traversals."""
+
+from hypothesis import given
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.traversal import (
+    dfs_edges,
+    dfs_numbering,
+    dfs_postorder,
+    dfs_preorder,
+    reachable_from,
+    reaches,
+    reverse_postorder,
+)
+from tests.conftest import valid_cfgs
+
+
+def sample_cfg():
+    return cfg_from_edges(
+        [
+            ("start", "a"),
+            ("a", "b", "T"),
+            ("a", "c", "F"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", "end"),
+        ]
+    )
+
+
+def test_preorder_starts_at_root():
+    order = dfs_preorder(sample_cfg())
+    assert order[0] == "start"
+    assert set(order) == {"start", "a", "b", "c", "d", "end"}
+
+
+def test_postorder_parent_after_children():
+    cfg = sample_cfg()
+    order = dfs_postorder(cfg)
+    assert order[-1] == "start"
+    assert set(order) == set(cfg.nodes)
+
+
+def test_reverse_postorder_is_topological_on_dags():
+    cfg = cfg_from_edges(
+        [("start", "a"), ("start", "b"), ("a", "c"), ("b", "c"), ("c", "end")]
+    )
+    order = reverse_postorder(cfg)
+    position = {node: i for i, node in enumerate(order)}
+    for edge in cfg.edges:
+        assert position[edge.source] < position[edge.target]
+
+
+def test_dfs_edges_visits_each_edge_once():
+    cfg = sample_cfg()
+    visited = dfs_edges(cfg)
+    assert len(visited) == cfg.num_edges
+    assert len(set(visited)) == cfg.num_edges
+
+
+def test_dfs_edges_deterministic():
+    cfg = sample_cfg()
+    assert dfs_edges(cfg) == dfs_edges(cfg)
+
+
+def test_dfs_edges_callback_order():
+    cfg = sample_cfg()
+    seen = []
+    dfs_edges(cfg, on_edge=seen.append)
+    assert seen == dfs_edges(cfg)
+
+
+def test_reachable_and_reaches():
+    cfg = sample_cfg()
+    assert reachable_from(cfg) == set(cfg.nodes)
+    assert reaches(cfg) == set(cfg.nodes)
+
+
+def test_reaches_partial():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")], validate=False)
+    cfg.add_edge("end", "sink")  # node beyond end (invalid CFG, fine here)
+    assert "sink" not in reaches(cfg)
+
+
+def test_dfs_numbering_is_preorder():
+    cfg = sample_cfg()
+    numbering = dfs_numbering(cfg)
+    order = dfs_preorder(cfg)
+    assert [numbering[n] for n in order] == list(range(len(order)))
+
+
+@given(valid_cfgs())
+def test_dfs_edge_source_discovered_before_edge(cfg):
+    """An edge is visited only after its source is discovered."""
+    discovered = {cfg.start}
+    for edge in dfs_edges(cfg):
+        assert edge.source in discovered
+        discovered.add(edge.target)
+
+
+@given(valid_cfgs())
+def test_preorder_covers_all_nodes(cfg):
+    assert set(dfs_preorder(cfg)) == set(cfg.nodes)

@@ -1,0 +1,73 @@
+"""Tests for Definition 1 validation."""
+
+import pytest
+
+from repro.cfg.graph import CFG, InvalidCFGError
+from repro.cfg.validate import check_cfg, is_valid_cfg, validate_cfg
+
+
+def valid():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a")
+    cfg.add_edge("a", "e")
+    return cfg
+
+
+def test_valid_graph_passes():
+    assert is_valid_cfg(valid())
+    assert check_cfg(valid()) == []
+    validate_cfg(valid())  # no raise
+
+
+def test_missing_start():
+    cfg = CFG()
+    cfg.end = cfg.add_node("e")
+    problems = check_cfg(cfg)
+    assert any("start" in p for p in problems)
+
+
+def test_missing_end():
+    cfg = CFG()
+    cfg.start = cfg.add_node("s")
+    problems = check_cfg(cfg)
+    assert any("end" in p for p in problems)
+
+
+def test_start_equals_end_rejected():
+    cfg = CFG()
+    node = cfg.add_node("x")
+    cfg.start = cfg.end = node
+    assert any("distinct" in p for p in check_cfg(cfg))
+
+
+def test_start_with_predecessor_rejected():
+    cfg = valid()
+    cfg.add_edge("a", "s")
+    assert any("predecessors" in p for p in check_cfg(cfg))
+
+
+def test_end_with_successor_rejected():
+    cfg = valid()
+    cfg.add_edge("e", "a")
+    assert any("successors" in p for p in check_cfg(cfg))
+
+
+def test_unreachable_node_rejected():
+    cfg = valid()
+    cfg.add_node("island")
+    cfg.add_edge("island", "e")
+    problems = check_cfg(cfg)
+    assert any("unreachable" in p for p in problems)
+
+
+def test_node_not_reaching_end_rejected():
+    cfg = valid()
+    cfg.add_edge("a", "trap")
+    cfg.add_edge("trap", "trap")
+    assert any("cannot reach end" in p for p in check_cfg(cfg))
+
+
+def test_validate_raises_with_name():
+    cfg = CFG(start="s", end="e", name="bad")
+    with pytest.raises(InvalidCFGError, match="bad"):
+        validate_cfg(cfg)

@@ -1,0 +1,58 @@
+"""Factored control-dependence representation tests."""
+
+from hypothesis import given, settings
+
+from repro.controldep.cdg import ControlDependenceGraph
+from repro.controldep.fow import control_dependence
+from repro.synth.patterns import diamond, paper_like_example
+from repro.synth.structured import random_lowered_procedure
+from tests.conftest import valid_cfgs
+
+
+def test_cd_sets_match_fow_diamond():
+    cfg = diamond()
+    cdg = ControlDependenceGraph(cfg)
+    full = control_dependence(cfg)
+    for node in cfg.nodes:
+        assert cdg.cd_set(node) == frozenset(full[node])
+
+
+def test_same_region_query():
+    cfg = diamond()
+    cdg = ControlDependenceGraph(cfg)
+    assert cdg.same_region("start", "end")
+    assert cdg.same_region("c", "j")
+    assert not cdg.same_region("t", "f")
+
+
+def test_dependent_regions_reverse_map():
+    cfg = diamond()
+    cdg = ControlDependenceGraph(cfg)
+    t_edge = cfg.edge("c", "t")
+    dependents = cdg.dependent_regions(("c", t_edge))
+    assert [sorted(g) for g in dependents] == [["t"]]
+
+
+def test_factorization_saves_space():
+    proc = random_lowered_procedure(7, target_statements=150)
+    cdg = ControlDependenceGraph(proc.cfg)
+    assert cdg.stored_pairs() < cdg.unfactored_pairs()
+    assert len(cdg.regions) < proc.cfg.num_nodes
+
+
+@settings(max_examples=80, deadline=None)
+@given(valid_cfgs())
+def test_cd_sets_match_fow_everywhere(cfg):
+    cdg = ControlDependenceGraph(cfg)
+    full = control_dependence(cfg)
+    for node in cfg.nodes:
+        assert cdg.cd_set(node) == frozenset(full[node])
+
+
+def test_paper_example_factorization():
+    cfg = paper_like_example()
+    cdg = ControlDependenceGraph(cfg)
+    # spine region depends only on the augmentation edge
+    spine_deps = cdg.cd_set("start")
+    assert len(spine_deps) == 1
+    assert cdg.same_region("start", "e")

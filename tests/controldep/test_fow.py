@@ -1,0 +1,77 @@
+"""Tests for FOW control dependence (Definition 8, augmented graph)."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.controldep.fow import (
+    RETURN_EDGE,
+    control_dependence,
+    dependents_of_edge,
+    dependents_of_return_edge,
+)
+from repro.dominance.tree import postdominator_tree
+from repro.synth.patterns import diamond, loop_while
+
+
+def test_diamond_dependences():
+    cfg = diamond()
+    cd = control_dependence(cfg)
+    t_edge = cfg.edge("c", "t")
+    f_edge = cfg.edge("c", "f")
+    assert cd["t"] == {("c", t_edge)}
+    assert cd["f"] == {("c", f_edge)}
+    assert ("c", f_edge) not in cd["t"]
+    assert ("c", f_edge) in cd["f"]
+
+
+def test_always_executed_depend_on_return_edge():
+    cfg = diamond()
+    cd = control_dependence(cfg)
+    for node in ("start", "c", "j", "end"):
+        assert ("end", RETURN_EDGE) in cd[node], node
+    for node in ("t", "f"):
+        assert ("end", RETURN_EDGE) not in cd[node], node
+
+
+def test_loop_header_self_dependence():
+    cfg = loop_while(1)
+    cd = control_dependence(cfg)
+    body_edge = cfg.edge("h", "b0")
+    assert ("h", body_edge) in cd["b0"]
+    assert ("h", body_edge) in cd["h"]  # the header re-executes iff taken
+
+
+def test_repeat_until_distinguishes_body_from_latch():
+    """The regression behind the Theorem 7 fix: an always-executed loop
+    body must NOT share its CD set with the conditional latch block."""
+    cfg = cfg_from_edges(
+        [
+            ("start", "body"),
+            ("body", "cond"),
+            ("cond", "latch", "F"),
+            ("latch", "body"),
+            ("cond", "exit", "T"),
+            ("exit", "end"),
+        ]
+    )
+    cd = control_dependence(cfg)
+    latch_edge = cfg.edge("cond", "latch")
+    assert ("cond", latch_edge) in cd["body"]
+    assert ("cond", latch_edge) in cd["latch"]
+    # ... but body is always executed, latch is not:
+    assert ("end", RETURN_EDGE) in cd["body"]
+    assert ("end", RETURN_EDGE) not in cd["latch"]
+    assert cd["body"] != cd["latch"]
+
+
+def test_dependents_of_edge_walk():
+    cfg = diamond()
+    pdtree = postdominator_tree(cfg)
+    t_edge = cfg.edge("c", "t")
+    assert dependents_of_edge(cfg, pdtree, t_edge) == ["t"]
+    spine = cfg.edge("start", "c")
+    assert dependents_of_edge(cfg, pdtree, spine) == []
+
+
+def test_dependents_of_return_edge_are_postdominators_of_start():
+    cfg = diamond()
+    pdtree = postdominator_tree(cfg)
+    assert set(dependents_of_return_edge(cfg, pdtree)) == {"start", "c", "j", "end"}

@@ -1,0 +1,103 @@
+"""Theorem 7/8 cross-checks: three control-region algorithms must agree."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import cfg_from_edges
+from repro.controldep.fow import control_regions_by_definition
+from repro.controldep.regions_cfs import control_regions_cfs
+from repro.controldep.regions_fast import (
+    control_regions,
+    node_cycle_equivalence,
+    node_expand,
+)
+from repro.synth.patterns import diamond, loop_while, paper_like_example
+from repro.synth.structured import random_lowered_procedure
+from tests.conftest import valid_cfgs
+
+
+def test_diamond_regions():
+    regions = control_regions(diamond())
+    assert ["c", "end", "j", "start"] in regions
+    assert ["t"] in regions
+    assert ["f"] in regions
+
+
+def test_paper_example_regions():
+    cfg = paper_like_example()
+    fast = control_regions(cfg)
+    assert fast == control_regions_by_definition(cfg)
+    assert fast == control_regions_cfs(cfg)
+    # spine nodes share a region; the two loop nodes i,j share one
+    assert ["a", "e", "end", "start"] in fast
+    assert ["i", "j"] in fast
+
+
+def test_loop_regions():
+    cfg = loop_while(2)
+    fast = control_regions(cfg)
+    assert fast == control_regions_by_definition(cfg)
+    # both body blocks execute under the same condition
+    assert ["b0", "b1"] in fast or ["b0", "b1", "h"] in fast
+
+
+def test_repeat_until_regression():
+    """The latch of a repeat-until must not join the always-executed body
+    (this is the case that requires CD on the *augmented* graph)."""
+    cfg = cfg_from_edges(
+        [
+            ("start", "body"),
+            ("body", "cond"),
+            ("cond", "latch", "F"),
+            ("latch", "body"),
+            ("cond", "exit", "T"),
+            ("exit", "end"),
+        ]
+    )
+    fast = control_regions(cfg)
+    assert fast == control_regions_by_definition(cfg)
+    assert fast == control_regions_cfs(cfg)
+    assert ["latch"] in fast
+    assert ["body", "cond"] in fast
+
+
+def test_node_expansion_shape():
+    cfg = diamond()
+    augmented, _ = cfg.with_return_edge()
+    expanded, representative = node_expand(augmented)
+    assert expanded.num_nodes == 2 * augmented.num_nodes
+    assert expanded.num_edges == augmented.num_nodes + augmented.num_edges
+    for node, edge in representative.items():
+        assert edge.pair == (("i", node), ("o", node))
+
+
+def test_node_cycle_equivalence_direct():
+    cfg = diamond()
+    augmented, _ = cfg.with_return_edge()
+    classes = node_cycle_equivalence(augmented, root=cfg.start)
+    assert classes["start"] == classes["c"] == classes["j"] == classes["end"]
+    assert classes["t"] != classes["f"]
+    assert classes["t"] != classes["start"]
+
+
+def test_self_loop_node():
+    cfg = cfg_from_edges([("start", "a"), ("a", "a"), ("a", "end")])
+    fast = control_regions(cfg)
+    assert fast == control_regions_by_definition(cfg)
+
+
+@settings(max_examples=120, deadline=None)
+@given(valid_cfgs())
+def test_theorem_7_and_8(cfg):
+    """Fast == FOW-by-definition == CFS90 refinement, on arbitrary CFGs."""
+    fast = control_regions(cfg)
+    by_def = control_regions_by_definition(cfg)
+    assert fast == by_def
+    assert control_regions_cfs(cfg) == by_def
+
+
+def test_lowered_procedures_agree():
+    for seed in range(10):
+        proc = random_lowered_procedure(seed, target_statements=40, goto_rate=0.3)
+        fast = control_regions(proc.cfg)
+        assert fast == control_regions_by_definition(proc.cfg), seed
+        assert fast == control_regions_cfs(proc.cfg), seed

@@ -1,0 +1,138 @@
+"""Unit and property tests for the BracketList ADT (§3.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bracketlist import Bracket, BracketList
+
+
+def test_empty_list():
+    bl = BracketList()
+    assert bl.size == 0
+    assert len(bl) == 0
+    assert bl.to_list() == []
+    with pytest.raises(IndexError):
+        bl.top()
+
+
+def test_push_top_lifo():
+    bl = BracketList()
+    a, b, c = Bracket("a"), Bracket("b"), Bracket("c")
+    bl.push(a)
+    assert bl.top() is a
+    bl.push(b)
+    bl.push(c)
+    assert bl.top() is c
+    assert bl.to_list() == [c, b, a]
+    assert bl.size == 3
+
+
+def test_double_push_rejected():
+    bl = BracketList()
+    a = Bracket("a")
+    bl.push(a)
+    with pytest.raises(ValueError):
+        bl.push(a)
+
+
+def test_delete_from_middle():
+    bl = BracketList()
+    brackets = [Bracket(i) for i in range(5)]
+    for b in brackets:
+        bl.push(b)
+    bl.delete(brackets[2])
+    assert bl.size == 4
+    assert brackets[2] not in bl.to_list()
+    assert bl.top() is brackets[4]
+
+
+def test_delete_top_and_bottom():
+    bl = BracketList()
+    a, b, c = Bracket("a"), Bracket("b"), Bracket("c")
+    for x in (a, b, c):
+        bl.push(x)
+    bl.delete(c)  # top
+    assert bl.top() is b
+    bl.delete(a)  # bottom
+    assert bl.to_list() == [b]
+
+
+def test_delete_not_present():
+    bl = BracketList()
+    with pytest.raises(ValueError):
+        bl.delete(Bracket("ghost"))
+
+
+def test_deleted_bracket_can_be_repushed():
+    bl = BracketList()
+    a = Bracket("a")
+    bl.push(a)
+    bl.delete(a)
+    bl.push(a)
+    assert bl.top() is a
+
+
+def test_concat_keeps_self_on_top():
+    upper, lower = BracketList(), BracketList()
+    a, b = Bracket("a"), Bracket("b")
+    upper.push(a)
+    lower.push(b)
+    upper.concat(lower)
+    assert upper.to_list() == [a, b]
+    assert upper.size == 2
+    assert lower.size == 0
+    assert lower.to_list() == []
+
+
+def test_concat_into_empty():
+    upper, lower = BracketList(), BracketList()
+    b = Bracket("b")
+    lower.push(b)
+    upper.concat(lower)
+    assert upper.top() is b
+
+
+def test_concat_empty_other():
+    upper = BracketList()
+    upper.push(Bracket("a"))
+    upper.concat(BracketList())
+    assert upper.size == 1
+
+
+def test_concat_self_rejected():
+    bl = BracketList()
+    with pytest.raises(ValueError):
+        bl.concat(bl)
+
+
+def test_delete_after_concat():
+    """Deletion must work on brackets that arrived via concat."""
+    upper, lower = BracketList(), BracketList()
+    a, b, c = Bracket("a"), Bracket("b"), Bracket("c")
+    upper.push(a)
+    lower.push(b)
+    lower.push(c)
+    upper.concat(lower)
+    upper.delete(b)
+    assert upper.to_list() == [a, c]
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "delete"]), st.integers(0, 9)), max_size=60))
+def test_model_based(operations):
+    """BracketList behaves like a Python list under push/delete/top/size."""
+    bl = BracketList()
+    model = []  # top at index 0
+    pool = {i: Bracket(i) for i in range(10)}
+    for op, i in operations:
+        bracket = pool[i]
+        if op == "push" and bracket.cell is None:
+            bl.push(bracket)
+            model.insert(0, bracket)
+        elif op == "delete" and bracket.cell is not None:
+            bl.delete(bracket)
+            model.remove(bracket)
+        assert bl.size == len(model)
+        assert bl.to_list() == model
+        if model:
+            assert bl.top() is model[0]

@@ -1,0 +1,147 @@
+"""Unit tests for the fast cycle-equivalence algorithm on known graphs."""
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.graph import CFG, InvalidCFGError
+from repro.core.cycle_equiv import (
+    cycle_equivalence,
+    cycle_equivalence_of_cfg,
+    cycle_equivalence_scc,
+)
+from repro.synth.patterns import (
+    diamond,
+    irreducible_kernel,
+    linear,
+    loop_while,
+    paper_like_example,
+    sequence_of_diamonds,
+)
+
+
+def classes_of(cfg):
+    equiv = cycle_equivalence_of_cfg(cfg)
+    return {
+        frozenset(e.pair for e in edges) for edges in equiv.classes().values()
+    }
+
+
+def test_linear_chain_single_class():
+    cfg = linear(3)
+    # All edges lie on the single start->end cycle of S.
+    assert classes_of(cfg) == {
+        frozenset({("start", "n0"), ("n0", "n1"), ("n1", "n2"), ("n2", "end")})
+    }
+
+
+def test_diamond_classes():
+    assert classes_of(diamond()) == {
+        frozenset({("start", "c"), ("j", "end")}),
+        frozenset({("c", "t"), ("t", "j")}),
+        frozenset({("c", "f"), ("f", "j")}),
+    }
+
+
+def test_while_loop_classes():
+    cfg = loop_while(1)
+    got = classes_of(cfg)
+    # The body arm (h -> b0 -> h) is its own cycle, hence its own class;
+    # the spine lies on every start-to-end cycle of S.
+    assert got == {
+        frozenset({("h", "b0"), ("b0", "h")}),
+        frozenset({("start", "h"), ("h", "x"), ("x", "end")}),
+    }
+
+
+def test_self_loop_is_singleton():
+    cfg = cfg_from_edges([("start", "a"), ("a", "a"), ("a", "end")])
+    equiv = cycle_equivalence_of_cfg(cfg)
+    loop_edge = [e for e in cfg.edges if e.is_self_loop][0]
+    cls = equiv.class_of[loop_edge]
+    same = [e for e in cfg.edges if equiv.class_of[e] == cls]
+    assert same == [loop_edge]
+
+
+def test_parallel_edges_not_equivalent_to_each_other():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end"), ("a", "end")])
+    equiv = cycle_equivalence_of_cfg(cfg)
+    par = cfg.find_edges("a", "end")
+    assert equiv.class_of[par[0]] != equiv.class_of[par[1]]
+
+
+def test_sequence_of_diamonds_shares_spine_class():
+    cfg = sequence_of_diamonds(3)
+    equiv = cycle_equivalence_of_cfg(cfg)
+    spine = [
+        cfg.edge("start", "c0"),
+        cfg.edge("j0", "c1"),
+        cfg.edge("j1", "c2"),
+        cfg.edge("j2", "end"),
+    ]
+    classes = {equiv.class_of[e] for e in spine}
+    assert len(classes) == 1
+
+
+def test_irreducible_graph_still_works():
+    equiv = cycle_equivalence_of_cfg(irreducible_kernel())
+    assert len(equiv) == irreducible_kernel().num_edges
+
+
+def test_paper_like_example_region_count():
+    cfg = paper_like_example()
+    equiv = cycle_equivalence_of_cfg(cfg)
+    # spine edges (always executed) are one class
+    spine = [cfg.edge("start", "a"), cfg.edge("e", "i"), cfg.edge("j", "end")]
+    assert len({equiv.class_of[e] for e in spine}) == 1
+
+
+def test_cycle_equivalence_returns_augmentation_edge():
+    cfg = diamond()
+    equiv, back = cycle_equivalence(cfg)
+    assert back.label == "$return$"
+    assert back in equiv.class_of
+    # the return edge is equivalent to the always-executed spine
+    aug_spine_class = equiv.class_of[back]
+    spine_pairs = {("start", "c"), ("j", "end")}
+    got = {e.pair for e in equiv.classes()[aug_spine_class]} - {("end", "start")}
+    assert got == spine_pairs
+
+
+def test_scc_rejects_disconnected():
+    graph = CFG()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "a")
+    graph.add_edge("c", "d")
+    graph.add_edge("d", "c")
+    with pytest.raises(InvalidCFGError, match="not connected"):
+        cycle_equivalence_scc(graph)
+
+
+def test_scc_rejects_bridges():
+    graph = CFG()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "a")
+    graph.add_edge("b", "c")  # bridge: c is a dead end
+    graph.add_edge("c", "c")
+    with pytest.raises(InvalidCFGError, match="bridge"):
+        cycle_equivalence_scc(graph)
+
+
+def test_invalid_cfg_rejected_by_default():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "a")  # a never reaches e
+    cfg.add_edge("s", "e")
+    cfg.add_edge("a", "a")
+    with pytest.raises(InvalidCFGError):
+        cycle_equivalence_of_cfg(cfg)
+
+
+def test_empty_graph():
+    assert len(cycle_equivalence_scc(CFG())) == 0
+
+
+def test_equivalent_helper():
+    cfg = diamond()
+    equiv = cycle_equivalence_of_cfg(cfg)
+    assert equiv.equivalent(cfg.edge("start", "c"), cfg.edge("j", "end"))
+    assert not equiv.equivalent(cfg.edge("c", "t"), cfg.edge("c", "f"))

@@ -1,0 +1,82 @@
+"""Property tests: the fast algorithm against two independent oracles.
+
+* brute force -- Definition 4 executed literally over all simple cycles
+  (small graphs);
+* the §3.3 slow algorithm -- full bracket-set comparison per Theorems 4/5
+  (larger graphs).
+
+Both comparisons are partition equality, which is exactly what "cycle
+equivalence classes" means.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.cycle_equiv import cycle_equivalence_scc
+from repro.core.cycle_equiv_slow import (
+    cycle_equivalence_bracket_sets,
+    cycle_equivalence_bruteforce,
+    enumerate_simple_cycles,
+    same_partition,
+)
+from tests.conftest import small_valid_cfgs, valid_cfgs
+
+
+def fast_partition(graph, root):
+    return {e: str(c) for e, c in cycle_equivalence_scc(graph, root=root).class_of.items()}
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_valid_cfgs())
+def test_fast_matches_bruteforce(cfg):
+    augmented, _ = cfg.with_return_edge()
+    fast = fast_partition(augmented, cfg.start)
+    brute = cycle_equivalence_bruteforce(augmented)
+    assert same_partition(fast, brute)
+
+
+@settings(max_examples=150, deadline=None)
+@given(valid_cfgs(max_interior=20, max_extra=18))
+def test_fast_matches_bracket_sets(cfg):
+    augmented, _ = cfg.with_return_edge()
+    fast = fast_partition(augmented, cfg.start)
+    slow = cycle_equivalence_bracket_sets(augmented)
+    assert same_partition(fast, slow)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_valid_cfgs())
+def test_oracles_agree_with_each_other(cfg):
+    augmented, _ = cfg.with_return_edge()
+    brute = cycle_equivalence_bruteforce(augmented)
+    slow = cycle_equivalence_bracket_sets(augmented)
+    assert same_partition(brute, slow)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_valid_cfgs())
+def test_root_choice_does_not_matter(cfg):
+    """Cycle equivalence is a property of the graph, not the DFS root."""
+    augmented, _ = cfg.with_return_edge()
+    a = fast_partition(augmented, cfg.start)
+    b = fast_partition(augmented, cfg.end)
+    assert same_partition(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_valid_cfgs())
+def test_every_edge_gets_a_class(cfg):
+    augmented, _ = cfg.with_return_edge()
+    equiv = cycle_equivalence_scc(augmented, root=cfg.start)
+    assert set(equiv.class_of) == set(augmented.edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_valid_cfgs())
+def test_brute_force_cycles_are_simple_and_closed(cfg):
+    augmented, _ = cfg.with_return_edge()
+    for cycle in enumerate_simple_cycles(augmented):
+        assert cycle[0].source == cycle[-1].target  # closed
+        for a, b in zip(cycle, cycle[1:]):
+            assert a.target == b.source  # connected
+        nodes = [e.source for e in cycle]
+        assert len(nodes) == len(set(nodes))  # node-simple

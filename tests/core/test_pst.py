@@ -1,0 +1,139 @@
+"""Unit tests for PST construction and queries."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.core.pst import REGION_ENTRY, REGION_EXIT, build_pst
+from repro.synth.patterns import (
+    diamond,
+    nested_loops,
+    paper_like_example,
+    sequence_of_diamonds,
+)
+
+
+def test_diamond_nesting():
+    pst = build_pst(diamond())
+    regions = {r.entry.pair: r for r in pst.canonical_regions()}
+    outer = regions[("start", "c")]
+    t_arm = regions[("c", "t")]
+    f_arm = regions[("c", "f")]
+    assert t_arm.parent is outer
+    assert f_arm.parent is outer
+    assert outer.parent is pst.root
+    assert outer.depth == 1 and t_arm.depth == 2
+
+
+def test_sequential_regions_are_siblings():
+    pst = build_pst(sequence_of_diamonds(3))
+    top = [r for r in pst.canonical_regions() if r.depth == 1]
+    # four spine regions at top level (3 diamonds chained by shared edges)
+    assert all(r.parent is pst.root for r in top)
+    assert len(top) >= 3
+
+
+def test_region_of_node_diamond():
+    pst = build_pst(diamond())
+    regions = {r.entry.pair: r for r in pst.canonical_regions()}
+    assert pst.region_of("t") is regions[("c", "t")]
+    assert pst.region_of("f") is regions[("c", "f")]
+    assert pst.region_of("c") is regions[("start", "c")]
+    assert pst.region_of("start") is pst.root
+    assert pst.region_of("end") is pst.root
+
+
+def test_contains_is_transitive():
+    pst = build_pst(diamond())
+    outer = pst.region_of("c")
+    assert pst.contains(outer, "t")
+    assert pst.contains(outer, "f")
+    assert pst.contains(pst.root, "t")
+    assert not pst.contains(pst.region_of("t"), "f")
+
+
+def test_region_nodes_and_size():
+    pst = build_pst(diamond())
+    outer = pst.region_of("c")
+    assert sorted(outer.nodes()) == ["c", "f", "j", "t"]
+    assert outer.size() == 4
+
+
+def test_nested_loops_depth():
+    pst = build_pst(nested_loops(4))
+    assert pst.max_depth() >= 4
+
+
+def test_edge_level_boundary_vs_interior():
+    cfg = diamond()
+    pst = build_pst(cfg)
+    outer = pst.region_of("c")
+    arm = pst.region_of("t")
+    # the arm's entry edge belongs to the outer region's level
+    assert pst.edge_level(cfg.edge("c", "t")) is outer
+    # the outer region's entry belongs to the root level
+    assert pst.edge_level(cfg.edge("start", "c")) is pst.root
+
+
+def test_collapsed_root_diamond():
+    cfg = diamond()
+    pst = build_pst(cfg)
+    sub, edge_map = pst.collapsed_cfg(pst.root)
+    # root sees: start, end, and the outer region as one summary node
+    assert sub.start == "start" and sub.end == "end"
+    summaries = [n for n in sub.nodes if isinstance(n, tuple)]
+    assert len(summaries) == 1
+    assert cfg.edge("start", "c") in edge_map
+
+
+def test_collapsed_canonical_region():
+    cfg = diamond()
+    pst = build_pst(cfg)
+    outer = pst.region_of("c")
+    sub, edge_map = pst.collapsed_cfg(outer)
+    assert sub.start == REGION_ENTRY and sub.end == REGION_EXIT
+    # c and j are own nodes; the two arms are summaries
+    summaries = [n for n in sub.nodes if isinstance(n, tuple)]
+    assert len(summaries) == 2
+    assert "c" in sub.nodes and "j" in sub.nodes
+    assert edge_map[outer.entry].source == REGION_ENTRY
+    assert edge_map[outer.exit].target == REGION_EXIT
+
+
+def test_collapsed_cfg_cached():
+    pst = build_pst(diamond())
+    a = pst.collapsed_cfg(pst.root)
+    b = pst.collapsed_cfg(pst.root)
+    assert a[0] is b[0]
+
+
+def test_regions_preorder_contains_root_first():
+    pst = build_pst(paper_like_example())
+    regions = pst.regions()
+    assert regions[0] is pst.root
+    assert len(regions) == len(pst.canonical_regions()) + 1
+
+
+def test_len_is_canonical_count():
+    pst = build_pst(paper_like_example())
+    assert len(pst) == len(pst.canonical_regions())
+
+
+def test_exit_as_non_tree_edge_still_nests_correctly():
+    """A region whose exit edge is a non-tree edge in the DFS.
+
+    DFS explores c->t->j->end first, so the f arm's exit f->j targets an
+    already-visited node; its region must still parent under the outer
+    region.
+    """
+    cfg = cfg_from_edges(
+        [
+            ("start", "c"),
+            ("c", "t", "T"),
+            ("t", "j"),
+            ("j", "end"),
+            ("c", "f", "F"),
+            ("f", "j"),
+        ]
+    )
+    pst = build_pst(cfg)
+    f_region = pst.region_of("f")
+    assert f_region.entry.pair == ("c", "f")
+    assert f_region.parent.entry.pair == ("start", "c")

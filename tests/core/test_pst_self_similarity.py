@@ -1,0 +1,52 @@
+"""Divide-and-conquer soundness: a region's PST contains its descendants.
+
+"Each SESE region is a control flow graph in its own right" (§6): when a
+canonical region is extracted as a standalone CFG, every region nested
+inside it must reappear as a canonical region of the extracted graph --
+this is what entitles every PST-based algorithm to recurse into regions
+independently.
+"""
+
+from hypothesis import given, settings
+
+from repro.cfg.subgraph import region_subgraph
+from repro.core.pst import build_pst
+from repro.synth.patterns import nested_loops, paper_like_example
+from repro.synth.structured import random_lowered_procedure
+from tests.conftest import valid_cfgs
+
+
+def assert_self_similar(cfg):
+    pst = build_pst(cfg)
+    for region in pst.canonical_regions():
+        descendants = region.descendants()
+        if not descendants:
+            continue
+        sub, edge_map = region_subgraph(cfg, region.entry, region.exit, region.nodes())
+        sub_pst = build_pst(sub)
+        sub_pairs = {
+            (r.entry, r.exit) for r in sub_pst.canonical_regions()
+        }
+        for inner in descendants:
+            mapped = (edge_map[inner.entry], edge_map[inner.exit])
+            assert mapped in sub_pairs, (region.describe(), inner.describe())
+
+
+def test_paper_example_self_similar():
+    assert_self_similar(paper_like_example())
+
+
+def test_nested_loops_self_similar():
+    assert_self_similar(nested_loops(5))
+
+
+def test_lowered_procedures_self_similar():
+    for seed in range(6):
+        proc = random_lowered_procedure(seed, target_statements=50, goto_rate=0.2)
+        assert_self_similar(proc.cfg)
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_cfgs())
+def test_random_graphs_self_similar(cfg):
+    assert_self_similar(cfg)

@@ -1,0 +1,95 @@
+"""Tests for canonical SESE region discovery against the definition."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import cfg_from_edges
+from repro.core.sese import canonical_sese_regions
+from repro.dominance.tree import dominator_tree, postdominator_tree
+from repro.synth.patterns import diamond, linear, loop_while, sequence_of_diamonds
+from tests.conftest import valid_cfgs
+
+
+def region_pairs(cfg):
+    return {
+        (r.entry.pair, r.exit.pair) for r in canonical_sese_regions(cfg)
+    }
+
+
+def test_linear_regions_are_adjacent_pairs():
+    cfg = linear(2)
+    assert region_pairs(cfg) == {
+        (("start", "n0"), ("n0", "n1")),
+        (("n0", "n1"), ("n1", "end")),
+    }
+
+
+def test_diamond_regions():
+    assert region_pairs(diamond()) == {
+        (("start", "c"), ("j", "end")),
+        (("c", "t"), ("t", "j")),
+        (("c", "f"), ("f", "j")),
+    }
+
+
+def test_loop_region():
+    cfg = loop_while(1)
+    pairs = region_pairs(cfg)
+    assert (("h", "b0"), ("b0", "h")) in pairs
+    assert (("start", "h"), ("h", "x")) in pairs
+    assert (("h", "x"), ("x", "end")) in pairs
+
+
+def test_sequential_composition_shares_edges():
+    cfg = sequence_of_diamonds(2)
+    pairs = region_pairs(cfg)
+    # diamond 0 exits where diamond 1 enters
+    assert (("start", "c0"), ("j0", "c1")) in pairs
+    assert (("j0", "c1"), ("j1", "end")) in pairs
+
+
+def test_region_ids_are_sequential():
+    regions = canonical_sese_regions(diamond())
+    assert [r.region_id for r in regions] == list(range(len(regions)))
+
+
+def test_entry_exit_unique_per_region():
+    cfg = sequence_of_diamonds(3)
+    regions = canonical_sese_regions(cfg)
+    entries = [r.entry for r in regions]
+    exits = [r.exit for r in regions]
+    assert len(entries) == len(set(entries))
+    assert len(exits) == len(set(exits))
+
+
+@settings(max_examples=120, deadline=None)
+@given(valid_cfgs())
+def test_regions_satisfy_the_definition(cfg):
+    """Definition 3: entry dominates exit, exit postdominates entry, and
+    the pair is cycle equivalent (guaranteed by construction; the first two
+    conditions are checked against the edge-split dominance oracle)."""
+    split, edge_map = cfg.edge_split()
+    dtree = dominator_tree(split)
+    pdtree = postdominator_tree(split)
+    for region in canonical_sese_regions(cfg):
+        a = edge_map[region.entry]
+        b = edge_map[region.exit]
+        assert dtree.dominates(a, b)
+        assert pdtree.dominates(b, a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(valid_cfgs())
+def test_canonicality(cfg):
+    """Definition 5: among same-class regions sharing an entry, the exit is
+    the dominance-closest; equivalently no two canonical regions share an
+    entry or an exit edge."""
+    regions = canonical_sese_regions(cfg)
+    entries = [r.entry for r in regions]
+    exits = [r.exit for r in regions]
+    assert len(entries) == len(set(entries))
+    assert len(exits) == len(set(exits))
+
+
+def test_trivial_graph_has_no_regions():
+    cfg = cfg_from_edges([("start", "end")])
+    assert canonical_sese_regions(cfg) == []

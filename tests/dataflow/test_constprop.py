@@ -1,0 +1,131 @@
+"""Constant propagation tests (incl. QPG sparsity for a non-gen/kill problem)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.constprop import (
+    NAC,
+    ConstantPropagation,
+    constant_value,
+    evaluate_expression,
+    state_dict,
+)
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.qpg import solve_qpg
+from repro.lang import astnodes as ast
+from repro.lang import lower_program, parse_program
+from repro.synth.structured import random_lowered_procedure
+
+
+def lower(source):
+    [proc] = lower_program(parse_program(source))
+    return proc
+
+
+def solve(source):
+    proc = lower(source)
+    return proc, solve_iterative(proc.cfg, ConstantPropagation(proc))
+
+
+def test_straightline_folding():
+    proc, solution = solve("proc f() { x = 2; y = x * 3 + 1; return y; }")
+    at_end = solution.before[proc.cfg.end]
+    assert constant_value(at_end, "x") == 2
+    assert constant_value(at_end, "y") == 7
+
+
+def test_branch_merge_same_constant():
+    proc, solution = solve(
+        "proc f(a) { if (a > 0) { x = 5; } else { x = 5; } return x; }"
+    )
+    assert constant_value(solution.before[proc.cfg.end], "x") == 5
+
+
+def test_branch_merge_different_constants_is_nac():
+    proc, solution = solve(
+        "proc f(a) { if (a > 0) { x = 1; } else { x = 2; } return x; }"
+    )
+    state = state_dict(solution.before[proc.cfg.end])
+    assert state["x"] is NAC
+
+
+def test_parameters_are_nac():
+    proc, solution = solve("proc f(a) { x = a + 1; return x; }")
+    state = state_dict(solution.before[proc.cfg.end])
+    assert state["a"] is NAC
+    assert state["x"] is NAC
+
+
+def test_loop_invariant_constant_survives():
+    proc, solution = solve(
+        "proc f(n) { c = 7; i = 0; while (i < n) { i = i + c; } return i; }"
+    )
+    at_end = solution.before[proc.cfg.end]
+    assert constant_value(at_end, "c") == 7
+    assert state_dict(at_end)["i"] is NAC  # loop-varying
+
+
+def test_loop_modified_constant_becomes_nac():
+    proc, solution = solve(
+        "proc f(n) { c = 1; while (c < n) { c = c * 2; } return c; }"
+    )
+    assert state_dict(solution.before[proc.cfg.end])["c"] is NAC
+
+
+def test_division_by_zero_folds_to_zero():
+    # MiniLang defines x/0 == 0 (see repro.interp); folding must agree.
+    proc, solution = solve("proc f() { z = 0; x = 5 / z; return x; }")
+    assert constant_value(solution.before[proc.cfg.end], "x") == 0
+
+
+def test_calls_are_opaque():
+    proc, solution = solve("proc f() { x = g(1); return x; }")
+    assert state_dict(solution.before[proc.cfg.end])["x"] is NAC
+
+
+def test_evaluate_expression_operators():
+    state = {"a": 6, "b": 2}
+    cases = [
+        ("+", 8), ("-", 4), ("*", 12), ("/", 3), ("%", 0),
+        ("<", 0), ("<=", 0), (">", 1), (">=", 1), ("==", 0), ("!=", 1),
+        ("&&", 1), ("||", 1),
+    ]
+    for op, expected in cases:
+        expr = ast.BinOp(op, ast.Var("a"), ast.Var("b"))
+        assert evaluate_expression(expr, state) == expected, op
+
+
+def test_evaluate_with_undef_operand_is_nac():
+    expr = ast.BinOp("+", ast.Var("ghost"), ast.Num(1))
+    assert evaluate_expression(expr, {}) is NAC
+
+
+def test_plain_int_text_without_expr():
+    from repro.cfg.builder import cfg_from_edges
+    from repro.ir import Assign, LoweredProcedure
+
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "41"))
+    solution = solve_iterative(cfg, ConstantPropagation(proc))
+    assert constant_value(solution.before["end"], "x") == 41
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 3000), st.sampled_from([20, 50]))
+def test_qpg_matches_iterative(seed, size):
+    """Constant propagation through the sparse QPG solver (§6.2 applies to
+    any problem with identity regions, not just bit-vector ones)."""
+    proc = random_lowered_procedure(seed, target_statements=size)
+    problem = ConstantPropagation(proc)
+    assert solve_qpg(proc.cfg, problem).solution == solve_iterative(proc.cfg, problem)
+
+
+def test_constants_actually_found_in_random_programs():
+    found = 0
+    for seed in range(10):
+        proc = random_lowered_procedure(seed, target_statements=40)
+        solution = solve_iterative(proc.cfg, ConstantPropagation(proc))
+        at_end = solution.before[proc.cfg.end]
+        found += sum(1 for _, v in at_end if isinstance(v, int))
+    assert found > 0

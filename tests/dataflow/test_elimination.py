@@ -1,0 +1,94 @@
+"""PST elimination solver vs the iterative baseline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import cfg_from_edges
+from repro.core.pst import build_pst
+from repro.dataflow.elimination import solve_elimination
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+    VariableReachingDefs,
+)
+from repro.ir import Assign, LoweredProcedure
+from repro.synth.patterns import irreducible_kernel, nested_loops, repeat_until_nest
+from repro.synth.structured import random_lowered_procedure
+
+
+def test_simple_diamond():
+    cfg = cfg_from_edges(
+        [("start", "c"), ("c", "t", "T"), ("c", "f", "F"), ("t", "j"), ("f", "j"), ("j", "end")]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t"].append(Assign("x", (), "1"))
+    proc.blocks["f"].append(Assign("x", (), "2"))
+    problem = ReachingDefinitions(proc)
+    assert solve_elimination(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_loop_summary_fixpoint():
+    cfg = nested_loops(3)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["body"].append(Assign("i", ("i",), "i+1"))
+    problem = ReachingDefinitions(proc)
+    assert solve_elimination(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_repeat_until_nest():
+    cfg = repeat_until_nest(6)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b3"].append(Assign("x", (), "1"))
+    proc.blocks["c2"].append(Assign("x", ("x",), "x+1"))
+    problem = ReachingDefinitions(proc)
+    assert solve_elimination(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_irreducible_region_falls_back_to_iteration():
+    cfg = irreducible_kernel()
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "1"))
+    proc.blocks["b"].append(Assign("x", (), "2"))
+    problem = ReachingDefinitions(proc)
+    assert solve_elimination(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_backward_problem():
+    cfg = nested_loops(2)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["body"].append(Assign("s", ("s",), "s+1"))
+    problem = LiveVariables(proc)
+    assert solve_elimination(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_must_problem():
+    cfg = cfg_from_edges(
+        [("start", "c"), ("c", "t", "T"), ("c", "f", "F"), ("t", "j"), ("f", "j"), ("j", "end")]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t"].append(Assign("u", ("a", "b"), "(a + b)"))
+    proc.blocks["f"].append(Assign("v", ("a", "b"), "(a + b)"))
+    proc.blocks["j"].append(Assign("w", ("a", "c"), "(a + c)"))
+    problem = AvailableExpressions(proc)
+    solution = solve_elimination(cfg, problem)
+    assert solution == solve_iterative(cfg, problem)
+    # (a + b) is computed on both arms -> available at j's entry
+    assert "(a + b)" in solution.before["j"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 5000), st.sampled_from([15, 45]), st.sampled_from([0.0, 0.25]))
+def test_matches_iterative_on_random_programs(seed, size, goto_rate):
+    proc = random_lowered_procedure(seed, target_statements=size, goto_rate=goto_rate)
+    pst = build_pst(proc.cfg)
+    for problem in (
+        ReachingDefinitions(proc),
+        LiveVariables(proc),
+        AvailableExpressions(proc),
+    ):
+        assert solve_elimination(proc.cfg, problem, pst) == solve_iterative(proc.cfg, problem)
+    for var in proc.variables()[:2]:
+        problem = VariableReachingDefs(proc, var)
+        assert solve_elimination(proc.cfg, problem, pst) == solve_iterative(proc.cfg, problem)

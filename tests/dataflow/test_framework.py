@@ -1,0 +1,70 @@
+"""Tests for the dataflow framework plumbing."""
+
+import pytest
+
+from repro.dataflow.framework import DataflowProblem, GenKillProblem, Solution
+
+
+class ToyGenKill(GenKillProblem):
+    def __init__(self, gen_map, kill_map, universe, union=True):
+        self._g, self._k, self._u = gen_map, kill_map, universe
+        self.meet_is_union = union
+
+    def universe(self):
+        return self._u
+
+    def gen(self, node):
+        return self._g.get(node, frozenset())
+
+    def kill(self, node):
+        return self._k.get(node, frozenset())
+
+
+def test_transfer_is_gen_union_minus_kill():
+    problem = ToyGenKill({"n": frozenset({1})}, {"n": frozenset({2})}, frozenset({1, 2, 3}))
+    assert problem.transfer("n", frozenset({2, 3})) == frozenset({1, 3})
+
+
+def test_identity_detection():
+    problem = ToyGenKill({"n": frozenset({1})}, {}, frozenset({1}))
+    assert not problem.is_identity("n")
+    assert problem.is_identity("other")
+
+
+def test_union_meet_and_top():
+    problem = ToyGenKill({}, {}, frozenset({1, 2}))
+    assert problem.top() == frozenset()
+    assert problem.meet(frozenset({1}), frozenset({2})) == frozenset({1, 2})
+
+
+def test_intersection_meet_and_top():
+    problem = ToyGenKill({}, {}, frozenset({1, 2}), union=False)
+    assert problem.top() == frozenset({1, 2})
+    assert problem.meet(frozenset({1}), frozenset({1, 2})) == frozenset({1})
+
+
+def test_boundary_is_empty_set():
+    problem = ToyGenKill({}, {}, frozenset({1}))
+    assert problem.boundary() == frozenset()
+
+
+def test_solution_equality():
+    a = Solution({"n": frozenset()}, {"n": frozenset({1})})
+    b = Solution({"n": frozenset()}, {"n": frozenset({1})})
+    c = Solution({"n": frozenset({9})}, {"n": frozenset({1})})
+    assert a == b
+    assert a != c
+    assert a != "not a solution"
+
+
+def test_abstract_problem_raises():
+    problem = DataflowProblem()
+    with pytest.raises(NotImplementedError):
+        problem.boundary()
+    with pytest.raises(NotImplementedError):
+        problem.top()
+    with pytest.raises(NotImplementedError):
+        problem.meet(None, None)
+    with pytest.raises(NotImplementedError):
+        problem.transfer("n", None)
+    assert problem.is_identity("n") is False

@@ -1,0 +1,83 @@
+"""Interval elimination vs the iterative baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import cfg_from_edges
+from repro.dataflow.interval_solver import solve_interval
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+    VariableReachingDefs,
+)
+from repro.ir import Assign, LoweredProcedure, Ret
+from repro.synth.patterns import irreducible_kernel, nested_loops, repeat_until_nest
+from repro.synth.structured import random_lowered_procedure
+
+
+def test_reaching_defs_through_loop():
+    cfg = cfg_from_edges(
+        [("start", "h"), ("h", "b", "T"), ("b", "h"), ("h", "x", "F"), ("x", "end")]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["start"].append(Assign("i", (), "0"))
+    proc.blocks["b"].append(Assign("i", ("i",), "i+1"))
+    problem = ReachingDefinitions(proc)
+    assert solve_interval(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_nested_loops_closure():
+    cfg = nested_loops(4)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["body"].append(Assign("x", ("x",), "x+1"))
+    proc.blocks["x"].append(Ret(("x",)))
+    problem = ReachingDefinitions(proc)
+    assert solve_interval(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_repeat_until_nest():
+    cfg = repeat_until_nest(6)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b0"].append(Assign("x", (), "1"))
+    proc.blocks["b5"].append(Assign("x", ("x",), "x+1"))
+    problem = ReachingDefinitions(proc)
+    assert solve_interval(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_irreducible_hybrid_fallback():
+    cfg = irreducible_kernel()
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "1"))
+    proc.blocks["b"].append(Assign("x", (), "2"))
+    problem = ReachingDefinitions(proc)
+    assert solve_interval(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_backward_liveness():
+    cfg = nested_loops(2)
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["body"].append(Assign("s", ("s", "i"), "s+i"))
+    proc.blocks["x"].append(Ret(("s",)))
+    problem = LiveVariables(proc)
+    assert solve_interval(cfg, problem) == solve_iterative(cfg, problem)
+
+
+def test_must_problems_rejected():
+    proc = random_lowered_procedure(1, target_statements=10)
+    with pytest.raises(ValueError, match="union-meet"):
+        solve_interval(proc.cfg, AvailableExpressions(proc))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 4000), st.sampled_from([15, 45]), st.sampled_from([0.0, 0.25]))
+def test_matches_iterative_on_random_programs(seed, size, goto_rate):
+    proc = random_lowered_procedure(seed, target_statements=size, goto_rate=goto_rate)
+    for make in (ReachingDefinitions, LiveVariables):
+        problem = make(proc)
+        assert solve_interval(proc.cfg, problem) == solve_iterative(proc.cfg, problem)
+    var = proc.variables()[0]
+    problem = VariableReachingDefs(proc, var)
+    assert solve_interval(proc.cfg, problem) == solve_iterative(proc.cfg, problem)

@@ -1,0 +1,96 @@
+"""Tests for the concrete dataflow problems' gen/kill construction."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+    VariableReachingDefs,
+)
+from repro.ir import Assign, Branch, LoweredProcedure
+
+
+def straightline_proc():
+    cfg = cfg_from_edges([("start", "a"), ("a", "b"), ("b", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "1"))
+    proc.blocks["a"].append(Assign("y", ("x",), "x"))
+    proc.blocks["b"].append(Assign("x", ("y",), "y"))
+    return proc
+
+
+def test_reaching_defs_gen_kill():
+    proc = straightline_proc()
+    problem = ReachingDefinitions(proc)
+    assert problem.gen("a") == {("x", "a", 0), ("y", "a", 1)}
+    assert problem.kill("a") == {("x", "b", 0)}
+    assert problem.gen("b") == {("x", "b", 0)}
+    assert problem.kill("b") == {("x", "a", 0)}
+    assert problem.is_identity("start")
+    assert not problem.is_identity("a")
+
+
+def test_reaching_defs_last_def_wins_within_block():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "1"))
+    proc.blocks["a"].append(Assign("x", (), "2"))
+    problem = ReachingDefinitions(proc)
+    assert problem.gen("a") == {("x", "a", 1)}
+    assert ("x", "a", 0) in problem.kill("a")
+
+
+def test_live_variables_gen_kill():
+    proc = straightline_proc()
+    problem = LiveVariables(proc)
+    # in block a: x is defined before its use -> not upward exposed
+    assert problem.gen("a") == frozenset()
+    assert problem.kill("a") == {"x", "y"}
+    assert problem.gen("b") == {"y"}
+    assert problem.kill("b") == {"x"}
+
+
+def test_live_variables_branch_uses_are_exposed():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end", "T"), ("a", "end", "F")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Branch(("c",), "c"))
+    problem = LiveVariables(proc)
+    assert problem.gen("a") == {"c"}
+
+
+def test_available_expressions_gen_and_kill():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("t", ("b", "c"), "(b + c)"))
+    proc.blocks["a"].append(Assign("b", (), "1"))
+    problem = AvailableExpressions(proc)
+    # (b + c) is computed but then b is redefined -> killed, not generated
+    assert "(b + c)" not in problem.gen("a")
+    assert "(b + c)" in problem.kill("a")
+    assert problem.meet_is_union is False
+    assert problem.top() == problem.universe()
+
+
+def test_available_expression_self_kill():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", ("x",), "(x + 1)"))
+    problem = AvailableExpressions(proc)
+    assert "(x + 1)" not in problem.gen("a")
+
+
+def test_variable_reaching_defs_identity_blocks():
+    proc = straightline_proc()
+    problem = VariableReachingDefs(proc, "y")
+    assert problem.is_identity("b")  # b touches x, not y
+    assert not problem.is_identity("a")
+    assert problem.gen("a") == {"a"}
+    assert problem.kill("a") == frozenset()  # only one def block of y
+
+
+def test_variable_reaching_defs_kill_other_sites():
+    proc = straightline_proc()
+    problem = VariableReachingDefs(proc, "x")
+    assert problem.gen("a") == {"a"}
+    assert problem.kill("a") == {"b"}
+    assert problem.universe() == {"a", "b"}

@@ -1,0 +1,102 @@
+"""Structure-based region processing vs the iterative baseline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pst import build_pst
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+)
+from repro.dataflow.structural import (
+    StructuralSolver,
+    apply_function,
+    compose,
+    identity_function,
+    meet_functions,
+    solve_structural,
+)
+from repro.lang import lower_program, parse_program
+from repro.synth.structured import random_lowered_procedure
+
+
+def test_compose_algebra():
+    universe = frozenset(range(6))
+    f1 = (frozenset({1}), frozenset({2, 3}))
+    f2 = (frozenset({4}), frozenset({1, 2}))
+    composed = compose(f2, f1)
+    for x in (frozenset(), frozenset({2}), frozenset({3, 5}), universe):
+        assert apply_function(composed, x) == apply_function(f2, apply_function(f1, x))
+
+
+def test_meet_union_algebra():
+    universe = frozenset(range(5))
+    f1 = (frozenset({1}), frozenset({2}))
+    f2 = (frozenset({3}), frozenset({2, 4}))
+    met = meet_functions([f1, f2], union_meet=True, universe=universe)
+    for x in (frozenset(), frozenset({2, 4}), universe):
+        assert apply_function(met, x) == apply_function(f1, x) | apply_function(f2, x)
+
+
+def test_meet_intersection_algebra():
+    universe = frozenset(range(5))
+    f1 = (frozenset({1}), frozenset({2}))
+    f2 = (frozenset({1, 2}), frozenset({4}))
+    met = meet_functions([f1, f2], union_meet=False, universe=universe)
+    for x in (frozenset(), frozenset({2, 4}), universe):
+        assert apply_function(met, x) == apply_function(f1, x) & apply_function(f2, x)
+
+
+def test_identity():
+    universe = frozenset(range(4))
+    ident = identity_function(universe)
+    assert apply_function(ident, frozenset({1, 2})) == frozenset({1, 2})
+
+
+def test_structured_source_uses_closed_forms():
+    source = """
+    proc f(a, b) {
+        x = a + b;
+        if (x > 0) { y = 1; } else { y = 2; x = x - 1; }
+        z = x + y;
+        if (z > 5) { z = 5; }
+        return z;
+    }
+    """
+    [proc] = lower_program(parse_program(source))
+    problem = ReachingDefinitions(proc)
+    solver = StructuralSolver(proc.cfg, problem)
+    solution = solver.solve()
+    assert solution == solve_iterative(proc.cfg, problem)
+    assert solver.closed_form_regions > 0
+    assert solver.iterative_regions == 0  # fully structured, acyclic
+
+
+def test_loops_fall_back_to_iteration():
+    source = "proc f(n) { i = 0; while (i < n) { i = i + 1; } return i; }"
+    [proc] = lower_program(parse_program(source))
+    problem = ReachingDefinitions(proc)
+    solver = StructuralSolver(proc.cfg, problem)
+    solution = solver.solve()
+    assert solution == solve_iterative(proc.cfg, problem)
+    assert solver.iterative_regions > 0  # the loop region
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 4000), st.sampled_from([15, 45]), st.sampled_from([0.0, 0.25]))
+def test_matches_iterative_on_random_programs(seed, size, goto_rate):
+    proc = random_lowered_procedure(seed, target_statements=size, goto_rate=goto_rate)
+    pst = build_pst(proc.cfg)
+    for make in (ReachingDefinitions, LiveVariables, AvailableExpressions):
+        problem = make(proc)
+        assert solve_structural(proc.cfg, problem, pst) == solve_iterative(proc.cfg, problem)
+
+
+def test_mostly_closed_form_on_structured_corpus():
+    proc = random_lowered_procedure(3, target_statements=150, goto_rate=0.0)
+    solver = StructuralSolver(proc.cfg, ReachingDefinitions(proc))
+    solver.solve()
+    total = solver.closed_form_regions + solver.iterative_regions
+    assert solver.closed_form_regions > total / 2

@@ -1,0 +1,70 @@
+"""Tests for the Cooper-Harvey-Kennedy iterative dominator algorithm."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import cfg_from_edges
+from repro.dominance.iterative import dominates, immediate_dominators
+from repro.synth.patterns import diamond, irreducible_kernel, loop_while
+from tests.conftest import valid_cfgs
+
+
+def test_linear():
+    cfg = cfg_from_edges([("start", "a"), ("a", "b"), ("b", "end")])
+    idom = immediate_dominators(cfg)
+    assert idom == {"start": "start", "a": "start", "b": "a", "end": "b"}
+
+
+def test_diamond():
+    idom = immediate_dominators(diamond())
+    assert idom["t"] == "c"
+    assert idom["f"] == "c"
+    assert idom["j"] == "c"
+    assert idom["end"] == "j"
+
+
+def test_loop():
+    idom = immediate_dominators(loop_while(2))
+    assert idom["b0"] == "h"
+    assert idom["b1"] == "b0"
+    assert idom["x"] == "h"
+
+
+def test_irreducible():
+    idom = immediate_dominators(irreducible_kernel())
+    # both a and b are reachable around each other; idom is the branch c
+    assert idom["a"] == "c"
+    assert idom["b"] == "c"
+
+
+def test_unreachable_nodes_omitted():
+    cfg = cfg_from_edges([("start", "end")], validate=False)
+    cfg.add_node("island")
+    idom = immediate_dominators(cfg)
+    assert "island" not in idom
+
+
+def test_dominates_helper():
+    cfg = diamond()
+    idom = immediate_dominators(cfg)
+    assert dominates(idom, "start", "end")
+    assert dominates(idom, "c", "t")
+    assert not dominates(idom, "t", "j")
+    assert dominates(idom, "j", "j")
+
+
+def test_multigraph_parallel_edges():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end"), ("a", "end")])
+    idom = immediate_dominators(cfg)
+    assert idom["end"] == "a"
+
+
+@settings(max_examples=120, deadline=None)
+@given(valid_cfgs())
+def test_idom_strictly_dominates(cfg):
+    """The idom of n dominates every predecessor-path: sanity via walking."""
+    idom = immediate_dominators(cfg)
+    for node in cfg.nodes:
+        assert node in idom  # valid CFGs: everything reachable
+        if node != cfg.start:
+            assert idom[node] != node
+            assert dominates(idom, idom[node], node)

@@ -1,0 +1,59 @@
+"""Lengauer-Tarjan vs the iterative algorithm: full agreement required."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import cfg_from_edges
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.synth.patterns import (
+    diamond,
+    irreducible_kernel,
+    nested_loops,
+    repeat_until_nest,
+)
+from repro.synth.unstructured import random_cfg
+from tests.conftest import valid_cfgs
+
+
+def test_diamond():
+    assert lengauer_tarjan(diamond()) == immediate_dominators(diamond())
+
+
+def test_irreducible():
+    cfg = irreducible_kernel()
+    assert lengauer_tarjan(cfg) == immediate_dominators(cfg)
+
+
+def test_deep_loop_nest():
+    cfg = nested_loops(6)
+    assert lengauer_tarjan(cfg) == immediate_dominators(cfg)
+
+
+def test_repeat_until_nest():
+    cfg = repeat_until_nest(8)
+    assert lengauer_tarjan(cfg) == immediate_dominators(cfg)
+
+
+def test_root_maps_to_itself():
+    cfg = diamond()
+    assert lengauer_tarjan(cfg)["start"] == "start"
+
+
+def test_large_random_graphs():
+    for seed in range(12):
+        cfg = random_cfg(seed, num_nodes=120, extra_edges=80)
+        assert lengauer_tarjan(cfg) == immediate_dominators(cfg), seed
+
+
+def test_deep_chain_no_recursion_error():
+    edges = [("start", "n0")] + [(f"n{i}", f"n{i+1}") for i in range(3000)]
+    edges.append(("n3000", "end"))
+    cfg = cfg_from_edges(edges)
+    idom = lengauer_tarjan(cfg)
+    assert idom["n3000"] == "n2999"
+
+
+@settings(max_examples=150, deadline=None)
+@given(valid_cfgs())
+def test_matches_iterative(cfg):
+    assert lengauer_tarjan(cfg) == immediate_dominators(cfg)

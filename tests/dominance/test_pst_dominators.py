@@ -1,0 +1,65 @@
+"""The §6.3 divide-and-conquer dominator computation vs whole-graph ones."""
+
+from hypothesis import given, settings
+
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.pst_dominators import pst_immediate_dominators
+from repro.core.pst import build_pst
+from repro.synth.patterns import (
+    diamond,
+    irreducible_kernel,
+    nested_loops,
+    paper_like_example,
+    repeat_until_nest,
+    sequence_of_diamonds,
+)
+from repro.synth.structured import random_lowered_procedure
+from tests.conftest import valid_cfgs
+
+
+def test_diamond():
+    cfg = diamond()
+    assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+
+
+def test_paper_example():
+    cfg = paper_like_example()
+    assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+
+
+def test_irreducible():
+    cfg = irreducible_kernel()
+    assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+
+
+def test_loop_nests():
+    for depth in (2, 5, 9):
+        cfg = nested_loops(depth)
+        assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+        cfg = repeat_until_nest(depth)
+        assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+
+
+def test_sequence():
+    cfg = sequence_of_diamonds(5)
+    assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)
+
+
+def test_accepts_prebuilt_pst():
+    cfg = diamond()
+    pst = build_pst(cfg)
+    assert pst_immediate_dominators(cfg, pst) == immediate_dominators(cfg)
+
+
+def test_lowered_procedures():
+    for seed in range(6):
+        proc = random_lowered_procedure(seed, target_statements=50, goto_rate=0.2)
+        got = pst_immediate_dominators(proc.cfg)
+        assert got == lengauer_tarjan(proc.cfg), seed
+
+
+@settings(max_examples=120, deadline=None)
+@given(valid_cfgs())
+def test_matches_global_algorithms(cfg):
+    assert pst_immediate_dominators(cfg) == immediate_dominators(cfg)

@@ -1,0 +1,78 @@
+"""Tests for the DominatorTree structure and O(1) queries."""
+
+from hypothesis import given, settings
+
+from repro.dominance.iterative import dominates as walk_dominates
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.tree import dominator_tree, postdominator_tree
+from repro.synth.patterns import diamond, loop_while, paper_like_example
+from tests.conftest import valid_cfgs
+
+
+def test_basic_queries():
+    tree = dominator_tree(diamond())
+    assert tree.root == "start"
+    assert tree.parent("c") == "start"
+    assert tree.parent("start") is None
+    assert set(tree.children("c")) == {"t", "f", "j"}
+    assert tree.dominates("start", "end")
+    assert tree.dominates("c", "j")
+    assert not tree.dominates("t", "j")
+    assert tree.dominates("t", "t")
+    assert not tree.strictly_dominates("t", "t")
+
+
+def test_depths():
+    tree = dominator_tree(diamond())
+    assert tree.depth("start") == 0
+    assert tree.depth("c") == 1
+    assert tree.depth("t") == 2
+
+
+def test_preorder_parents_first():
+    tree = dominator_tree(paper_like_example())
+    seen = set()
+    for node in tree.preorder():
+        parent = tree.parent(node)
+        assert parent is None or parent in seen
+        seen.add(node)
+    assert len(seen) == len(tree)
+
+
+def test_postdominator_tree_is_reverse():
+    cfg = loop_while(1)
+    pdtree = postdominator_tree(cfg)
+    assert pdtree.root == "end"
+    assert pdtree.dominates("x", "h")  # x postdominates the header
+    assert pdtree.dominates("h", "b0")
+
+
+def test_lt_variant_matches():
+    cfg = paper_like_example()
+    a = dominator_tree(cfg, algorithm="iterative")
+    b = dominator_tree(cfg, algorithm="lt")
+    assert a.idom == b.idom
+
+
+def test_unknown_algorithm_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        dominator_tree(diamond(), algorithm="magic")
+
+
+def test_contains_protocol():
+    tree = dominator_tree(diamond())
+    assert "c" in tree
+    assert "ghost" not in tree
+
+
+@settings(max_examples=100, deadline=None)
+@given(valid_cfgs())
+def test_interval_queries_match_walking(cfg):
+    idom = immediate_dominators(cfg)
+    tree = dominator_tree(cfg)
+    nodes = cfg.nodes
+    for a in nodes[:6]:
+        for b in nodes[:6]:
+            assert tree.dominates(a, b) == walk_dominates(idom, a, b)

@@ -1,0 +1,55 @@
+"""Robustness fuzzing: the front end fails only with its own error types."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.graph import InvalidCFGError
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.lower import lower_procedure
+from repro.lang.parser import ParseError, parse_program
+
+# Fragments that tend to produce *almost*-valid programs, stressing the
+# parser deeper than uniformly random characters would.
+_FRAGMENTS = st.sampled_from(
+    [
+        "proc", "f", "(", ")", "{", "}", ";", "=", "x", "1", "if", "else",
+        "while", "repeat", "until", "for", "to", "switch", "case", "default",
+        "break", "continue", "goto", "return", "L:", "+", "-", "*", "<", "==",
+        "&&", "x = 1;", "if (x) { }", "while (x) { }", "goto L;",
+    ]
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80))
+def test_lexer_total_on_printable_ascii(text):
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(_FRAGMENTS, max_size=30))
+def test_parser_raises_only_its_own_errors(fragments):
+    source = " ".join(fragments)
+    try:
+        parse_program(source)
+    except (LexError, ParseError):
+        pass  # rejected with a diagnostic: fine
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_FRAGMENTS, max_size=30))
+def test_lowering_raises_only_its_own_errors(fragments):
+    source = "proc fuzz() { " + " ".join(fragments) + " }"
+    try:
+        program = parse_program(source)
+    except (LexError, ParseError):
+        return
+    for procedure in program.procedures:
+        try:
+            lower_procedure(procedure)
+        except InvalidCFGError:
+            pass  # break outside loop, undefined label, infinite loop: fine

@@ -1,0 +1,73 @@
+"""MiniLang lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    assert kinds_values("while whiles") == [("kw", "while"), ("ident", "whiles")]
+
+
+def test_numbers():
+    assert kinds_values("0 42 007") == [("num", "0"), ("num", "42"), ("num", "007")]
+
+
+def test_two_char_operators():
+    assert kinds_values("== != <= >= && ||") == [
+        ("op", "=="),
+        ("op", "!="),
+        ("op", "<="),
+        ("op", ">="),
+        ("op", "&&"),
+        ("op", "||"),
+    ]
+
+
+def test_two_char_not_split():
+    assert kinds_values("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+
+
+def test_single_char_operators():
+    assert kinds_values("(){};:,") == [
+        ("op", "("),
+        ("op", ")"),
+        ("op", "{"),
+        ("op", "}"),
+        ("op", ";"),
+        ("op", ":"),
+        ("op", ","),
+    ]
+
+
+def test_comments_ignored():
+    assert kinds_values("x # comment until eol\ny") == [("ident", "x"), ("ident", "y")]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].col) == (1, 1)
+    assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == "eof"
+    assert tokenize("x")[-1].kind == "eof"
+
+
+def test_underscore_identifiers():
+    assert kinds_values("_x x_1") == [("ident", "_x"), ("ident", "x_1")]
+
+
+def test_lex_error_with_position():
+    with pytest.raises(LexError, match="line 2"):
+        tokenize("ok\n@")
+
+
+def test_token_str():
+    token = tokenize("x")[0]
+    assert "x" in str(token)

@@ -1,0 +1,148 @@
+"""MiniLang parser tests."""
+
+import pytest
+
+from repro.lang import astnodes as ast
+from repro.lang.parser import ParseError, parse_procedure, parse_program
+
+
+def test_empty_procedure():
+    proc = parse_procedure("proc f() {}")
+    assert proc.name == "f"
+    assert proc.params == []
+    assert proc.body.statements == []
+
+
+def test_params():
+    proc = parse_procedure("proc f(a, b, c) {}")
+    assert proc.params == ["a", "b", "c"]
+
+
+def test_assignment_and_precedence():
+    proc = parse_procedure("proc f() { x = 1 + 2 * 3; }")
+    [stmt] = proc.body.statements
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.value.op == "+"
+    assert stmt.value.right.op == "*"
+
+
+def test_parentheses_override_precedence():
+    proc = parse_procedure("proc f() { x = (1 + 2) * 3; }")
+    [stmt] = proc.body.statements
+    assert stmt.value.op == "*"
+    assert stmt.value.left.op == "+"
+
+
+def test_comparison_and_logical_ops():
+    proc = parse_procedure("proc f() { x = a < b && c == d || e; }")
+    [stmt] = proc.body.statements
+    assert stmt.value.op == "||"
+    assert stmt.value.left.op == "&&"
+
+
+def test_unary_desugar():
+    proc = parse_procedure("proc f() { x = -y; z = !y; }")
+    neg, bang = proc.body.statements
+    assert neg.value.op == "-" and isinstance(neg.value.left, ast.Num)
+    assert bang.value.op == "=="
+
+
+def test_if_else_chain():
+    proc = parse_procedure(
+        "proc f() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }"
+    )
+    [stmt] = proc.body.statements
+    assert isinstance(stmt, ast.If)
+    [inner] = stmt.els.statements
+    assert isinstance(inner, ast.If)
+    assert inner.els is not None
+
+
+def test_while_repeat_for():
+    proc = parse_procedure(
+        """
+        proc f() {
+            while (x < 3) { x = x + 1; }
+            repeat { x = x - 1; } until (x == 0);
+            for (i = 0 to 9) { x = x + i; }
+        }
+        """
+    )
+    w, r, f = proc.body.statements
+    assert isinstance(w, ast.While)
+    assert isinstance(r, ast.Repeat)
+    assert isinstance(f, ast.For) and f.var == "i"
+
+
+def test_switch():
+    proc = parse_procedure(
+        """
+        proc f() {
+            switch (x) {
+                case 1: { y = 1; }
+                case 2: { y = 2; }
+                default: { y = 0; }
+            }
+        }
+        """
+    )
+    [stmt] = proc.body.statements
+    assert isinstance(stmt, ast.Switch)
+    assert [value for value, _ in stmt.cases] == [1, 2]
+    assert stmt.default is not None
+
+
+def test_goto_label_break_continue_return():
+    proc = parse_procedure(
+        """
+        proc f() {
+            L:
+            while (1) { break; continue; }
+            goto L;
+            return x;
+        }
+        """
+    )
+    label, loop, goto, ret = proc.body.statements
+    assert isinstance(label, ast.Label) and label.name == "L"
+    assert isinstance(goto, ast.Goto) and goto.label == "L"
+    assert isinstance(ret, ast.Return)
+    assert isinstance(loop.body.statements[0], ast.Break)
+    assert isinstance(loop.body.statements[1], ast.Continue)
+
+
+def test_bare_return():
+    proc = parse_procedure("proc f() { return; }")
+    [ret] = proc.body.statements
+    assert ret.value is None
+
+
+def test_call_expression():
+    proc = parse_procedure("proc f() { x = g(a, b + 1); }")
+    [stmt] = proc.body.statements
+    assert isinstance(stmt.value, ast.Call)
+    assert stmt.value.name == "g"
+    assert len(stmt.value.args) == 2
+    assert stmt.value.variables() == {"a", "b"}
+
+
+def test_multiple_procedures():
+    program = parse_program("proc a() {} proc b() {}")
+    assert [p.name for p in program.procedures] == ["a", "b"]
+
+
+def test_parse_procedure_rejects_multiple():
+    with pytest.raises(ParseError):
+        parse_procedure("proc a() {} proc b() {}")
+
+
+def test_error_messages_have_location():
+    with pytest.raises(ParseError, match="line 1"):
+        parse_procedure("proc f() { x = ; }")
+    with pytest.raises(ParseError, match="expected"):
+        parse_procedure("proc f() { if x { } }")
+
+
+def test_unexpected_statement_token():
+    with pytest.raises(ParseError):
+        parse_procedure("proc f() { 42; }")

@@ -1,0 +1,64 @@
+"""Pretty-printer round-trip tests."""
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.synth.structured import random_procedure_ast
+from repro.lang.astnodes import Program
+
+
+SOURCE = """
+proc demo(a, b) {
+    x = 0;
+    L0:
+    while ((x < 10)) {
+        if ((a > b)) {
+            x = (x + 1);
+        } else {
+            x = (x - 1);
+        }
+        if ((x == 5)) {
+            break;
+        }
+        continue;
+    }
+    switch (x) {
+    case 1: {
+        y = 1;
+    }
+    default: {
+        goto L0;
+    }
+    }
+    repeat {
+        y = (y - 1);
+    } until ((y <= 0));
+    for (i = 0 to 9) {
+        y = (y + i);
+    }
+    return y;
+}
+"""
+
+
+def normalize(program):
+    return pretty_program(program)
+
+
+def test_round_trip_fixed_source():
+    once = normalize(parse_program(SOURCE))
+    twice = normalize(parse_program(once))
+    assert once == twice
+
+
+def test_round_trip_random_programs():
+    for seed in range(15):
+        ast = random_procedure_ast(seed, target_statements=40, goto_rate=0.2)
+        once = pretty_program(Program([ast]))
+        reparsed = parse_program(once)
+        assert pretty_program(reparsed) == once, seed
+
+
+def test_output_is_indented():
+    text = normalize(parse_program(SOURCE))
+    assert "    x = 0;" in text
+    assert "proc demo(a, b) {" in text

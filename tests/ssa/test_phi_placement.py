@@ -1,0 +1,87 @@
+"""Tests for classic Cytron φ-placement."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.ir import Assign, LoweredProcedure
+from repro.ssa.phi_placement import phi_blocks_cytron, place_phis_cytron
+
+
+def proc_with(defs):
+    """A diamond procedure with the given {block: [vars]} definitions."""
+    cfg = cfg_from_edges(
+        [
+            ("start", "c"),
+            ("c", "t", "T"),
+            ("c", "f", "F"),
+            ("t", "j"),
+            ("f", "j"),
+            ("j", "end"),
+        ]
+    )
+    proc = LoweredProcedure("p", cfg)
+    for block, variables in defs.items():
+        for var in variables:
+            proc.blocks[block].append(Assign(var, (), "1"))
+    return proc
+
+
+def test_two_arm_defs_need_phi_at_join():
+    proc = proc_with({"t": ["x"], "f": ["x"]})
+    assert phi_blocks_cytron(proc)["x"] == {"j"}
+
+
+def test_single_arm_def_still_needs_phi():
+    # the implicit entry definition flows around the other arm
+    proc = proc_with({"t": ["x"]})
+    assert phi_blocks_cytron(proc)["x"] == {"j"}
+
+
+def test_def_above_branch_needs_no_phi():
+    proc = proc_with({"c": ["x"]})
+    assert phi_blocks_cytron(proc)["x"] == set()
+
+
+def test_loop_variable_gets_phi_at_header():
+    cfg = cfg_from_edges(
+        [
+            ("start", "h"),
+            ("h", "b", "T"),
+            ("b", "h"),
+            ("h", "x", "F"),
+            ("x", "end"),
+        ]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b"].append(Assign("i", ("i",), "i + 1"))
+    assert phi_blocks_cytron(proc)["i"] == {"h"}
+
+
+def test_variable_filter():
+    proc = proc_with({"t": ["x", "y"]})
+    only_x = phi_blocks_cytron(proc, ["x"])
+    assert set(only_x) == {"x"}
+
+
+def test_place_phis_by_block():
+    proc = proc_with({"t": ["x", "y"], "f": ["x"]})
+    by_block = place_phis_cytron(proc)
+    assert by_block == {"j": ["x", "y"]}
+
+
+def test_iterated_placement_cascades():
+    cfg = cfg_from_edges(
+        [
+            ("start", "a"),
+            ("a", "b", "T"),
+            ("a", "c", "F"),
+            ("b", "m1"),
+            ("c", "m1", "T"),
+            ("c", "m2", "F"),
+            ("m1", "m2"),
+            ("m2", "end"),
+        ]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b"].append(Assign("x", (), "1"))
+    # φ at m1 is itself a definition; m1 does not dominate m2 (c bypasses
+    # it), so the φ cascades to m2.
+    assert phi_blocks_cytron(proc)["x"] == {"m1", "m2"}

@@ -1,0 +1,119 @@
+"""Theorem 9 tests: PST φ-placement equals Cytron, and it is sparse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pst import build_pst
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import place_phis_pst
+from repro.synth.patterns import repeat_until_nest
+from repro.synth.structured import random_lowered_procedure
+from repro.ir import Assign, LoweredProcedure
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([10, 30, 60]), st.sampled_from([0.0, 0.2]))
+def test_matches_cytron_on_random_procedures(seed, size, goto_rate):
+    proc = random_lowered_procedure(seed, target_statements=size, goto_rate=goto_rate)
+    classic = phi_blocks_cytron(proc)
+    result = place_phis_pst(proc)
+    assert result.phi_blocks == classic
+
+
+def test_sparsity_statistics_bounds():
+    proc = random_lowered_procedure(5, target_statements=120)
+    result = place_phis_pst(proc)
+    assert result.total_regions == len(build_pst(proc.cfg).canonical_regions()) + 1
+    for var in proc.variables():
+        fraction = result.examined_fraction(var)
+        assert 0 < fraction <= 1.0
+        assert result.regions_examined[var] >= 1  # root always marked
+
+
+def test_local_variable_examines_few_regions():
+    """A variable defined in one tiny region should not examine most of
+    the PST."""
+    proc = random_lowered_procedure(9, target_statements=200)
+    pst = build_pst(proc.cfg)
+    # pick a variable with a single defining block, deep in the tree
+    best_var, best_depth = None, -1
+    for var in proc.variables():
+        defs = proc.defs_of(var)
+        if len(defs) == 1:
+            depth = pst.region_of(defs[0]).depth
+            if depth > best_depth:
+                best_var, best_depth = var, depth
+    if best_var is None:
+        pytest.skip("generator produced no single-def variable")
+    result = place_phis_pst(proc, pst, [best_var])
+    assert result.regions_examined[best_var] <= best_depth + 1
+
+
+def test_repeat_until_nest_avoids_global_frontiers():
+    """Theorem 9 on the Θ(N²) pattern: per-region work stays linear.
+
+    Each marked region of the repeat-until nest has O(1) collapsed size, so
+    regions_examined * O(1) is the whole cost for one variable.
+    """
+    depth = 10
+    cfg = repeat_until_nest(depth)
+    proc = LoweredProcedure("nest", cfg)
+    proc.blocks["b0"].append(Assign("x", (), "1"))
+    result = place_phis_pst(proc)
+    classic = phi_blocks_cytron(proc)
+    assert result.phi_blocks["x"] == classic["x"]
+    pst = build_pst(cfg)
+    for region in pst.regions():
+        sub, _ = pst.collapsed_cfg(region)
+        assert sub.num_nodes <= 8  # every collapsed region stays tiny
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([10, 30, 60]), st.sampled_from([0.0, 0.25]))
+def test_specialized_kinds_match_cytron(seed, size, goto_rate):
+    """§6.1 algorithm specialization: closed-form case/loop φ rules agree."""
+    proc = random_lowered_procedure(seed, target_statements=size, goto_rate=goto_rate)
+    classic = phi_blocks_cytron(proc)
+    result = place_phis_pst(proc, specialize_kinds=True)
+    assert result.phi_blocks == classic
+
+
+def test_specialization_actually_fires():
+    proc = random_lowered_procedure(4, target_statements=120)
+    result = place_phis_pst(proc, specialize_kinds=True)
+    assert result.specialized_placements > 0
+    baseline = place_phis_pst(proc, specialize_kinds=False)
+    assert baseline.specialized_placements == 0
+    assert baseline.phi_blocks == result.phi_blocks
+
+
+def test_specialized_loop_rule_no_spurious_phi():
+    """A def above a loop that flows through unchanged must not get a φ."""
+    from repro.cfg.builder import cfg_from_edges
+    from repro.ir import Assign, LoweredProcedure
+
+    cfg = cfg_from_edges(
+        [
+            ("start", "p"),
+            ("p", "h"),
+            ("h", "b", "T"),
+            ("b", "h"),
+            ("h", "x", "F"),
+            ("x", "end"),
+        ]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["p"].append(Assign("v", (), "1"))
+    proc.blocks["b"].append(Assign("other", (), "2"))
+    result = place_phis_pst(proc, specialize_kinds=True)
+    assert result.phi_blocks["v"] == phi_blocks_cytron(proc)["v"] == set()
+    assert result.phi_blocks["other"] == phi_blocks_cytron(proc)["other"]
+
+
+def test_accepts_prebuilt_pst_and_variable_subset():
+    proc = random_lowered_procedure(3, target_statements=40)
+    pst = build_pst(proc.cfg)
+    variables = proc.variables()[:2]
+    result = place_phis_pst(proc, pst, variables)
+    assert set(result.phi_blocks) == set(variables)

@@ -1,0 +1,111 @@
+"""Tests for SSA renaming."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.ir import Assign, LoweredProcedure, Phi
+from repro.lang import lower_program, parse_program
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import phi_blocks_pst
+from repro.ssa.rename import construct_ssa
+from repro.ssa.verify import verify_ssa
+from repro.synth.structured import random_lowered_procedure
+
+
+def diamond_proc():
+    cfg = cfg_from_edges(
+        [
+            ("start", "c"),
+            ("c", "t", "T"),
+            ("c", "f", "F"),
+            ("t", "j"),
+            ("f", "j"),
+            ("j", "end"),
+        ]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t"].append(Assign("x", (), "1"))
+    proc.blocks["f"].append(Assign("x", (), "2"))
+    proc.blocks["j"].append(Assign("y", ("x",), "x"))
+    return proc
+
+
+def test_phi_inserted_and_renamed():
+    ssa = construct_ssa(diamond_proc())
+    phis = [s for s in ssa.blocks["j"] if isinstance(s, Phi)]
+    assert len(phis) == 1
+    phi = phis[0]
+    assert phi.target.startswith("x#")
+    args = sorted(phi.args.values())
+    assert args == ["x#1", "x#2"]
+    # the use of x in j sees the phi
+    use = [s for s in ssa.blocks["j"] if isinstance(s, Assign) and s.text == "x"][0]
+    assert use.uses == (phi.target,)
+
+
+def test_versions_are_unique():
+    ssa = construct_ssa(diamond_proc())
+    targets = [s.target for _, s in ssa.statements() if s.target is not None]
+    assert len(targets) == len(set(targets))
+
+
+def test_entry_versions_materialized():
+    ssa = construct_ssa(diamond_proc())
+    start_defs = {s.target for s in ssa.blocks["start"]}
+    assert "x#0" in start_defs and "y#0" in start_defs
+
+
+def test_ssa_verifies():
+    assert verify_ssa(construct_ssa(diamond_proc())) == []
+
+
+def test_loop_carried_value():
+    cfg = cfg_from_edges(
+        [("start", "h"), ("h", "b", "T"), ("b", "h"), ("h", "x", "F"), ("x", "end")]
+    )
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b"].append(Assign("i", ("i",), "i + 1"))
+    ssa = construct_ssa(proc)
+    phis = [s for s in ssa.blocks["h"] if isinstance(s, Phi)]
+    assert len(phis) == 1
+    phi = phis[0]
+    incoming = {e.source: v for e, v in phi.args.items()}
+    assert incoming["start"] == "i#0"
+    assert incoming["b"] != "i#0"  # loop-carried version
+    assert verify_ssa(ssa) == []
+
+
+def test_pst_placement_renames_identically():
+    proc = random_lowered_procedure(17, target_statements=50)
+    a = construct_ssa(proc, placement=phi_blocks_cytron(proc))
+    b = construct_ssa(proc, placement=phi_blocks_pst(proc))
+    for block in proc.cfg.nodes:
+        assert [repr(s) for s in a.blocks[block]] == [repr(s) for s in b.blocks[block]]
+
+
+def test_random_procedures_verify():
+    for seed in range(8):
+        proc = random_lowered_procedure(seed, target_statements=60, goto_rate=0.2)
+        assert verify_ssa(construct_ssa(proc)) == [], seed
+
+
+def test_minilang_end_to_end():
+    source = """
+    proc f(n) {
+        s = 0;
+        i = 0;
+        while (i < n) {
+            if (i % 2 == 0) { s = s + i; }
+            i = i + 1;
+        }
+        return s;
+    }
+    """
+    [proc] = lower_program(parse_program(source))
+    ssa = construct_ssa(proc)
+    assert verify_ssa(ssa) == []
+    # s and i each need a φ at the loop header
+    header_phis = {
+        s.target.split("#")[0]
+        for _, s in ssa.statements()
+        if isinstance(s, Phi)
+    }
+    assert {"s", "i"} <= header_phis

@@ -1,0 +1,92 @@
+"""Tests that the SSA verifier actually catches violations."""
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.ir import Assign, LoweredProcedure, Phi
+from repro.ssa.verify import SSAViolation, check_ssa, verify_ssa
+
+
+def simple_cfg():
+    return cfg_from_edges(
+        [("start", "c"), ("c", "t", "T"), ("c", "f", "F"), ("t", "j"), ("f", "j"), ("j", "end")]
+    )
+
+
+def test_clean_procedure_passes():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["start"].append(Assign("x#0", (), "undef"))
+    proc.blocks["j"].append(Assign("y#1", ("x#0",), "x"))
+    assert verify_ssa(proc) == []
+    check_ssa(proc)  # no raise
+
+
+def test_double_definition_caught():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    proc.blocks["f"].append(Assign("x#1", (), "2"))
+    problems = verify_ssa(proc)
+    assert any("more than once" in p for p in problems)
+
+
+def test_undefined_use_caught():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["j"].append(Assign("y#1", ("ghost#7",), "ghost"))
+    assert any("undefined" in p for p in verify_ssa(proc))
+
+
+def test_non_dominating_def_caught():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    proc.blocks["f"].append(Assign("y#1", ("x#1",), "x"))  # t does not dominate f
+    assert any("does not dominate" in p for p in verify_ssa(proc))
+
+
+def test_same_block_use_after_def_ok():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    proc.blocks["t"].append(Assign("y#1", ("x#1",), "x"))
+    assert verify_ssa(proc) == []
+
+
+def test_same_block_use_before_def_caught():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["t"].append(Assign("y#1", ("x#1",), "x"))
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    assert any("does not dominate" in p for p in verify_ssa(proc))
+
+
+def test_phi_with_missing_edge_caught():
+    cfg = simple_cfg()
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    phi = Phi("x#2", {cfg.edge("t", "j"): "x#1"})  # f edge missing
+    proc.blocks["j"].append(phi)
+    assert any("incoming edges" in p for p in verify_ssa(proc))
+
+
+def test_phi_after_ordinary_statement_caught():
+    cfg = simple_cfg()
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["start"].append(Assign("x#0", (), "undef"))
+    proc.blocks["j"].append(Assign("y#1", (), "0"))
+    phi = Phi("x#2", {cfg.edge("t", "j"): "x#0", cfg.edge("f", "j"): "x#0"})
+    proc.blocks["j"].append(phi)
+    assert any("after ordinary" in p for p in verify_ssa(proc))
+
+
+def test_phi_arg_not_dominating_pred_caught():
+    cfg = simple_cfg()
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["t"].append(Assign("x#1", (), "1"))
+    # arg x#1 flows along the f edge, but its def (t) does not dominate f
+    phi = Phi("x#2", {cfg.edge("t", "j"): "x#1", cfg.edge("f", "j"): "x#1"})
+    proc.blocks["j"].append(phi)
+    assert any("predecessor" in p for p in verify_ssa(proc))
+
+
+def test_check_ssa_raises():
+    proc = LoweredProcedure("p", simple_cfg())
+    proc.blocks["j"].append(Assign("y#1", ("ghost#7",), "ghost"))
+    with pytest.raises(SSAViolation):
+        check_ssa(proc)

@@ -1,0 +1,68 @@
+"""Tests for the calibrated 254-procedure corpus."""
+
+import pytest
+
+from repro.cfg.validate import is_valid_cfg
+from repro.synth.corpus import (
+    PAPER_TABLE,
+    all_procedures,
+    corpus_table,
+    standard_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return standard_corpus(scale=0.15)
+
+
+def test_paper_table_totals():
+    assert sum(procs for _, _, _, procs in PAPER_TABLE) == 254
+    assert sum(lines for _, _, lines, _ in PAPER_TABLE) == 21549
+
+
+def test_scaled_corpus_structure(small_corpus):
+    assert len(small_corpus) == len(PAPER_TABLE)
+    for program, (suite, name, _, procs) in zip(small_corpus, PAPER_TABLE):
+        assert program.suite == suite
+        assert program.name == name
+        assert program.num_procedures == max(1, round(procs * 0.15))
+
+
+def test_all_cfgs_valid(small_corpus):
+    for proc in all_procedures(small_corpus):
+        assert is_valid_cfg(proc.cfg), proc.name
+
+
+def test_corpus_is_cached(small_corpus):
+    assert standard_corpus(scale=0.15) is standard_corpus(scale=0.15)
+
+
+def test_corpus_deterministic_across_cache_keys():
+    a = standard_corpus(scale=0.15, seed=77)
+    b = standard_corpus(scale=0.15, seed=78)
+    assert a is not b
+    # different seeds give different programs
+    assert a[0].sources != b[0].sources
+
+
+def test_corpus_table_renders(small_corpus):
+    table = corpus_table(small_corpus)
+    assert "APS" in table
+    assert "linpack" in table
+    assert table.strip().splitlines()[-1].startswith("total")
+
+
+def test_line_counts_tracked(small_corpus):
+    for program in small_corpus:
+        assert program.lines > 0
+        assert len(program.sources) == program.num_procedures
+
+
+def test_full_scale_calibration():
+    """Full corpus shape mirrors the paper's table within tolerance."""
+    corpus = standard_corpus()
+    total_lines = sum(p.lines for p in corpus)
+    total_procs = sum(p.num_procedures for p in corpus)
+    assert total_procs == 254
+    assert 0.75 * 21549 <= total_lines <= 1.25 * 21549

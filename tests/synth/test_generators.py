@@ -1,0 +1,85 @@
+"""Tests for the random program and CFG generators."""
+
+from repro.cfg.validate import is_valid_cfg
+from repro.core.pst import build_pst
+from repro.synth.structured import random_lowered_procedure, random_procedure_ast
+from repro.synth.unstructured import random_cfg, random_dag_cfg
+from repro.lang.pretty import pretty_procedure
+
+
+def test_determinism():
+    a = pretty_procedure(random_procedure_ast(42, 30, 0.2))
+    b = pretty_procedure(random_procedure_ast(42, 30, 0.2))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = pretty_procedure(random_procedure_ast(1, 30))
+    b = pretty_procedure(random_procedure_ast(2, 30))
+    assert a != b
+
+
+def test_lowered_procedures_always_valid():
+    for seed in range(25):
+        proc = random_lowered_procedure(seed, target_statements=25, goto_rate=0.3)
+        assert is_valid_cfg(proc.cfg), seed
+
+
+def test_size_scales_with_target():
+    small = random_lowered_procedure(7, target_statements=10)
+    large = random_lowered_procedure(7, target_statements=300)
+    assert large.num_statements() > small.num_statements() * 3
+    assert large.cfg.num_nodes > small.cfg.num_nodes
+
+
+def test_goto_rate_produces_unstructured():
+    """At a high goto rate, at least some procedures get cyclic regions."""
+    from repro.core.region_kinds import classify_pst, is_completely_structured
+
+    unstructured = 0
+    for seed in range(12):
+        proc = random_lowered_procedure(seed, target_statements=60, goto_rate=0.4)
+        if not is_completely_structured(classify_pst(build_pst(proc.cfg))):
+            unstructured += 1
+    assert unstructured >= 3
+
+
+def test_goto_free_procedures_have_no_gotos():
+    from repro.lang import astnodes as ast
+
+    proc = random_procedure_ast(5, 80, goto_rate=0.0)
+
+    def walk(block):
+        for stmt in block.statements:
+            assert not isinstance(stmt, (ast.Goto, ast.Label))
+            for attr in ("then", "els", "body", "default"):
+                sub = getattr(stmt, attr, None)
+                if isinstance(sub, ast.Block):
+                    walk(sub)
+            for _, sub in getattr(stmt, "cases", []):
+                walk(sub)
+
+    walk(proc.body)
+
+
+def test_deep_nesting_flag_nests_deeper():
+    shallow = build_pst(random_lowered_procedure(3, 120, deep_nesting=False).cfg)
+    deep = build_pst(random_lowered_procedure(3, 120, deep_nesting=True).cfg)
+    assert deep.max_depth() >= shallow.max_depth()
+
+
+def test_random_cfg_valid_and_deterministic():
+    for seed in range(15):
+        a = random_cfg(seed, num_nodes=30, extra_edges=20)
+        b = random_cfg(seed, num_nodes=30, extra_edges=20)
+        assert is_valid_cfg(a)
+        assert [e.pair for e in a.edges] == [e.pair for e in b.edges]
+
+
+def test_random_dag_cfg_is_acyclic():
+    from repro.cfg.reducibility import is_reducible
+
+    for seed in range(10):
+        cfg = random_dag_cfg(seed, 20, 15)
+        assert is_valid_cfg(cfg)
+        assert is_reducible(cfg)  # DAGs are trivially reducible

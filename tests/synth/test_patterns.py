@@ -1,0 +1,75 @@
+"""Tests for the named CFG pattern families."""
+
+import pytest
+
+from repro.cfg.reducibility import is_reducible
+from repro.cfg.validate import is_valid_cfg
+from repro.core.pst import build_pst
+from repro.synth.patterns import (
+    diamond,
+    if_then,
+    irreducible_kernel,
+    linear,
+    loop_while,
+    nested_loops,
+    paper_like_example,
+    repeat_until_nest,
+    sequence_of_diamonds,
+    switch_ladder,
+)
+
+ALL_PATTERNS = [
+    linear(4),
+    diamond(),
+    if_then(3),
+    loop_while(2),
+    nested_loops(3),
+    repeat_until_nest(4),
+    switch_ladder(5),
+    sequence_of_diamonds(3),
+    irreducible_kernel(),
+    paper_like_example(),
+]
+
+
+@pytest.mark.parametrize("cfg", ALL_PATTERNS, ids=lambda c: c.name)
+def test_all_patterns_are_valid(cfg):
+    assert is_valid_cfg(cfg)
+
+
+@pytest.mark.parametrize("cfg", ALL_PATTERNS, ids=lambda c: c.name)
+def test_all_patterns_have_psts(cfg):
+    pst = build_pst(cfg)
+    assert len(pst.canonical_regions()) >= 0  # construction succeeds
+
+
+def test_linear_sizes():
+    assert linear(5).num_nodes == 7
+    assert linear(5).num_edges == 6
+
+
+def test_nested_loops_depth_scales():
+    for depth in (2, 4, 6):
+        pst = build_pst(nested_loops(depth))
+        assert pst.max_depth() >= depth
+
+
+def test_repeat_until_nest_size_scales():
+    assert repeat_until_nest(10).num_nodes == 2 * 10 + 2
+
+
+def test_switch_ladder_arm_count():
+    cfg = switch_ladder(7)
+    assert cfg.out_degree("s") == 7
+
+
+def test_irreducibility_flags():
+    assert not is_reducible(irreducible_kernel())
+    assert is_reducible(nested_loops(3))
+    assert is_reducible(repeat_until_nest(3))
+
+
+def test_sequence_of_diamonds_is_broad_not_deep():
+    pst = build_pst(sequence_of_diamonds(8))
+    assert pst.max_depth() == 2
+    assert len(pst.canonical_regions()) >= 24

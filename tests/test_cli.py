@@ -1,0 +1,95 @@
+"""CLI tests (direct main() invocation; no subprocess needed)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+proc f(n) {
+    s = 0;
+    while (s < n) {
+        if (n > 10) { s = s + 2; } else { s = s + 1; }
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_summary(source_file):
+    code, text = run([source_file])
+    assert code == 0
+    assert "proc f:" in text
+    assert "SESE regions" in text
+
+
+def test_regions_listing(source_file):
+    code, text = run([source_file, "--regions"])
+    assert code == 0
+    assert "kind=" in text
+    assert "depth=" in text
+
+
+def test_pst_tree(source_file):
+    code, text = run([source_file, "--pst"])
+    assert code == 0
+    assert "- root" in text
+
+
+def test_control_regions(source_file):
+    code, text = run([source_file, "--control-regions"])
+    assert code == 0
+    assert "control region:" in text
+
+
+def test_ssa_output(source_file):
+    code, text = run([source_file, "--ssa"])
+    assert code == 0
+    assert "phi(" in text
+    assert "s#" in text
+
+
+def test_dot_output(source_file):
+    code, text = run([source_file, "--dot"])
+    assert code == 0
+    assert "digraph" in text
+
+
+def test_proc_filter(tmp_path):
+    path = tmp_path / "two.mini"
+    path.write_text("proc a() { return 1; } proc b() { return 2; }")
+    code, text = run([str(path), "--proc", "b"])
+    assert code == 0
+    assert "proc b:" in text
+    assert "proc a:" not in text
+
+
+def test_proc_filter_missing(source_file):
+    code, _ = run([source_file, "--proc", "ghost"])
+    assert code == 1
+
+
+def test_missing_file():
+    code, _ = run(["/nonexistent/path.mini"])
+    assert code == 2
+
+
+def test_parse_error(tmp_path):
+    path = tmp_path / "bad.mini"
+    path.write_text("proc f() { x = ; }")
+    code, _ = run([str(path)])
+    assert code == 1

@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "compiler_pipeline",
+    "sparse_dataflow",
+    "control_regions_scheduling",
+    "incremental_analysis",
+    "region_toolkit",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"

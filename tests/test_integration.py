@@ -1,0 +1,101 @@
+"""End-to-end integration tests across the whole library."""
+
+from repro import build_pst, cycle_equivalence_of_cfg
+from repro.controldep import control_regions, control_regions_by_definition
+from repro.core.region_kinds import classify_pst
+from repro.dataflow import (
+    LiveVariables,
+    ReachingDefinitions,
+    VariableReachingDefs,
+    solve_elimination,
+    solve_iterative,
+    solve_qpg,
+)
+from repro.dominance import pst_immediate_dominators
+from repro.dominance.iterative import immediate_dominators
+from repro.lang import lower_program, parse_program
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import place_phis_pst
+from repro.ssa.rename import construct_ssa
+from repro.ssa.verify import verify_ssa
+from repro.synth.corpus import all_procedures, standard_corpus
+
+SOURCE = """
+proc saxpy(n, a) {
+    i = 0;
+    s = 0;
+    while (i < n) {
+        t = a * i;
+        if (t > 100) {
+            s = s + t;
+        } else {
+            s = s - t;
+        }
+        i = i + 1;
+    }
+    return s;
+}
+
+proc tricky(n) {
+    if (n > 0) { goto inner; }
+    while (n < 64) {
+        inner:
+        n = n * 2;
+    }
+    repeat { n = n - 3; } until (n < 10);
+    return n;
+}
+"""
+
+
+def test_full_pipeline_on_source():
+    procs = lower_program(parse_program(SOURCE))
+    assert [p.name for p in procs] == ["saxpy", "tricky"]
+    for proc in procs:
+        pst = build_pst(proc.cfg)
+        # PST-based algorithms agree with their global baselines
+        assert pst_immediate_dominators(proc.cfg, pst) == immediate_dominators(proc.cfg)
+        assert place_phis_pst(proc, pst).phi_blocks == phi_blocks_cytron(proc)
+        ssa = construct_ssa(proc)
+        assert verify_ssa(ssa) == []
+        for problem in (ReachingDefinitions(proc), LiveVariables(proc)):
+            baseline = solve_iterative(proc.cfg, problem)
+            assert solve_elimination(proc.cfg, problem, pst) == baseline
+            assert solve_qpg(proc.cfg, problem, pst).solution == baseline
+        assert control_regions(proc.cfg) == control_regions_by_definition(proc.cfg)
+
+
+def test_corpus_smoke_all_analyses():
+    """Every analysis over a slice of the real corpus, consistency-checked."""
+    procs = all_procedures(standard_corpus(scale=0.05))
+    assert procs
+    for proc in procs:
+        pst = build_pst(proc.cfg)
+        equiv = cycle_equivalence_of_cfg(proc.cfg)
+        assert len(equiv) == proc.cfg.num_edges
+        kinds = classify_pst(pst)
+        assert len(kinds) == len(pst.canonical_regions()) + 1
+        assert pst_immediate_dominators(proc.cfg, pst) == immediate_dominators(proc.cfg)
+        assert verify_ssa(construct_ssa(proc)) == []
+        var = proc.variables()[0]
+        problem = VariableReachingDefs(proc, var)
+        assert solve_qpg(proc.cfg, problem, pst).solution == solve_iterative(proc.cfg, problem)
+
+
+def test_readme_quickstart_snippet():
+    """The code shown in the README must actually run."""
+    from repro import cfg_from_edges
+
+    g = cfg_from_edges(
+        [
+            ("start", "a"),
+            ("a", "b", "T"),
+            ("a", "c", "F"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", "end"),
+        ]
+    )
+    pst = build_pst(g)
+    described = [r.describe() for r in pst.canonical_regions()]
+    assert len(described) == 3

@@ -1,0 +1,102 @@
+"""Interpreter edge cases and error paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import cfg_from_edges
+from repro.interp import (
+    MiniLangRuntimeError,
+    Trace,
+    apply_op,
+    builtin_call,
+    run_ast,
+    run_cfg,
+    wrap,
+)
+from repro.ir import Assign, Branch, LoweredProcedure, Phi, statement_level
+from repro.lang import astnodes as ast
+from repro.lang.lower import lower_procedure
+from repro.synth.structured import random_procedure_ast
+
+
+def test_wrap_is_64_bit_twos_complement():
+    assert wrap(2**63) == -(2**63)
+    assert wrap(-(2**63) - 1) == 2**63 - 1
+    assert wrap(5) == 5
+    assert wrap(0) == 0
+
+
+def test_apply_op_wraps_products():
+    huge = 2**62
+    assert -(2**63) <= apply_op("*", huge, 3) < 2**63
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(MiniLangRuntimeError):
+        apply_op("**", 2, 3)
+
+
+def test_branch_without_expr_rejected():
+    cfg = cfg_from_edges([("start", "b"), ("b", "end", "T"), ("b", "end", "F")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["b"].append(Branch(("x",), "x"))  # no expr payload
+    with pytest.raises(MiniLangRuntimeError, match="branch without expression"):
+        run_cfg(proc, [])
+
+
+def test_multiway_block_without_branch_rejected():
+    cfg = cfg_from_edges([("start", "b"), ("b", "end", "T"), ("b", "end", "F")])
+    proc = LoweredProcedure("p", cfg)
+    with pytest.raises(MiniLangRuntimeError, match="without a branch"):
+        run_cfg(proc, [])
+
+
+def test_phi_without_edge_arg_rejected():
+    cfg = cfg_from_edges([("start", "j"), ("j", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["j"].append(Phi("x#1", {}))
+    with pytest.raises(MiniLangRuntimeError, match="no argument"):
+        run_cfg(proc, [])
+
+
+def test_missing_args_default_to_zero():
+    src_proc = random_procedure_ast(1, target_statements=5)
+    trace = run_ast(src_proc, [])  # fewer args than params
+    assert isinstance(trace, Trace)
+
+
+def test_opaque_assign_is_deterministic():
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", ("y",), "mystery(y)"))
+    r1 = run_cfg(proc, [])
+    r2 = run_cfg(proc, [])
+    assert r1.env["x"] == r2.env["x"] == builtin_call("mystery(y)", [0])
+
+
+def test_trace_records_base_variable_names():
+    trace = Trace(returned=None, env={})
+    trace.record("x#7", 5)
+    trace.record("x", 6)
+    assert trace.assignments == {"x": [5, 6]}
+
+
+ARGS = st.lists(st.integers(-10, 10), min_size=3, max_size=3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 5000), st.sampled_from([15, 40]), ARGS)
+def test_statement_level_execution_equivalent(seed, size, args):
+    """Exploding blocks into statement chains must not change behaviour."""
+    from repro.interp import FuelExhausted
+
+    proc = lower_procedure(random_procedure_ast(seed, target_statements=size))
+    exploded = statement_level(proc)
+    try:
+        expected = run_cfg(proc, args, fuel=30_000)
+    except FuelExhausted:
+        return
+    actual = run_cfg(exploded, args, fuel=120_000)
+    assert actual.returned == expected.returned
+    assert actual.assignments == expected.assignments

@@ -1,0 +1,56 @@
+"""Tests for the statement IR."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.ir import Assign, Branch, LoweredProcedure, Phi, Ret
+
+
+def test_assign_fields():
+    stmt = Assign("x", ("a", "b"), "(a + b)")
+    assert stmt.target == "x"
+    assert stmt.uses == ("a", "b")
+    assert "x = (a + b)" in repr(stmt)
+
+
+def test_assign_default_text():
+    stmt = Assign("x", ("a",))
+    assert "f(a)" in repr(stmt)
+
+
+def test_branch_and_ret_have_no_target():
+    assert Branch(("c",)).target is None
+    assert Ret(("x",)).target is None
+    assert Branch(("c",)).uses == ("c",)
+
+
+def test_phi_args_and_target():
+    cfg = cfg_from_edges([("start", "j"), ("j", "end")])
+    edge = cfg.edge("start", "j")
+    phi = Phi("x", {edge: "x#1"})
+    assert phi.target == "x"
+    assert phi.uses == ("x#1",)
+    phi.set_target("x#9")
+    assert phi.target == "x#9"
+    assert "phi" in repr(phi)
+
+
+def test_procedure_queries():
+    cfg = cfg_from_edges([("start", "a"), ("a", "b"), ("b", "end")])
+    proc = LoweredProcedure("p", cfg)
+    proc.blocks["a"].append(Assign("x", (), "1"))
+    proc.blocks["a"].append(Assign("y", ("x",), "x"))
+    proc.blocks["b"].append(Assign("x", ("y",), "y"))
+    proc.blocks["b"].append(Ret(("x",)))
+
+    assert proc.variables() == ["x", "y"]
+    assert proc.defs_of("x") == ["a", "b"]
+    assert proc.uses_of("y") == ["b"]
+    assert proc.num_statements() == 4
+    pairs = list(proc.statements())
+    assert pairs[0][0] == "start" or pairs[0][0] in cfg.nodes
+
+
+def test_procedure_initializes_empty_blocks():
+    cfg = cfg_from_edges([("start", "end")])
+    proc = LoweredProcedure("p", cfg)
+    assert proc.blocks["start"] == []
+    assert proc.blocks["end"] == []

@@ -1,0 +1,78 @@
+"""Tests for the statement-level CFG explosion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.validate import is_valid_cfg
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import LiveVariables, VariableReachingDefs
+from repro.ir import statement_level
+from repro.lang import lower_program, parse_program
+from repro.synth.structured import random_lowered_procedure
+
+
+def lower(source):
+    [proc] = lower_program(parse_program(source))
+    return proc
+
+
+def test_explodes_blocks_into_chains():
+    proc = lower("proc f() { x = 1; y = x; z = y; return z; }")
+    exploded = statement_level(proc)
+    assert is_valid_cfg(exploded.cfg)
+    assert exploded.cfg.num_nodes == proc.num_statements() + 2  # + start/end
+    for node in exploded.cfg.nodes:
+        assert len(exploded.blocks.get(node, [])) <= 1
+
+
+def test_statement_count_preserved():
+    proc = random_lowered_procedure(9, target_statements=60)
+    exploded = statement_level(proc)
+    assert exploded.num_statements() == proc.num_statements()
+    assert sorted(exploded.variables()) == sorted(proc.variables())
+
+
+def test_branch_labels_preserved():
+    proc = lower("proc f(a) { if (a) { x = 1; } else { x = 2; } return x; }")
+    exploded = statement_level(proc)
+    labels = sorted(e.label for e in exploded.cfg.edges if e.label)
+    assert "T" in labels and "F" in labels
+
+
+def test_empty_blocks_stay_single():
+    proc = lower("proc f(a) { if (a) { x = 1; } return x; }")
+    exploded = statement_level(proc)
+    assert exploded.cfg.start == "start"
+    assert exploded.cfg.end == "end"
+
+
+def test_self_loop_block_explodes_correctly():
+    proc = lower("proc f(n) { repeat { n = n - 1; n = n + 0; } until (n < 1); return n; }")
+    exploded = statement_level(proc)
+    assert is_valid_cfg(exploded.cfg)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 3000), st.sampled_from([20, 50]))
+def test_liveness_agrees_across_granularities(seed, size):
+    """Block-level liveness at block entry == statement-level liveness at the
+    first statement node of the block."""
+    proc = random_lowered_procedure(seed, target_statements=size)
+    exploded = statement_level(proc)
+    coarse = solve_iterative(proc.cfg, LiveVariables(proc))
+    fine = solve_iterative(exploded.cfg, LiveVariables(exploded))
+    for block in proc.cfg.nodes:
+        statements = proc.blocks.get(block, [])
+        first = (block, 0) if len(statements) > 1 else block
+        assert coarse.before[block] == fine.before[first], block
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2000))
+def test_variable_reaching_defs_defs_preserved(seed):
+    proc = random_lowered_procedure(seed, target_statements=30)
+    exploded = statement_level(proc)
+    for var in proc.variables()[:3]:
+        coarse_defs = len(proc.defs_of(var))
+        fine_defs = len(exploded.defs_of(var))
+        assert fine_defs >= coarse_defs  # one node per defining statement
