@@ -1,0 +1,77 @@
+"""Experiment F1: differential-fuzzing throughput (CFGs/sec).
+
+The fuzz harness (``repro fuzz``, docs/TESTING.md) is only useful as a CI
+gate if a few hundred cases fit in seconds.  This benchmark records how many
+CFGs per second the harness sustains, split three ways: generation alone,
+generation plus the full oracle matrix, and the per-strategy cost of the
+matrix (adversarial shapes like irreducible loops are more expensive to
+cross-check than structured skeletons).
+"""
+
+from repro.analysis.tables import format_table
+from repro.fuzz.generator import STRATEGIES, generate_case
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.runner import run_fuzz
+
+from conftest import best_of, write_result
+
+SEED = 0
+COUNT = 150
+SIZE = 10
+
+
+def test_f1_generation_only(benchmark):
+    def generate_batch():
+        return [generate_case(SEED + i, size=SIZE) for i in range(COUNT)]
+
+    benchmark.pedantic(generate_batch, rounds=3, iterations=1)
+
+
+def test_f1_full_campaign(benchmark):
+    benchmark.pedantic(
+        lambda: run_fuzz(seed=SEED, count=COUNT, size=SIZE), rounds=3, iterations=1
+    )
+
+
+def test_f1_throughput_table(benchmark):
+    gen_t, cases = best_of(
+        lambda: [generate_case(SEED + i, size=SIZE) for i in range(COUNT)]
+    )
+    campaign_t, report = best_of(lambda: run_fuzz(seed=SEED, count=COUNT, size=SIZE))
+    assert report.ok, report.render()
+    assert report.cases_run == COUNT
+
+    rows = [
+        ["generation only", COUNT, f"{1000*gen_t:.1f}", f"{COUNT/gen_t:.0f}"],
+        ["full oracle matrix", COUNT, f"{1000*campaign_t:.1f}", f"{COUNT/campaign_t:.0f}"],
+    ]
+
+    per_strategy = 30
+    for strategy in sorted(STRATEGIES):
+        batch = [
+            generate_case(SEED + i, size=SIZE, strategy=strategy)
+            for i in range(per_strategy)
+        ]
+
+        def check_batch():
+            for case in batch:
+                run_oracles(case)
+
+        strat_t, _ = best_of(check_batch)
+        rows.append(
+            [
+                f"  oracles: {strategy}",
+                per_strategy,
+                f"{1000*strat_t:.1f}",
+                f"{per_strategy/strat_t:.0f}",
+            ]
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = (
+        "Experiment F1 -- fuzz harness throughput "
+        f"(seed {SEED}, size {SIZE})\n"
+        + format_table(["stage", "CFGs", "best ms", "CFGs/s"], rows)
+    )
+    path = write_result("f1_fuzz_throughput", text)
+    print(f"\n{text}\nwritten to {path}")

@@ -5,13 +5,25 @@ predecessors, ``end`` has no successors, and every node occurs on some path
 from ``start`` to ``end``.  The cycle-equivalence algorithm *requires* these
 invariants (they make ``G + (end -> start)`` strongly connected), so the
 library checks them eagerly and reports precise diagnostics.
+
+**Degenerate inputs raise exactly one exception type.**  Every analysis
+entry point in the library reports a degenerate or malformed graph -- a
+single-node graph, ``start == end``, a node that cannot reach ``end``, an
+unset or missing start node -- by raising
+:class:`~repro.cfg.graph.InvalidCFGError` (a ``ValueError``), never a raw
+``KeyError`` or ``AssertionError``.  Definition-1 consumers (SESE regions,
+the PST, control regions, control dependence) validate the full invariants;
+rooted-graph algorithms (the dominator computations) deliberately accept
+any graph with a reachable root and use :func:`require_root` to funnel the
+missing-root case into the same type.  ``tests/fuzz/test_degenerate.py``
+pins this contract for every entry point.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.cfg.graph import CFG, InvalidCFGError
+from repro.cfg.graph import CFG, InvalidCFGError, NodeId
 from repro.cfg.traversal import reachable_from, reaches
 
 
@@ -59,3 +71,22 @@ def validate_cfg(cfg: CFG) -> CFG:
 def is_valid_cfg(cfg: CFG) -> bool:
     """True iff ``cfg`` satisfies Definition 1."""
     return not check_cfg(cfg)
+
+
+def require_root(cfg: CFG, root: Optional[NodeId], purpose: str) -> NodeId:
+    """The root for a rooted-graph algorithm, or :class:`InvalidCFGError`.
+
+    Algorithms that work on *any* rooted flowgraph (the dominator
+    computations) accept degenerate CFGs -- a single node, ``start == end``,
+    nodes that cannot reach ``end`` -- because dominance only needs a root.
+    What they cannot tolerate is a missing root; this funnels that case into
+    the library's single exception type instead of a raw ``KeyError``.
+    """
+    if root is None:
+        raise InvalidCFGError(
+            f"{purpose} requires a root node, but none was given and the "
+            "CFG's start node is not set"
+        )
+    if not cfg.has_node(root):
+        raise InvalidCFGError(f"{purpose} root {root!r} is not a node of the graph")
+    return root

@@ -11,6 +11,12 @@ Usage (also via ``python -m repro``)::
     python -m repro program.mini --proc name    # restrict to one procedure
 
 With ``-`` as the file name, source is read from stdin.
+
+The ``fuzz`` subcommand runs the differential fuzzing harness (see
+:mod:`repro.fuzz` and ``docs/TESTING.md``)::
+
+    python -m repro fuzz --seed 0 --count 500   # a full campaign
+    python -m repro fuzz --oracle dominators/matrix --budget 10
 """
 
 from __future__ import annotations
@@ -47,8 +53,70 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential fuzzing: cross-check every fast/slow algorithm pair",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (case i uses seed+i)")
+    parser.add_argument("--count", type=int, default=100, help="number of CFGs to generate")
+    parser.add_argument("--size", type=int, default=10, help="approximate interior node budget")
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="stop the campaign early after this many seconds",
+    )
+    parser.add_argument(
+        "--oracle", action="append", default=None, metavar="NAME",
+        help="restrict to one oracle (repeatable); see --list-oracles",
+    )
+    parser.add_argument(
+        "--list-oracles", action="store_true", help="list oracle names and exit"
+    )
+    parser.add_argument(
+        "--emit-tests", metavar="PATH", default=None,
+        help="append shrunk regression tests for any divergences to PATH",
+    )
+    return parser
+
+
+def fuzz_main(argv: List[str], out) -> int:
+    from repro.fuzz.oracles import ALL_ORACLES, ORACLES_BY_NAME
+    from repro.fuzz.runner import run_fuzz
+
+    args = build_fuzz_arg_parser().parse_args(argv)
+    if args.list_oracles:
+        for oracle in ALL_ORACLES:
+            print(oracle.name, file=out)
+        return 0
+    oracles = None
+    if args.oracle:
+        unknown = [name for name in args.oracle if name not in ORACLES_BY_NAME]
+        if unknown:
+            print(f"error: unknown oracle(s) {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        oracles = [ORACLES_BY_NAME[name] for name in args.oracle]
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        size=args.size,
+        oracles=oracles,
+        time_budget=args.budget,
+    )
+    print(report.render(), file=out)
+    if args.emit_tests and report.divergences:
+        with open(args.emit_tests, "a") as handle:
+            for item in report.divergences:
+                handle.write("\n\n" + item.test_source)
+        print(f"wrote {len(report.divergences)} regression test(s) to {args.emit_tests}", file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = sys.stdout if out is None else out
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:], out)
     args = build_arg_parser().parse_args(argv)
 
     if args.source == "-":

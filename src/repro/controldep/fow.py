@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Set, Tuple, Union
 
 from repro.cfg.graph import CFG, Edge, NodeId
+from repro.cfg.validate import validate_cfg
 from repro.dominance.tree import DominatorTree, postdominator_tree
 
 #: Sentinel standing for the ``end -> start`` augmentation edge in CD sets.
@@ -41,7 +42,11 @@ def control_dependence(cfg: CFG) -> Dict[NodeId, Set[Tuple[NodeId, object]]]:
 
     The augmentation edge appears as ``(end, RETURN_EDGE)``; its dependents
     are exactly the always-executed nodes (those postdominating ``start``).
+
+    Raises :class:`~repro.cfg.graph.InvalidCFGError` on a degenerate graph
+    (the postdominator-tree walks need every node to reach ``end``).
     """
+    validate_cfg(cfg)
     pdtree = postdominator_tree(cfg)
     cd: Dict[NodeId, Set[Tuple[NodeId, object]]] = {node: set() for node in cfg.nodes}
     for edge in cfg.edges:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.cfg.graph import CFG, NodeId
+from repro.cfg.validate import validate_cfg
 from repro.controldep.fow import dependents_of_edge, dependents_of_return_edge
 from repro.dominance.tree import postdominator_tree
 
@@ -26,8 +27,11 @@ def control_regions_cfs(cfg: CFG) -> List[List[NodeId]]:
 
     Like the other algorithms, this works on the augmented graph: the
     ``end -> start`` edge's dependence set (the always-executed nodes)
-    participates in the refinement.
+    participates in the refinement.  Degenerate graphs raise
+    :class:`~repro.cfg.graph.InvalidCFGError`, matching the other two
+    control-region implementations.
     """
+    validate_cfg(cfg)
     pdtree = postdominator_tree(cfg)
 
     # partition: class id per node, classes as node lists

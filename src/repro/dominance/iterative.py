@@ -6,6 +6,11 @@ the shallow graphs typical of programs it converges in a couple of passes.
 
 The returned mapping uses the convention ``idom[root] == root``; only nodes
 reachable from the root appear.
+
+Dominance is defined on any rooted flowgraph, so degenerate CFGs (a single
+node, ``start == end``, nodes that cannot reach ``end``) are accepted; a
+missing or unset root raises :class:`~repro.cfg.graph.InvalidCFGError`
+(see :mod:`repro.cfg.validate`).
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.traversal import reverse_postorder
+from repro.cfg.validate import require_root
 
 
 def immediate_dominators(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, NodeId]:
@@ -21,7 +27,7 @@ def immediate_dominators(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId
 
     ``root`` defaults to ``cfg.start``.  ``idom[root] == root``.
     """
-    root = cfg.start if root is None else root
+    root = require_root(cfg, cfg.start if root is None else root, "dominator computation")
     order = reverse_postorder(cfg, root)
     postorder_num = {node: len(order) - 1 - i for i, node in enumerate(order)}
     reachable = set(order)

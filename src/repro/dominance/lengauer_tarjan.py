@@ -17,15 +17,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cfg.graph import CFG, NodeId
+from repro.cfg.validate import require_root
 
 
 def lengauer_tarjan(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, NodeId]:
     """Immediate dominators of nodes reachable from ``root``.
 
     Same contract as :func:`repro.dominance.iterative.immediate_dominators`:
-    ``idom[root] == root``, unreachable nodes omitted.
+    ``idom[root] == root``, unreachable nodes omitted; degenerate CFGs are
+    accepted but a missing root raises
+    :class:`~repro.cfg.graph.InvalidCFGError`.
     """
-    root = cfg.start if root is None else root
+    root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
 
     # --- step 1: DFS numbering (1-based; 0 is a sentinel) -----------------
     num: Dict[NodeId, int] = {}

@@ -37,6 +37,10 @@ def pst_immediate_dominators(
     Same contract as :func:`repro.dominance.iterative.immediate_dominators`:
     ``idom[start] == start``.  The test suite asserts equality with both
     whole-graph algorithms.
+
+    Unlike those, this decomposition needs the full Definition 1 invariants
+    (the PST does), so degenerate CFGs raise
+    :class:`~repro.cfg.graph.InvalidCFGError` during PST construction.
     """
     if pst is None:
         pst = build_pst(cfg)

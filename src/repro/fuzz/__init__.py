@@ -1,0 +1,53 @@
+"""Differential fuzzing of the fast/slow algorithm pairs.
+
+The repo deliberately keeps a slow, independently derived counterpart next
+to every linear-time algorithm from the paper (Figure 4 cycle equivalence
+vs §3.3 bracket sets, the three dominator algorithms, O(E) control regions
+vs the FOW87 definition and the CFS90 refinement, PST-elimination and QPG
+dataflow vs the iterative fixpoint, PST φ-placement vs iterated dominance
+frontiers).  This package hammers each pair with adversarial control-flow
+graphs and reports any disagreement:
+
+* :mod:`repro.fuzz.generator` -- seeded generators for the shapes the
+  hand-written corpus under-samples (parallel edges, self-loops,
+  irreducible loops, degenerate graphs, deep nesting, random edges
+  injected into structured skeletons);
+* :mod:`repro.fuzz.oracles` -- the oracle matrix: one named cross-check
+  per redundant pair, producing structured :class:`Divergence` records;
+* :mod:`repro.fuzz.shrink` -- greedy divergence-preserving minimizer that
+  turns a failing CFG into a ready-to-paste pytest regression case;
+* :mod:`repro.fuzz.runner` -- the deterministic campaign driver behind
+  ``repro fuzz`` and the ``fuzz-smoke`` pytest marker.
+
+See ``docs/TESTING.md`` for how to run a campaign and how a divergence
+becomes a pinned regression test.
+"""
+
+from repro.fuzz.generator import (
+    FuzzCase,
+    STRATEGIES,
+    attach_statements,
+    cfg_from_edges,
+    edges_of,
+    generate_case,
+)
+from repro.fuzz.oracles import ALL_ORACLES, Divergence, Oracle, run_oracles
+from repro.fuzz.runner import FuzzReport, run_fuzz
+from repro.fuzz.shrink import regression_test_source, shrink_cfg
+
+__all__ = [
+    "FuzzCase",
+    "STRATEGIES",
+    "attach_statements",
+    "cfg_from_edges",
+    "edges_of",
+    "generate_case",
+    "ALL_ORACLES",
+    "Divergence",
+    "Oracle",
+    "run_oracles",
+    "FuzzReport",
+    "run_fuzz",
+    "regression_test_source",
+    "shrink_cfg",
+]

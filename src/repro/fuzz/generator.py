@@ -1,0 +1,286 @@
+"""Seeded adversarial CFG generation for the differential fuzzer.
+
+Every strategy is deterministic in its seed and produces a *valid* CFG
+(Definition 1) by construction: each starts from a start-to-end spine (or a
+lowered structured procedure, which is valid by construction) and only adds
+edges whose source is not ``end`` and whose target is not ``start``, which
+preserves both reachability invariants.
+
+The strategies deliberately over-sample the shapes the hand-written test
+corpus under-samples -- parallel edges, self-loops, irreducible loops,
+start-to-end degenerate graphs, deep nesting, and random edges injected
+into structured skeletons -- because those are where multigraph- and
+boundary-condition bugs hide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cfg.graph import CFG, NodeId
+from repro.cfg.validate import is_valid_cfg
+from repro.ir import Assign, Branch, LoweredProcedure, Ret
+from repro.synth.structured import random_lowered_procedure
+
+
+def cfg_from_edges(
+    start: NodeId, end: NodeId, edges: Iterable[Tuple[NodeId, NodeId]], name: str = "fuzz"
+) -> CFG:
+    """Rebuild a CFG from its ``(source, target)`` pair list.
+
+    The canonical serialized form used by the shrinker's regression-test
+    output; edge insertion order (hence edge ids) follows the pair order.
+    """
+    cfg = CFG(start=start, end=end, name=name)
+    for source, target in edges:
+        cfg.add_edge(source, target)
+    return cfg
+
+
+def edges_of(cfg: CFG) -> List[Tuple[NodeId, NodeId]]:
+    """The ``(source, target)`` pair list accepted by :func:`cfg_from_edges`."""
+    return [edge.pair for edge in cfg.edges]
+
+
+@dataclass
+class FuzzCase:
+    """One generated input: a CFG plus the recipe that produced it."""
+
+    seed: int
+    strategy: str
+    cfg: CFG
+    _proc: Optional[LoweredProcedure] = field(default=None, repr=False)
+
+    @property
+    def proc(self) -> LoweredProcedure:
+        """A statement-bearing procedure over ``cfg`` (lazily attached)."""
+        if self._proc is None:
+            self._proc = attach_statements(self.cfg, random.Random(self.seed ^ 0x5F5F))
+        return self._proc
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} strategy={self.strategy} "
+            f"|V|={self.cfg.num_nodes} |E|={self.cfg.num_edges}"
+        )
+
+
+# ----------------------------------------------------------------------
+# strategy helpers
+# ----------------------------------------------------------------------
+
+def _spine(interior: int, name: str) -> Tuple[CFG, List[NodeId]]:
+    cfg = CFG(start="start", end="end", name=name)
+    nodes: List[NodeId] = [f"n{i}" for i in range(interior)]
+    previous: NodeId = "start"
+    for node in nodes:
+        cfg.add_edge(previous, node)
+        previous = node
+    cfg.add_edge(previous, "end")
+    return cfg, nodes
+
+
+def _sprinkle(
+    cfg: CFG,
+    interior: Sequence[NodeId],
+    rng: random.Random,
+    count: int,
+    self_loop_rate: float = 0.0,
+    parallel_rate: float = 0.0,
+) -> None:
+    """Add ``count`` random validity-preserving edges."""
+    sources = [cfg.start] + list(interior)
+    targets = list(interior) + [cfg.end]
+    for _ in range(count):
+        roll = rng.random()
+        if interior and roll < self_loop_rate:
+            node = rng.choice(list(interior))
+            cfg.add_edge(node, node)
+        elif roll < self_loop_rate + parallel_rate:
+            source = rng.choice(sources)
+            target = rng.choice(targets)
+            for _ in range(rng.randint(2, 3)):
+                cfg.add_edge(source, target)
+        else:
+            cfg.add_edge(rng.choice(sources), rng.choice(targets))
+
+
+def _gen_spine_random(seed: int, size: int) -> CFG:
+    """Spine plus uniformly random extra edges (mildly adversarial)."""
+    rng = random.Random(seed)
+    interior = max(1, rng.randint(1, size))
+    cfg, nodes = _spine(interior, f"spine{seed}")
+    _sprinkle(cfg, nodes, rng, rng.randint(0, 2 * interior), 0.08, 0.08)
+    return cfg
+
+
+def _gen_multigraph_storm(seed: int, size: int) -> CFG:
+    """Heavy parallel-edge and self-loop density on a short spine."""
+    rng = random.Random(seed)
+    interior = max(1, rng.randint(1, max(2, size // 2)))
+    cfg, nodes = _spine(interior, f"multi{seed}")
+    _sprinkle(cfg, nodes, rng, rng.randint(interior, 3 * interior + 2), 0.35, 0.45)
+    return cfg
+
+
+def _gen_irreducible(seed: int, size: int) -> CFG:
+    """Loops entered in the middle: classic irreducible shapes.
+
+    Builds the spine, then repeatedly picks ``i < j < k`` and adds the
+    retreating edge ``n_k -> n_j`` together with the side entry
+    ``start/n_i -> n_k`` region-skipping edge, producing loops with two
+    entries (the canonical irreducible triangle) at several scales.
+    """
+    rng = random.Random(seed)
+    interior = max(3, rng.randint(3, max(4, size)))
+    cfg, nodes = _spine(interior, f"irred{seed}")
+    for _ in range(rng.randint(1, 1 + interior // 3)):
+        i, j, k = sorted(rng.sample(range(interior), 3)) if interior >= 3 else (0, 1, 2)
+        cfg.add_edge(nodes[k], nodes[j])          # retreating edge: loop j..k
+        entry_source = rng.choice(["start", nodes[i]])
+        cfg.add_edge(entry_source, nodes[k])      # second entry into the loop
+    _sprinkle(cfg, nodes, rng, rng.randint(0, interior // 2), 0.1, 0.1)
+    return cfg
+
+
+def _gen_deep_nesting(seed: int, size: int) -> CFG:
+    """A tower of nested single-entry single-exit loops and diamonds.
+
+    Exercises deep PSTs (the paper's corpus tops out at depth 13; this goes
+    well beyond) and the bracket-list concat/delete chains that come with
+    them.
+    """
+    rng = random.Random(seed)
+    depth = max(2, rng.randint(2, max(3, size)))
+    cfg = CFG(start="start", end="end", name=f"deep{seed}")
+    outer_in: NodeId = "start"
+    outer_out: NodeId = "end"
+    opening: List[Tuple[NodeId, NodeId]] = []
+    for level in range(depth):
+        head, tail = f"h{level}", f"t{level}"
+        cfg.add_edge(outer_in, head)
+        opening.append((head, tail))
+        outer_in = head
+    previous: Optional[NodeId] = None
+    for head, tail in reversed(opening):
+        if previous is None:
+            cfg.add_edge(head, tail)              # innermost body
+        else:
+            cfg.add_edge(previous, tail)
+        kind = rng.random()
+        if kind < 0.45:
+            cfg.add_edge(tail, head)              # loop: tail back to head
+            cfg.add_edge(tail, f"x{head}")
+            tail = f"x{head}"
+        elif kind < 0.7:
+            cfg.add_edge(head, tail)              # diamond: parallel arm
+        previous = tail
+    cfg.add_edge(previous, outer_out)
+    return cfg
+
+
+def _gen_structured_skeleton(seed: int, size: int) -> CFG:
+    """A lowered MiniLang procedure with random edges spliced in.
+
+    Structured skeletons have realistic region nesting; the injected edges
+    (including gotos into loop bodies) break the structure in ways the
+    front end never produces.
+    """
+    rng = random.Random(seed)
+    proc = random_lowered_procedure(
+        seed,
+        target_statements=max(4, min(40, size * 2)),
+        goto_rate=rng.choice([0.0, 0.0, 0.3]),
+        name=f"skel{seed}",
+    )
+    cfg = proc.cfg.copy(name=f"skel{seed}")
+    interior = [n for n in cfg.nodes if n not in (cfg.start, cfg.end)]
+    if interior:
+        _sprinkle(cfg, interior, rng, rng.randint(1, 4), 0.15, 0.2)
+    return cfg
+
+
+def _gen_degenerate(seed: int, size: int) -> CFG:
+    """Tiny boundary-condition graphs: the smallest legal CFGs.
+
+    Cycles through a fixed menu -- single edge, parallel start->end edges,
+    one interior node with self-loops, two-node ping-pong -- so every
+    campaign covers each shape regardless of ``count``.
+    """
+    rng = random.Random(seed)
+    menu = seed % 5
+    cfg = CFG(start="start", end="end", name=f"degen{seed}")
+    if menu == 0:
+        cfg.add_edge("start", "end")
+    elif menu == 1:
+        for _ in range(rng.randint(2, 4)):
+            cfg.add_edge("start", "end")
+    elif menu == 2:
+        cfg.add_edge("start", "a")
+        for _ in range(rng.randint(1, 3)):
+            cfg.add_edge("a", "a")
+        cfg.add_edge("a", "end")
+    elif menu == 3:
+        cfg.add_edge("start", "a")
+        cfg.add_edge("a", "b")
+        cfg.add_edge("b", "a")
+        cfg.add_edge("a", "end")
+        if rng.random() < 0.5:
+            cfg.add_edge("b", "b")
+    else:
+        cfg.add_edge("start", "a")
+        cfg.add_edge("start", "a")
+        cfg.add_edge("a", "a")
+        cfg.add_edge("a", "end")
+        cfg.add_edge("a", "end")
+    return cfg
+
+
+STRATEGIES: Dict[str, Callable[[int, int], CFG]] = {
+    "spine_random": _gen_spine_random,
+    "multigraph_storm": _gen_multigraph_storm,
+    "irreducible": _gen_irreducible,
+    "deep_nesting": _gen_deep_nesting,
+    "structured_skeleton": _gen_structured_skeleton,
+    "degenerate": _gen_degenerate,
+}
+
+_STRATEGY_ORDER = list(STRATEGIES)
+
+
+def generate_case(seed: int, size: int = 10, strategy: Optional[str] = None) -> FuzzCase:
+    """The fuzz case for ``seed``: strategy round-robins unless pinned.
+
+    ``size`` loosely bounds interior node counts; each strategy draws its
+    exact dimensions from the seed so shapes vary within a campaign.
+    """
+    name = strategy or _STRATEGY_ORDER[seed % len(_STRATEGY_ORDER)]
+    cfg = STRATEGIES[name](seed, size)
+    assert is_valid_cfg(cfg), f"generator {name!r} produced an invalid CFG for seed {seed}"
+    return FuzzCase(seed=seed, strategy=name, cfg=cfg)
+
+
+def attach_statements(cfg: CFG, rng: random.Random, num_vars: int = 4) -> LoweredProcedure:
+    """Random def/use statements over ``cfg`` for the dataflow/SSA oracles.
+
+    Every block gets 0-2 assignments over a small variable pool; branching
+    blocks get a guard using a random variable; ``end`` gets a return.  The
+    same CFG object is shared, not copied, so shrinking the graph and
+    re-attaching statements stays cheap.
+    """
+    variables = [f"v{i}" for i in range(num_vars)]
+    blocks: Dict[NodeId, List] = {}
+    for node in cfg.nodes:
+        stmts: List = []
+        for _ in range(rng.randint(0, 2)):
+            target = rng.choice(variables)
+            uses = rng.sample(variables, rng.randint(0, 2))
+            stmts.append(Assign(target, uses))
+        if cfg.out_degree(node) > 1:
+            stmts.append(Branch([rng.choice(variables)]))
+        if node == cfg.end:
+            stmts.append(Ret([rng.choice(variables)]))
+        blocks[node] = stmts
+    return LoweredProcedure(f"{cfg.name}_proc", cfg, blocks)

@@ -1,0 +1,368 @@
+"""The oracle matrix: one differential cross-check per redundant pair.
+
+Each :class:`Oracle` compares a fast algorithm against its slow,
+independently derived counterpart on one :class:`~repro.fuzz.generator.FuzzCase`
+and returns ``None`` (agreement) or a human-readable description of the
+disagreement.  An exception escaping either side counts as a divergence
+too -- a crash on a valid CFG is as much a bug as a wrong answer.
+
+The matrix covers every pair named in the repo's redundancy inventory:
+
+====================  =================================================
+cycle equivalence     Figure 4 vs §3.3 bracket sets vs brute-force
+                      cycle enumeration (tiny graphs only)
+SESE / PST            canonical regions from the fast partition vs the
+                      slow partition; definitional SESE check (edge
+                      dominance/postdominance) per region; PST stack
+                      discipline (asserted during construction)
+dominators            iterative (Cooper et al.) vs Lengauer-Tarjan vs
+                      PST divide-and-conquer; same on the reverse CFG
+                      for postdominators
+control regions       O(E) node-cycle-equivalence vs the FOW87
+                      definition (Theorem 7) vs the CFS90 refinement
+dataflow              iterative fixpoint vs PST elimination vs QPG
+                      sparse solve, for RD / LV / AE
+φ-placement           iterated dominance frontiers vs PST placement
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cfg.graph import CFG, Edge
+from repro.core.cycle_equiv import cycle_equivalence_scc
+from repro.core.cycle_equiv_slow import (
+    cycle_equivalence_bracket_sets,
+    cycle_equivalence_bruteforce,
+    group_by_class,
+)
+from repro.core.pst import build_pst
+from repro.core.sese import canonical_sese_regions
+from repro.controldep.fow import control_regions_by_definition
+from repro.controldep.regions_cfs import control_regions_cfs
+from repro.controldep.regions_fast import control_regions
+from repro.dataflow.elimination import solve_elimination
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+)
+from repro.dataflow.qpg import solve_qpg
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.pst_dominators import pst_immediate_dominators
+from repro.dominance.tree import DominatorTree
+from repro.fuzz.generator import FuzzCase
+from repro.ssa.phi_placement import phi_blocks_cytron
+from repro.ssa.pst_phi import phi_blocks_pst
+
+# Size gate for the exponential brute-force cycle enumerator.
+BRUTEFORCE_MAX_NODES = 9
+BRUTEFORCE_MAX_EDGES = 16
+
+
+@dataclass
+class Divergence:
+    """A structured record of one fast/slow disagreement."""
+
+    oracle: str
+    seed: int
+    strategy: str
+    detail: str
+    cfg: CFG
+
+    def summary(self) -> str:
+        return (
+            f"[{self.oracle}] seed={self.seed} strategy={self.strategy} "
+            f"|V|={self.cfg.num_nodes} |E|={self.cfg.num_edges}: {self.detail}"
+        )
+
+
+@dataclass
+class Oracle:
+    """A named cross-check over one fuzz case."""
+
+    name: str
+    check: Callable[[FuzzCase], Optional[str]]
+
+    def run(self, case: FuzzCase) -> Optional[Divergence]:
+        try:
+            detail = self.check(case)
+        except Exception as error:  # crashes are divergences, not aborts
+            detail = f"raised {type(error).__name__}: {error}"
+        if detail is None:
+            return None
+        return Divergence(
+            oracle=self.name,
+            seed=case.seed,
+            strategy=case.strategy,
+            detail=detail,
+            cfg=case.cfg,
+        )
+
+
+# ----------------------------------------------------------------------
+# partition helpers
+# ----------------------------------------------------------------------
+
+def _partition_by_eid(classes: Dict[Edge, object]) -> Sequence[frozenset]:
+    groups = group_by_class(classes)
+    return sorted(
+        (frozenset(e.eid for e in edges) for edges in groups.values()),
+        key=lambda s: min(s),
+    )
+
+
+def _diff_partitions(fast, slow) -> Optional[str]:
+    fast_p, slow_p = _partition_by_eid(fast), _partition_by_eid(slow)
+    if set(fast_p) == set(slow_p):
+        return None
+    only_fast = [sorted(s) for s in fast_p if s not in slow_p]
+    only_slow = [sorted(s) for s in slow_p if s not in fast_p]
+    return f"fast-only classes {only_fast} vs slow-only classes {only_slow} (edge ids)"
+
+
+# ----------------------------------------------------------------------
+# cycle equivalence
+# ----------------------------------------------------------------------
+
+def _check_cycle_equiv_bracket_sets(case: FuzzCase) -> Optional[str]:
+    augmented, _ = case.cfg.with_return_edge()
+    fast = cycle_equivalence_scc(augmented, root=augmented.start).class_of
+    slow = cycle_equivalence_bracket_sets(augmented)
+    return _diff_partitions(fast, slow)
+
+
+def _check_cycle_equiv_bruteforce(case: FuzzCase) -> Optional[str]:
+    augmented, _ = case.cfg.with_return_edge()
+    if (
+        augmented.num_nodes > BRUTEFORCE_MAX_NODES
+        or augmented.num_edges > BRUTEFORCE_MAX_EDGES
+    ):
+        return None  # exponential oracle; skip large graphs
+    fast = cycle_equivalence_scc(augmented, root=augmented.start).class_of
+    brute = cycle_equivalence_bruteforce(augmented)
+    return _diff_partitions(fast, brute)
+
+
+# ----------------------------------------------------------------------
+# SESE regions and the PST
+# ----------------------------------------------------------------------
+
+def _check_sese_slow_partition(case: FuzzCase) -> Optional[str]:
+    """Canonical regions derived from the fast vs the slow edge partition.
+
+    The slow partition is computed on the augmented graph and mapped back to
+    the original edges positionally (``with_return_edge`` copies edges in
+    order), then fed through the same §3.6 DFS pairing.
+    """
+    cfg = case.cfg
+    augmented, back = cfg.with_return_edge()
+    slow = cycle_equivalence_bracket_sets(augmented)
+    # Augmented edge i corresponds to cfg.edges[i]; the return edge is last.
+    by_eid = {edge.eid: slow[edge] for edge in augmented.edges if edge is not back}
+
+    class _SlowEquiv:
+        class_of = {edge: by_eid[edge.eid] for edge in cfg.edges}
+
+    fast_regions = canonical_sese_regions(cfg)
+    slow_regions = canonical_sese_regions(cfg, _SlowEquiv())
+    fast_pairs = sorted((r.entry.eid, r.exit.eid) for r in fast_regions)
+    slow_pairs = sorted((r.entry.eid, r.exit.eid) for r in slow_regions)
+    if fast_pairs != slow_pairs:
+        return f"fast canonical regions {fast_pairs} != slow-derived {slow_pairs} (edge-id pairs)"
+    return None
+
+
+def _check_sese_definition(case: FuzzCase) -> Optional[str]:
+    """Every canonical region satisfies Definition 2 literally.
+
+    Edge dominance/postdominance is checked on the edge-split graph:
+    ``a`` dominates ``b`` iff split(a) dominates split(b).
+    """
+    cfg = case.cfg
+    regions = canonical_sese_regions(cfg)
+    if not regions:
+        return None
+    split, split_node = cfg.edge_split()
+    dom = DominatorTree(immediate_dominators(split, root=split.start), split.start)
+    rsplit = split.reversed()
+    pdom = DominatorTree(immediate_dominators(rsplit, root=rsplit.start), rsplit.start)
+    for region in regions:
+        a, b = split_node[region.entry], split_node[region.exit]
+        if not dom.dominates(a, b):
+            return f"region {region.describe()}: entry does not dominate exit"
+        if not pdom.dominates(b, a):
+            return f"region {region.describe()}: exit does not postdominate entry"
+    return None
+
+
+def _check_pst_structure(case: FuzzCase) -> Optional[str]:
+    """PST construction invariants: coverage, nesting, stack discipline.
+
+    The stack-discipline assertions fire inside :func:`build_pst`; this
+    check adds node-coverage and parent-containment validation on top.
+    """
+    cfg = case.cfg
+    pst = build_pst(cfg)
+    seen = {}
+    for region in pst.regions():
+        for node in region.own_nodes:
+            if node in seen:
+                return f"node {node!r} owned by two regions"
+            seen[node] = region
+    missing = [n for n in cfg.nodes if n not in seen]
+    if missing:
+        return f"nodes {missing!r} not owned by any region"
+    for region in pst.canonical_regions():
+        parent = region.parent
+        if parent is None:
+            return f"canonical region {region.describe()} has no parent"
+        interior = set(region.nodes())
+        for node in interior:
+            if not pst.contains(region, node):
+                return f"containment query disagrees with nodes() for {node!r}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# dominators
+# ----------------------------------------------------------------------
+
+def _diff_idoms(a: Dict, b: Dict, la: str, lb: str) -> Optional[str]:
+    if a == b:
+        return None
+    keys = set(a) | set(b)
+    diffs = [
+        f"{node!r}: {la}={a.get(node)!r} {lb}={b.get(node)!r}"
+        for node in keys
+        if a.get(node) != b.get(node)
+    ]
+    return f"idom mismatch ({la} vs {lb}): " + "; ".join(sorted(diffs)[:5])
+
+
+def _check_dominators(case: FuzzCase) -> Optional[str]:
+    cfg = case.cfg
+    iterative = immediate_dominators(cfg)
+    lt = lengauer_tarjan(cfg)
+    pst_based = pst_immediate_dominators(cfg)
+    return (
+        _diff_idoms(iterative, lt, "iterative", "lengauer-tarjan")
+        or _diff_idoms(iterative, pst_based, "iterative", "pst")
+    )
+
+
+def _check_postdominators(case: FuzzCase) -> Optional[str]:
+    reverse = case.cfg.reversed()
+    iterative = immediate_dominators(reverse)
+    lt = lengauer_tarjan(reverse)
+    return _diff_idoms(iterative, lt, "iterative", "lengauer-tarjan")
+
+
+# ----------------------------------------------------------------------
+# control regions (Theorem 7)
+# ----------------------------------------------------------------------
+
+def _check_control_regions(case: FuzzCase) -> Optional[str]:
+    cfg = case.cfg
+    fast = control_regions(cfg, validate=False)
+    by_def = control_regions_by_definition(cfg)
+    if fast != by_def:
+        return f"fast {fast} != definitional {by_def}"
+    cfs = control_regions_cfs(cfg)
+    if fast != cfs:
+        return f"fast {fast} != CFS90 {cfs}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# dataflow solvers
+# ----------------------------------------------------------------------
+
+def _diff_solutions(a, b, la: str, lb: str, nodes) -> Optional[str]:
+    for node in nodes:
+        if a.before[node] != b.before[node]:
+            return (
+                f"{la}.before[{node!r}]={sorted(map(repr, a.before[node]))} != "
+                f"{lb}.before[{node!r}]={sorted(map(repr, b.before[node]))}"
+            )
+        if a.after[node] != b.after[node]:
+            return (
+                f"{la}.after[{node!r}]={sorted(map(repr, a.after[node]))} != "
+                f"{lb}.after[{node!r}]={sorted(map(repr, b.after[node]))}"
+            )
+    return None
+
+
+def _check_dataflow(case: FuzzCase) -> Optional[str]:
+    proc = case.proc
+    pst = build_pst(proc.cfg)
+    for problem_cls in (ReachingDefinitions, LiveVariables, AvailableExpressions):
+        problem = problem_cls(proc)
+        iterative = solve_iterative(proc.cfg, problem)
+        elimination = solve_elimination(proc.cfg, problem, pst)
+        diff = _diff_solutions(
+            iterative, elimination, "iterative", f"elimination[{problem_cls.__name__}]",
+            proc.cfg.nodes,
+        )
+        if diff:
+            return diff
+        sparse = solve_qpg(proc.cfg, problem, pst).solution
+        diff = _diff_solutions(
+            iterative, sparse, "iterative", f"qpg[{problem_cls.__name__}]",
+            proc.cfg.nodes,
+        )
+        if diff:
+            return diff
+    return None
+
+
+# ----------------------------------------------------------------------
+# φ-placement
+# ----------------------------------------------------------------------
+
+def _check_phi_placement(case: FuzzCase) -> Optional[str]:
+    proc = case.proc
+    cytron = phi_blocks_cytron(proc)
+    pst_based = phi_blocks_pst(proc)
+    if cytron == pst_based:
+        return None
+    for var in sorted(set(cytron) | set(pst_based)):
+        a, b = cytron.get(var, set()), pst_based.get(var, set())
+        if a != b:
+            return (
+                f"φ-blocks for {var!r}: cytron={sorted(map(repr, a))} "
+                f"pst={sorted(map(repr, b))}"
+            )
+    return None
+
+
+ALL_ORACLES: List[Oracle] = [
+    Oracle("cycle-equiv/bracket-sets", _check_cycle_equiv_bracket_sets),
+    Oracle("cycle-equiv/bruteforce", _check_cycle_equiv_bruteforce),
+    Oracle("sese/slow-partition", _check_sese_slow_partition),
+    Oracle("sese/definition", _check_sese_definition),
+    Oracle("pst/structure", _check_pst_structure),
+    Oracle("dominators/matrix", _check_dominators),
+    Oracle("postdominators/pair", _check_postdominators),
+    Oracle("control-regions/matrix", _check_control_regions),
+    Oracle("dataflow/solvers", _check_dataflow),
+    Oracle("phi/placement", _check_phi_placement),
+]
+
+ORACLES_BY_NAME: Dict[str, Oracle] = {oracle.name: oracle for oracle in ALL_ORACLES}
+
+
+def run_oracles(
+    case: FuzzCase, oracles: Optional[Sequence[Oracle]] = None
+) -> List[Divergence]:
+    """Run (a subset of) the matrix on one case; empty list means agreement."""
+    out: List[Divergence] = []
+    for oracle in oracles if oracles is not None else ALL_ORACLES:
+        divergence = oracle.run(case)
+        if divergence is not None:
+            out.append(divergence)
+    return out

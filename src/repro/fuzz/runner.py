@@ -1,0 +1,133 @@
+"""The deterministic fuzz-campaign driver behind ``repro fuzz``.
+
+A campaign is fully determined by ``(seed, count, size)``: case ``i`` uses
+seed ``seed + i`` and the strategy round-robin of
+:func:`repro.fuzz.generator.generate_case`, so any divergence is
+reproducible from the numbers in its report line alone.  Each divergence is
+immediately shrunk and rendered as a pytest regression case; a campaign
+with ``zero unshrunk divergences`` is the repo's release criterion for the
+fast/slow pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cfg.graph import CFG
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.oracles import ALL_ORACLES, Divergence, Oracle, ORACLES_BY_NAME
+from repro.fuzz.shrink import regression_test_source, shrink_cfg
+
+
+@dataclass
+class ShrunkDivergence:
+    """A divergence plus its minimized graph and regression-test rendering."""
+
+    divergence: Divergence
+    shrunk_cfg: CFG
+    test_source: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    seed: int
+    count: int
+    size: int
+    cases_run: int = 0
+    elapsed: float = 0.0
+    per_strategy: Dict[str, int] = field(default_factory=dict)
+    divergences: List[ShrunkDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def throughput(self) -> float:
+        """Cases per second through the full oracle matrix."""
+        return self.cases_run / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} count={self.count} size={self.size}",
+            f"  cases run: {self.cases_run} in {self.elapsed:.1f}s "
+            f"({self.throughput:.1f} CFGs/s through the oracle matrix)",
+        ]
+        for strategy, n in sorted(self.per_strategy.items()):
+            lines.append(f"    {strategy}: {n}")
+        if self.ok:
+            lines.append("  divergences: none")
+        else:
+            lines.append(f"  divergences: {len(self.divergences)}")
+            for item in self.divergences:
+                d = item.divergence
+                lines.append(f"  - {d.summary()}")
+                lines.append(
+                    f"    shrunk to |V|={item.shrunk_cfg.num_nodes} "
+                    f"|E|={item.shrunk_cfg.num_edges}; regression test:"
+                )
+                lines.extend("      " + line for line in item.test_source.splitlines())
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int = 0,
+    count: int = 100,
+    size: int = 10,
+    oracles: Optional[Sequence[Oracle]] = None,
+    time_budget: Optional[float] = None,
+    on_case: Optional[Callable[[FuzzCase], None]] = None,
+) -> FuzzReport:
+    """Run a deterministic campaign; shrink every divergence found.
+
+    ``time_budget`` (seconds) stops the campaign early once exceeded --
+    determinism is preserved for the cases that did run, since case ``i``
+    depends only on ``seed + i``.  ``oracles`` restricts the matrix (by
+    default all cross-checks run on every case).
+    """
+    matrix = list(oracles) if oracles is not None else list(ALL_ORACLES)
+    report = FuzzReport(seed=seed, count=count, size=size)
+    started = time.monotonic()
+    for index in range(count):
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            break
+        case = generate_case(seed + index, size=size)
+        if on_case is not None:
+            on_case(case)
+        report.cases_run += 1
+        report.per_strategy[case.strategy] = report.per_strategy.get(case.strategy, 0) + 1
+        for divergence in _run_matrix(case, matrix):
+            report.divergences.append(_shrink_divergence(divergence, matrix))
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def _run_matrix(case: FuzzCase, matrix: Sequence[Oracle]) -> List[Divergence]:
+    out: List[Divergence] = []
+    for oracle in matrix:
+        divergence = oracle.run(case)
+        if divergence is not None:
+            out.append(divergence)
+    return out
+
+
+def _shrink_divergence(divergence: Divergence, matrix: Sequence[Oracle]) -> ShrunkDivergence:
+    oracle = ORACLES_BY_NAME[divergence.oracle]
+
+    def still_diverges(candidate: CFG) -> bool:
+        case = FuzzCase(seed=divergence.seed, strategy=divergence.strategy, cfg=candidate)
+        return oracle.run(case) is not None
+
+    shrunk = shrink_cfg(divergence.cfg, still_diverges)
+    source = regression_test_source(
+        shrunk,
+        divergence.oracle,
+        divergence.seed,
+        divergence.strategy,
+        detail=divergence.detail,
+    )
+    return ShrunkDivergence(divergence=divergence, shrunk_cfg=shrunk, test_source=source)

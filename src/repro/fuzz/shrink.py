@@ -1,0 +1,153 @@
+"""Greedy divergence-preserving CFG minimization.
+
+Given a divergent CFG and a predicate that re-checks the divergence, the
+shrinker repeatedly tries structure-removing mutations -- delete an edge,
+delete a node with its incident edges, collapse a chain node -- keeping a
+mutation only when the result is still a *valid* CFG (Definition 1) on
+which the divergence persists.  The passes loop to a fixpoint, so the
+result is 1-minimal with respect to the mutation set: removing any single
+remaining edge or node either breaks validity or makes the disagreement
+disappear.
+
+The payoff is :func:`regression_test_source`: a shrunk divergence becomes a
+self-contained, ready-to-paste pytest case that rebuilds the minimal graph
+edge-by-edge and asserts the oracle pair agrees, pinning the fix forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, NodeId
+from repro.cfg.validate import is_valid_cfg
+from repro.fuzz.generator import cfg_from_edges, edges_of
+
+#: Predicate: True iff the CFG still exhibits the divergence being shrunk.
+Property = Callable[[CFG], bool]
+
+
+def _rebuild(
+    start: NodeId, end: NodeId, pairs: List[Tuple[NodeId, NodeId]], name: str
+) -> CFG:
+    cfg = cfg_from_edges(start, end, pairs, name=name)
+    # Preserve isolated start/end (cfg_from_edges adds them); interior nodes
+    # only exist through edges, which is exactly what minimization wants.
+    return cfg
+
+
+def _still_fails(candidate: CFG, prop: Property) -> bool:
+    if not is_valid_cfg(candidate):
+        return False
+    try:
+        return prop(candidate)
+    except Exception:
+        # The property itself crashing on a smaller graph usually means the
+        # divergence mutated into a different bug; keep the current shape.
+        return False
+
+
+def shrink_cfg(cfg: CFG, prop: Property, max_rounds: int = 50) -> CFG:
+    """Minimize ``cfg`` while ``prop`` holds; returns the shrunk graph.
+
+    ``prop`` must be True for ``cfg`` itself (otherwise there is nothing to
+    shrink, and the input is returned unchanged).
+    """
+    if not _still_fails(cfg, prop):
+        return cfg
+    start, end, name = cfg.start, cfg.end, f"{cfg.name}.shrunk"
+    pairs = [tuple(p) for p in edges_of(cfg)]
+
+    for _ in range(max_rounds):
+        changed = False
+
+        # Pass 1: drop single edges (back to front: later edges are usually
+        # the sprinkled adversarial ones, so this converges fastest).
+        index = len(pairs) - 1
+        while index >= 0:
+            candidate_pairs = pairs[:index] + pairs[index + 1:]
+            candidate = _rebuild(start, end, candidate_pairs, name)
+            if _still_fails(candidate, prop):
+                pairs = candidate_pairs
+                changed = True
+            index -= 1
+
+        # Pass 2: drop whole nodes (all incident edges at once) -- removes
+        # nodes whose every edge is individually load-bearing for validity.
+        for node in _interior_nodes(start, end, pairs):
+            candidate_pairs = [
+                p for p in pairs if p[0] != node and p[1] != node
+            ]
+            if len(candidate_pairs) == len(pairs):
+                continue
+            candidate = _rebuild(start, end, candidate_pairs, name)
+            if _still_fails(candidate, prop):
+                pairs = candidate_pairs
+                changed = True
+
+        # Pass 3: splice out chain nodes (unique pred and succ): replace
+        # ``u -> n -> v`` by ``u -> v``, shortening spines the edge/node
+        # passes cannot touch without breaking validity.
+        for node in _interior_nodes(start, end, pairs):
+            incoming = [p for p in pairs if p[1] == node]
+            outgoing = [p for p in pairs if p[0] == node]
+            if len(incoming) != 1 or len(outgoing) != 1:
+                continue
+            u, v = incoming[0][0], outgoing[0][1]
+            if u == node or v == node:
+                continue  # self-loop chain; pass 1/2 territory
+            candidate_pairs = [
+                p for p in pairs if p[0] != node and p[1] != node
+            ]
+            candidate_pairs.append((u, v))
+            candidate = _rebuild(start, end, candidate_pairs, name)
+            if _still_fails(candidate, prop):
+                pairs = candidate_pairs
+                changed = True
+
+        if not changed:
+            break
+    return _rebuild(start, end, pairs, name)
+
+
+def _interior_nodes(
+    start: NodeId, end: NodeId, pairs: List[Tuple[NodeId, NodeId]]
+) -> List[NodeId]:
+    seen: List[NodeId] = []
+    for source, target in pairs:
+        for node in (source, target):
+            if node not in (start, end) and node not in seen:
+                seen.append(node)
+    return seen
+
+
+def regression_test_source(
+    cfg: CFG,
+    oracle_name: str,
+    seed: int,
+    strategy: str,
+    detail: str = "",
+    test_name: Optional[str] = None,
+) -> str:
+    """A ready-to-paste pytest case asserting the oracle passes on ``cfg``.
+
+    The emitted test rebuilds the shrunk graph explicitly (no generator
+    involved, so it stays stable if generation strategies evolve) and
+    asserts the named oracle reports agreement.
+    """
+    safe = oracle_name.replace("/", "_").replace("-", "_")
+    test_name = test_name or f"test_{safe}_seed{seed}"
+    pair_lines = "".join(
+        f"        ({source!r}, {target!r}),\n" for source, target in edges_of(cfg)
+    )
+    comment = f"    # {detail}\n" if detail else ""
+    return (
+        f"def {test_name}():\n"
+        f'    """Shrunk from `repro fuzz` seed={seed} strategy={strategy}."""\n'
+        f"{comment}"
+        f"    cfg = cfg_from_edges({cfg.start!r}, {cfg.end!r}, [\n"
+        f"{pair_lines}"
+        f"    ])\n"
+        f"    case = FuzzCase(seed={seed}, strategy={strategy!r}, cfg=cfg)\n"
+        f"    divergence = ORACLES_BY_NAME[{oracle_name!r}].run(case)\n"
+        f"    assert divergence is None, divergence.detail\n"
+    )

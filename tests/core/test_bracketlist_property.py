@@ -1,0 +1,142 @@
+"""Property-based model checking of the BracketList ADT (§3.5).
+
+The reference model is a plain Python list with the top at index 0.  A
+hypothesis state machine drives random interleavings of all four mutating
+operations -- ``push``, ``top``, ``delete``, ``concat`` -- across a pool of
+lists, which in particular exercises deletion of brackets that arrived in a
+list via the O(1) ``concat`` splice (the operation pattern the cycle
+equivalence algorithm relies on when it merges child bracket lists and later
+deletes brackets from arbitrary positions of the merged list).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.bracketlist import Bracket, BracketList
+
+N_LISTS = 4
+
+
+class BracketListMachine(RuleBasedStateMachine):
+    """Random push/top/delete/concat over a pool of lists vs list models."""
+
+    def __init__(self):
+        super().__init__()
+        self.real = [BracketList() for _ in range(N_LISTS)]
+        self.model = [[] for _ in range(N_LISTS)]  # top at index 0
+        self.counter = 0
+
+    def _owner(self, bracket):
+        for i in range(N_LISTS):
+            if bracket in self.model[i]:
+                return i
+        raise AssertionError("bracket not owned by any model list")
+
+    @rule(i=st.integers(0, N_LISTS - 1))
+    def push(self, i):
+        bracket = Bracket(self.counter)
+        self.counter += 1
+        self.real[i].push(bracket)
+        self.model[i].insert(0, bracket)
+
+    @rule(i=st.integers(0, N_LISTS - 1), pick=st.integers(0, 10**6))
+    def delete(self, i, pick):
+        if not self.model[i]:
+            return
+        bracket = self.model[i][pick % len(self.model[i])]
+        self.real[i].delete(bracket)
+        self.model[i].remove(bracket)
+        assert bracket.cell is None
+
+    @rule(i=st.integers(0, N_LISTS - 1), j=st.integers(0, N_LISTS - 1))
+    def concat(self, i, j):
+        if i == j:
+            return
+        result = self.real[i].concat(self.real[j])
+        assert result is self.real[i]
+        self.model[i] = self.model[i] + self.model[j]
+        self.model[j] = []
+
+    @invariant()
+    def real_matches_model(self):
+        for real, model in zip(self.real, self.model):
+            assert real.size == len(model)
+            assert len(real) == len(model)
+            assert real.to_list() == model
+            if model:
+                assert real.top() is model[0]
+
+
+TestBracketListMachine = BracketListMachine.TestCase
+TestBracketListMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)
+
+
+@given(
+    upper_n=st.integers(0, 6),
+    lower_n=st.integers(1, 6),
+    delete_seed=st.integers(0, 2**32 - 1),
+)
+def test_delete_after_concat_matches_model(upper_n, lower_n, delete_seed):
+    """Brackets spliced in by ``concat`` are deletable from any position.
+
+    Empties the merged list in a random order so deletions hit the top,
+    the bottom, and cells on both sides of the splice boundary.
+    """
+    upper, lower = BracketList(), BracketList()
+    model = []
+    for k in range(upper_n):
+        b = Bracket(("u", k))
+        upper.push(b)
+        model.insert(0, b)
+    spliced = []
+    for k in range(lower_n):
+        b = Bracket(("l", k))
+        lower.push(b)
+        spliced.insert(0, b)
+    model.extend(spliced)
+
+    upper.concat(lower)
+    assert lower.size == 0 and lower.to_list() == []
+    assert upper.to_list() == model
+
+    order = list(model)
+    random.Random(delete_seed).shuffle(order)
+    for bracket in order:
+        upper.delete(bracket)
+        model.remove(bracket)
+        assert upper.to_list() == model
+        assert upper.size == len(model)
+    assert upper.size == 0
+
+
+@given(sizes=st.lists(st.integers(0, 4), min_size=2, max_size=6))
+def test_chained_concat_preserves_stack_order(sizes):
+    """Folding many lists with ``concat`` behaves like list concatenation."""
+    lists, models = [], []
+    tag = 0
+    for n in sizes:
+        bl, model = BracketList(), []
+        for _ in range(n):
+            b = Bracket(tag)
+            tag += 1
+            bl.push(b)
+            model.insert(0, b)
+        lists.append(bl)
+        models.append(model)
+
+    acc, acc_model = lists[0], models[0]
+    for bl, model in zip(lists[1:], models[1:]):
+        acc.concat(bl)
+        acc_model = acc_model + model
+        assert bl.size == 0
+    assert acc.to_list() == acc_model
+    # a push after the fold still lands on top of everything
+    newest = Bracket("newest")
+    acc.push(newest)
+    assert acc.top() is newest
+    assert acc.to_list() == [newest] + acc_model

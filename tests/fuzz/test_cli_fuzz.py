@@ -1,0 +1,52 @@
+"""The ``repro fuzz`` subcommand (direct main() invocation, no subprocess)."""
+
+import io
+
+from repro.cli import main
+from repro.fuzz.oracles import ALL_ORACLES
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_fuzz_campaign_clean_exit():
+    code, text = run(["fuzz", "--seed", "0", "--count", "30", "--size", "6"])
+    assert code == 0
+    assert "divergences: none" in text
+    assert "CFGs/s" in text
+
+
+def test_fuzz_list_oracles():
+    code, text = run(["fuzz", "--list-oracles"])
+    assert code == 0
+    for oracle in ALL_ORACLES:
+        assert oracle.name in text
+
+
+def test_fuzz_single_oracle_restriction():
+    code, text = run(["fuzz", "--count", "10", "--oracle", "dominators/matrix"])
+    assert code == 0
+    assert "divergences: none" in text
+
+
+def test_fuzz_unknown_oracle_rejected():
+    code, _ = run(["fuzz", "--count", "1", "--oracle", "no/such-oracle"])
+    assert code == 2
+
+
+def test_fuzz_time_budget_short_circuits():
+    code, text = run(["fuzz", "--count", "100000", "--budget", "0.5", "--size", "4"])
+    assert code == 0
+    assert "divergences: none" in text
+
+
+def test_analyze_mode_still_default(tmp_path):
+    """The original file-analysis interface is untouched by the subcommand."""
+    path = tmp_path / "p.mini"
+    path.write_text("proc f() { return 1; }")
+    code, text = run([str(path)])
+    assert code == 0
+    assert "proc f:" in text

@@ -1,0 +1,109 @@
+"""Degenerate-CFG handling: one exception type across every entry point.
+
+The differential harness surfaced a mix of raw ``KeyError`` crashes and
+:class:`InvalidCFGError` on the same degenerate inputs; these tests pin the
+unified contract documented in :mod:`repro.cfg.validate`:
+
+* Definition-1 consumers (SESE regions, PST, control regions, control
+  dependence, PST-based dominators) raise ``InvalidCFGError`` on any
+  invariant violation;
+* rooted-graph algorithms (the two whole-graph dominator computations)
+  accept degenerate-but-rooted graphs and raise ``InvalidCFGError`` only
+  when the root itself is missing or unset.
+"""
+
+import pytest
+
+from repro.cfg.graph import CFG, InvalidCFGError
+from repro.controldep import (
+    control_dependence,
+    control_regions,
+    control_regions_by_definition,
+    control_regions_cfs,
+)
+from repro.core.pst import build_pst
+from repro.core.sese import canonical_sese_regions
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.pst_dominators import pst_immediate_dominators
+
+
+def single_node():
+    return CFG(start="a", end="a")
+
+
+def start_equals_end_loop():
+    cfg = CFG(start="a", end="a")
+    cfg.add_edge("a", "a")
+    return cfg
+
+
+def dead_end_node():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "e")
+    cfg.add_edge("s", "x")  # x cannot reach end
+    return cfg
+
+
+def unreachable_node():
+    cfg = CFG(start="s", end="e")
+    cfg.add_edge("s", "e")
+    cfg.add_node("orphan")
+    cfg.add_edge("orphan", "e")
+    return cfg
+
+
+def no_start_set():
+    cfg = CFG()
+    cfg.add_edge("a", "b")
+    return cfg
+
+
+DEFINITION1_CONSUMERS = [
+    canonical_sese_regions,
+    build_pst,
+    pst_immediate_dominators,
+    control_regions,
+    control_regions_by_definition,
+    control_regions_cfs,
+    control_dependence,
+]
+
+DEGENERATE_GRAPHS = [
+    single_node,
+    start_equals_end_loop,
+    dead_end_node,
+    unreachable_node,
+]
+
+
+@pytest.mark.parametrize("consumer", DEFINITION1_CONSUMERS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("make_graph", DEGENERATE_GRAPHS, ids=lambda f: f.__name__)
+def test_definition1_consumers_raise_invalid_cfg(consumer, make_graph):
+    with pytest.raises(InvalidCFGError):
+        consumer(make_graph())
+
+
+@pytest.mark.parametrize(
+    "dominators", [immediate_dominators, lengauer_tarjan], ids=lambda f: f.__name__
+)
+def test_dominators_accept_degenerate_but_rooted(dominators):
+    assert dominators(single_node()) == {"a": "a"}
+    assert dominators(start_equals_end_loop()) == {"a": "a"}
+    idom = dominators(dead_end_node())
+    assert idom["x"] == "s" and idom["e"] == "s"
+
+
+@pytest.mark.parametrize(
+    "dominators", [immediate_dominators, lengauer_tarjan], ids=lambda f: f.__name__
+)
+def test_dominators_missing_root_raises_invalid_cfg(dominators):
+    with pytest.raises(InvalidCFGError):
+        dominators(no_start_set())
+    with pytest.raises(InvalidCFGError):
+        dominators(single_node(), root="ghost")
+
+
+def test_invalid_cfg_error_is_a_value_error():
+    """Callers that catch ValueError keep working across the unification."""
+    assert issubclass(InvalidCFGError, ValueError)

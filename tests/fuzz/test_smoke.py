@@ -1,0 +1,39 @@
+"""The ``fuzz_smoke`` tier-1 entry point: fixed seeds, bounded time.
+
+These campaigns run on every PR (they are part of the plain pytest run and
+carry the ``fuzz_smoke`` marker for selective runs via
+``pytest -m fuzz_smoke``).  Seeds are pinned so failures reproduce exactly
+with ``repro fuzz --seed <seed> --count <count> --size <size>``; the
+per-campaign time budget keeps the whole module comfortably under the 30 s
+CI allowance even on slow machines.
+"""
+
+import pytest
+
+from repro.fuzz.runner import run_fuzz
+
+# (seed, count, size): three windows over the seed space at two size scales.
+SMOKE_CAMPAIGNS = [
+    (0, 120, 8),
+    (1_000, 60, 16),
+    (1_994, 36, 24),
+]
+
+
+@pytest.mark.fuzz_smoke
+@pytest.mark.parametrize("seed,count,size", SMOKE_CAMPAIGNS)
+def test_smoke_campaign(seed, count, size):
+    report = run_fuzz(seed=seed, count=count, size=size, time_budget=10.0)
+    assert report.ok, "\n" + report.render()
+    # The budget must not have silently eaten the campaign: a throughput
+    # collapse is a harness regression we want to see, not mask.
+    assert report.cases_run >= min(count, 20)
+
+
+@pytest.mark.fuzz_smoke
+def test_smoke_covers_every_strategy():
+    report = run_fuzz(seed=0, count=12, size=6)
+    assert report.ok, "\n" + report.render()
+    from repro.fuzz.generator import STRATEGIES
+
+    assert set(report.per_strategy) == set(STRATEGIES)
