@@ -18,11 +18,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.errors import ReproError
+
 NodeId = Hashable
 
 
-class InvalidCFGError(ValueError):
-    """Raised when a graph violates the CFG invariants of Definition 1."""
+class InvalidCFGError(ReproError, ValueError):
+    """Raised when a graph violates the CFG invariants of Definition 1.
+
+    Part of the :mod:`repro.errors` taxonomy (rooted at
+    :class:`~repro.errors.ReproError`); the ``ValueError`` base is kept for
+    backward compatibility with callers that predate the taxonomy.
+    """
 
 
 class Edge:

@@ -17,6 +17,28 @@ The ``fuzz`` subcommand runs the differential fuzzing harness (see
 
     python -m repro fuzz --seed 0 --count 500   # a full campaign
     python -m repro fuzz --oracle dominators/matrix --budget 10
+    python -m repro fuzz --count 1000 --fail-fast
+
+The ``batch`` subcommand runs the resilient analysis engine over a corpus
+of source files with per-item isolation and JSONL checkpoint/resume (see
+:mod:`repro.resilience.batch` and ``docs/ROBUSTNESS.md``)::
+
+    python -m repro batch corpus/*.mini --checkpoint run.jsonl
+
+Exit codes (all commands; a multi-procedure run reports the worst):
+
+====  ==============================================================
+0     success
+1     parse/lowering diagnostics, no such procedure, fuzz divergence
+2     usage or I/O errors (unreadable file, bad flag value)
+3     a procedure's CFG violates Definition 1 (invalid CFG)
+4     analysis failure: internal error, guard trip, or divergence
+      detected while analyzing a valid CFG; batch items failed
+====  ==============================================================
+
+Analysis errors never surface as raw tracebacks: each procedure is
+isolated, and failures print one structured ``error[...]`` line naming the
+procedure and the failure class.
 """
 
 from __future__ import annotations
@@ -26,14 +48,23 @@ import sys
 from typing import List, Optional
 
 from repro.cfg.dot import cfg_to_dot, pst_to_dot
+from repro.cfg.graph import InvalidCFGError
 from repro.controldep import control_regions
 from repro.core.pst import build_pst
 from repro.core.region_kinds import classify_pst
+from repro.errors import AnalysisError, ReproError, ResourceExhausted
 from repro.ir import LoweredProcedure
 from repro.lang import lower_program, parse_program
 from repro.ssa.pst_phi import place_phis_pst
 from repro.ssa.rename import construct_ssa
 from repro.ssa.verify import verify_ssa
+
+# Exit codes (documented in the module docstring and docs/ROBUSTNESS.md).
+EXIT_OK = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_USAGE_IO = 2
+EXIT_INVALID_CFG = 3
+EXIT_ANALYSIS_FAILED = 4
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -76,7 +107,93 @@ def build_fuzz_arg_parser() -> argparse.ArgumentParser:
         "--emit-tests", metavar="PATH", default=None,
         help="append shrunk regression tests for any divergences to PATH",
     )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop the campaign at the first diverging case",
+    )
     return parser
+
+
+def build_batch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Resilient corpus run: analyze every procedure of every "
+        "file through the guarded engine, with per-item isolation, retries, "
+        "and JSONL checkpoint/resume",
+    )
+    parser.add_argument("sources", nargs="+", help="MiniLang source files")
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSONL checkpoint file: completed items are appended and "
+        "skipped on re-runs",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore (and truncate) an existing checkpoint instead of resuming",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra batch-level tries for failed items (default 1)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="initial backoff between retries, doubled each time (default 0.05)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-item wall-clock deadline forwarded to the engine",
+    )
+    parser.add_argument(
+        "--step-budget", type=int, default=None, metavar="STEPS",
+        help="per-attempt step budget forwarded to the engine",
+    )
+    return parser
+
+
+def batch_main(argv: List[str], out) -> int:
+    from repro.resilience.batch import run_batch
+
+    args = build_batch_arg_parser().parse_args(argv)
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE_IO
+
+    def items():
+        for path in args.sources:
+            try:
+                with open(path) as handle:
+                    source = handle.read()
+                procedures = lower_program(parse_program(source))
+            except Exception as error:
+                # The whole file is one failed item; the batch moves on.
+                message = f"{type(error).__name__}: {error}"
+                yield path, _raiser(RuntimeError(f"cannot load {path}: {message}"))
+                continue
+            for proc in procedures:
+                yield f"{path}::{proc.name}", (lambda p=proc: p.cfg)
+
+    try:
+        report = run_batch(
+            items(),
+            checkpoint_path=args.checkpoint,
+            resume=not args.no_resume,
+            retries=args.retries,
+            backoff=args.backoff,
+            deadline=args.deadline,
+            step_budget=args.step_budget,
+        )
+    except OSError as error:  # checkpoint file unusable
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE_IO
+    print(report.render(), file=out)
+    return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
+
+
+def _raiser(error: Exception):
+    def thunk():
+        raise error
+
+    return thunk
 
 
 def fuzz_main(argv: List[str], out) -> int:
@@ -102,6 +219,7 @@ def fuzz_main(argv: List[str], out) -> int:
         size=args.size,
         oracles=oracles,
         time_budget=args.budget,
+        fail_fast=args.fail_fast,
     )
     print(report.render(), file=out)
     if args.emit_tests and report.divergences:
@@ -117,6 +235,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:], out)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:], out)
     args = build_arg_parser().parse_args(argv)
 
     if args.source == "-":
@@ -141,9 +261,38 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
             return 1
 
+    worst = EXIT_OK
     for proc in procedures:
+        worst = max(worst, _report_one(proc, args, out))
+    return worst
+
+
+def _report_one(proc: LoweredProcedure, args, out) -> int:
+    """Analyze one procedure; never lets a traceback escape.
+
+    Failures are printed as one structured ``error[class]`` line naming the
+    procedure, and mapped to the documented exit codes: 3 for an invalid
+    CFG, 4 for any analysis failure (guard trip, internal invariant
+    violation, divergence) on a valid one.
+    """
+    try:
         _report(proc, args, out)
-    return 0
+        return EXIT_OK
+    except InvalidCFGError as error:
+        print(f"error[invalid-cfg]: proc {proc.name}: {error}", file=sys.stderr)
+        return EXIT_INVALID_CFG
+    except ResourceExhausted as error:
+        print(f"error[resource]: proc {proc.name}: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    except ReproError as error:
+        print(f"error[analysis]: proc {proc.name}: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    except Exception as error:  # internal invariant violations etc.
+        print(
+            f"error[internal]: proc {proc.name}: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_ANALYSIS_FAILED
 
 
 def _report(proc: LoweredProcedure, args, out) -> None:
@@ -179,7 +328,10 @@ def _report(proc: LoweredProcedure, args, out) -> None:
         placement = place_phis_pst(proc, pst).phi_blocks
         ssa = construct_ssa(proc, placement=placement)
         problems = verify_ssa(ssa)
-        assert not problems, problems
+        if problems:
+            raise AnalysisError(
+                f"SSA verification failed: {'; '.join(map(str, problems))}"
+            )
         for block in ssa.cfg.nodes:
             statements = ssa.blocks.get(block, [])
             if statements:

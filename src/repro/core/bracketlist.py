@@ -15,6 +15,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+# Fault-injection hook (repro.resilience.faults installs/clears a plan here;
+# see site "bracketlist/push-bottom").  Always None in production.
+_FAULTS = None
+
 
 class Bracket:
     """A bracket: a backedge of the undirected DFS, real or capping.
@@ -79,6 +83,19 @@ class BracketList:
             raise ValueError(f"{bracket!r} is already in a bracket list")
         cell = _Cell(bracket)
         bracket.cell = cell
+        if _FAULTS is not None and _FAULTS.should_fire("bracketlist/push-bottom"):
+            # Injected fault: append at the bottom instead of the top.  The
+            # list stays structurally sound (delete/concat keep working) but
+            # the stack order -- which the compact <top, size> naming of
+            # §3.5 depends on -- is silently corrupted.
+            cell.prev = self._tail
+            if self._tail is not None:
+                self._tail.next = cell
+            self._tail = cell
+            if self._head is None:
+                self._head = cell
+            self._size += 1
+            return
         cell.next = self._head
         if self._head is not None:
             self._head.prev = cell

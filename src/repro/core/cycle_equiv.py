@@ -40,8 +40,13 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cfg.graph import CFG, Edge, InvalidCFGError, NodeId
 from repro.cfg.validate import validate_cfg
 from repro.core.bracketlist import Bracket, BracketList
+from repro.resilience.guards import Ticker
 
 INFINITY = float("inf")
+
+# Fault-injection hook (repro.resilience.faults installs/clears a plan here;
+# see site "cycle-equiv/skip-cap").  Always None in production.
+_FAULTS = None
 
 
 class _UndirectedEdge:
@@ -109,6 +114,7 @@ def cycle_equivalence_scc(
     graph: CFG,
     root: Optional[NodeId] = None,
     virtual_edges: Tuple[Tuple[NodeId, NodeId], ...] = (),
+    ticker: Optional[Ticker] = None,
 ) -> CycleEquivalence:
     """Edge cycle-equivalence classes of a strongly connected graph.
 
@@ -122,10 +128,17 @@ def cycle_equivalence_scc(
     graph without materializing them (used for the ``end -> start``
     augmentation so callers need not copy the CFG); their classes are not
     reported in the result.
+
+    ``ticker`` is an optional :class:`~repro.resilience.guards.Ticker`
+    charged one step per node and per undirected edge ahead of the DFS, and
+    one step per node ahead of the main loop -- both phases are O(V + E),
+    so each is billed in one bulk ``tick`` at its boundary rather than
+    paying a checkpoint per iteration on the hot path.
     """
     if graph.num_nodes == 0:
         return CycleEquivalence({})
     root = graph.nodes[0] if root is None else root
+    tick = None if ticker is None else ticker.tick
 
     counter = _ClassCounter()
     class_of: Dict[Edge, int] = {}
@@ -163,6 +176,8 @@ def cycle_equivalence_scc(
     up_backedges: List[List[_UndirectedEdge]] = [[] for _ in range(capacity)]
     down_backedges: List[List[_UndirectedEdge]] = [[] for _ in range(capacity)]
 
+    if tick is not None:
+        tick(capacity + len(uedges))  # the DFS about to run is O(V + E)
     stack: List[Tuple[NodeId, int, Iterator[_UndirectedEdge]]] = [
         (root, 0, iter(adjacency[root]))
     ]
@@ -214,6 +229,8 @@ def cycle_equivalence_scc(
     blist_of: List[Optional[BracketList]] = [None] * capacity
     capping_at: List[List[Bracket]] = [[] for _ in range(capacity)]
 
+    if tick is not None:
+        tick(len(node_at))  # the reverse depth-first sweep about to run
     for num in range(len(node_at) - 1, -1, -1):
         node = node_at[num]
 
@@ -256,10 +273,13 @@ def cycle_equivalence_scc(
         # Capping backedge: needed iff a *second* child subtree reaches a
         # proper ancestor of node, higher than node's own backedges reach.
         if hi2 < hi0 and hi2 < num:
-            dest_num = int(hi2)
-            cap = Bracket(payload=(node, node_at[dest_num]), is_capping=True)
-            capping_at[dest_num].append(cap)
-            blist.push(cap)
+            if _FAULTS is not None and _FAULTS.should_fire("cycle-equiv/skip-cap"):
+                pass  # injected fault: silently skip the capping bracket
+            else:
+                dest_num = int(hi2)
+                cap = Bracket(payload=(node, node_at[dest_num]), is_capping=True)
+                capping_at[dest_num].append(cap)
+                blist.push(cap)
 
         blist_of[num] = blist
 
@@ -288,7 +308,9 @@ def cycle_equivalence_scc(
     return CycleEquivalence(class_of)
 
 
-def cycle_equivalence(cfg: CFG, validate: bool = True) -> Tuple[CycleEquivalence, Edge]:
+def cycle_equivalence(
+    cfg: CFG, validate: bool = True, ticker: Optional[Ticker] = None
+) -> Tuple[CycleEquivalence, Edge]:
     """Cycle equivalence on ``S = cfg + (end -> start)`` (Theorem 2 setup).
 
     Returns ``(equiv, return_edge)``.  ``equiv.class_of`` covers all edges of
@@ -301,11 +323,13 @@ def cycle_equivalence(cfg: CFG, validate: bool = True) -> Tuple[CycleEquivalence
     if validate:
         validate_cfg(cfg)
     augmented, return_edge = cfg.with_return_edge()
-    equiv = cycle_equivalence_scc(augmented, root=cfg.start)
+    equiv = cycle_equivalence_scc(augmented, root=cfg.start, ticker=ticker)
     return equiv, return_edge
 
 
-def cycle_equivalence_of_cfg(cfg: CFG, validate: bool = True) -> CycleEquivalence:
+def cycle_equivalence_of_cfg(
+    cfg: CFG, validate: bool = True, ticker: Optional[Ticker] = None
+) -> CycleEquivalence:
     """Cycle-equivalence classes keyed by the edges of ``cfg`` itself.
 
     The ``end -> start`` augmentation is applied virtually (no graph copy);
@@ -316,7 +340,7 @@ def cycle_equivalence_of_cfg(cfg: CFG, validate: bool = True) -> CycleEquivalenc
     if cfg.start is None or cfg.end is None:
         raise InvalidCFGError("CFG must have start and end nodes set")
     return cycle_equivalence_scc(
-        cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),)
+        cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),), ticker=ticker
     )
 
 

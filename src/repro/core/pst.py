@@ -185,15 +185,19 @@ class ProgramStructureTree:
         return len(self._canonical)
 
 
-def build_pst(cfg: CFG, equiv: Optional[CycleEquivalence] = None) -> ProgramStructureTree:
+def build_pst(
+    cfg: CFG, equiv: Optional[CycleEquivalence] = None, ticker=None
+) -> ProgramStructureTree:
     """Build the PST of ``cfg`` in O(E) time.
 
     Computes cycle equivalence (unless ``equiv`` is supplied), derives the
     canonical SESE regions, then assigns nesting and node containment with a
-    single tree-walk of the CFG's DFS tree.
+    single tree-walk of the CFG's DFS tree.  ``ticker`` (a
+    :class:`~repro.resilience.guards.Ticker`) guards the cycle-equivalence
+    phase, which dominates the running time.
     """
     if equiv is None:
-        equiv = cycle_equivalence_of_cfg(cfg)
+        equiv = cycle_equivalence_of_cfg(cfg, ticker=ticker)
     canonical = canonical_sese_regions(cfg, equiv)
     by_entry: Dict[Edge, SESERegion] = {r.entry: r for r in canonical}
     by_exit: Dict[Edge, SESERegion] = {r.exit: r for r in canonical}

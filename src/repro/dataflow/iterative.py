@@ -10,15 +10,23 @@ typical programs converge in a couple of sweeps.  Returns a
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.traversal import reverse_postorder
 from repro.dataflow.framework import BACKWARD, DataflowProblem, Solution
+from repro.resilience.guards import TICK_CHUNK, Ticker
 
 
-def solve_iterative(cfg: CFG, problem: DataflowProblem) -> Solution:
-    """Solve ``problem`` over ``cfg`` to its maximal fixpoint."""
+def solve_iterative(
+    cfg: CFG, problem: DataflowProblem, ticker: Optional[Ticker] = None
+) -> Solution:
+    """Solve ``problem`` over ``cfg`` to its maximal fixpoint.
+
+    ``ticker`` is charged one step per worklist pop (billed in batches of
+    :data:`~repro.resilience.guards.TICK_CHUNK`), so a deadline or step
+    budget bounds slowly-converging (e.g. deep-chain) instances.
+    """
     backward = problem.direction == BACKWARD
     if backward:
         graph = cfg.reversed()
@@ -37,9 +45,16 @@ def solve_iterative(cfg: CFG, problem: DataflowProblem) -> Solution:
     for node in graph.nodes:
         exit_[node] = problem.transfer(node, entry[node])
 
+    tick = None if ticker is None else ticker.tick
     pending: Set[NodeId] = set(order)
     queue = deque(order)
+    unbilled = 0
     while queue:
+        if tick is not None:
+            unbilled += 1
+            if unbilled == TICK_CHUNK:
+                tick(TICK_CHUNK)
+                unbilled = 0
         node = queue.popleft()
         pending.discard(node)
         if node != root:
@@ -57,6 +72,8 @@ def solve_iterative(cfg: CFG, problem: DataflowProblem) -> Solution:
                 if succ not in pending:
                     pending.add(succ)
                     queue.append(succ)
+    if tick is not None and unbilled:
+        tick(unbilled)
 
     if backward:
         # program order: `before` is the transferred (in) value.

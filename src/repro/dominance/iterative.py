@@ -20,14 +20,21 @@ from typing import Dict, Optional
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.traversal import reverse_postorder
 from repro.cfg.validate import require_root
+from repro.resilience.guards import Ticker
 
 
-def immediate_dominators(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, NodeId]:
+def immediate_dominators(
+    cfg: CFG, root: Optional[NodeId] = None, ticker: Optional[Ticker] = None
+) -> Dict[NodeId, NodeId]:
     """Immediate dominators of all nodes reachable from ``root``.
 
-    ``root`` defaults to ``cfg.start``.  ``idom[root] == root``.
+    ``root`` defaults to ``cfg.start``.  ``idom[root] == root``.  ``ticker``
+    is charged one step per node per fixpoint sweep (billed in bulk at the
+    top of each sweep, so the per-node loop stays guard-free), bounding the
+    worst-case O(V) sweeps irreducible graphs can need.
     """
     root = require_root(cfg, cfg.start if root is None else root, "dominator computation")
+    tick = None if ticker is None else ticker.tick
     order = reverse_postorder(cfg, root)
     postorder_num = {node: len(order) - 1 - i for i, node in enumerate(order)}
     reachable = set(order)
@@ -45,6 +52,8 @@ def immediate_dominators(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId
     changed = True
     while changed:
         changed = False
+        if tick is not None:
+            tick(len(order))  # the sweep we are about to run
         for node in order:
             if node == root:
                 continue

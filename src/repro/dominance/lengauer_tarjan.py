@@ -18,17 +18,29 @@ from typing import Dict, List, Optional
 
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.validate import require_root
+from repro.resilience.guards import Ticker
+
+# Fault-injection hook (repro.resilience.faults installs/clears a plan here;
+# see site "lengauer-tarjan/semi-skew").  Always None in production.
+_FAULTS = None
 
 
-def lengauer_tarjan(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, NodeId]:
+def lengauer_tarjan(
+    cfg: CFG, root: Optional[NodeId] = None, ticker: Optional[Ticker] = None
+) -> Dict[NodeId, NodeId]:
     """Immediate dominators of nodes reachable from ``root``.
 
     Same contract as :func:`repro.dominance.iterative.immediate_dominators`:
     ``idom[root] == root``, unreachable nodes omitted; degenerate CFGs are
     accepted but a missing root raises
-    :class:`~repro.cfg.graph.InvalidCFGError`.
+    :class:`~repro.cfg.graph.InvalidCFGError`.  ``ticker`` is charged one
+    step per node per phase (reachability probe, DFS numbering,
+    semidominators), billed in one bulk ``tick`` at each phase boundary --
+    every phase is O(V + E), so per-iteration checkpoints would only add
+    overhead without tightening the bound.
     """
     root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
+    tick = None if ticker is None else ticker.tick
 
     # --- step 1: DFS numbering (1-based; 0 is a sentinel) -----------------
     num: Dict[NodeId, int] = {}
@@ -43,6 +55,8 @@ def lengauer_tarjan(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, Nod
             if nxt not in reached:
                 reached.add(nxt)
                 probe.append(nxt)
+    if tick is not None:
+        tick(2 * n)  # the probe just done, plus the DFS numbering to come
 
     vertex: List[Optional[NodeId]] = [None] * (n + 1)
     parent = [0] * (n + 1)
@@ -85,6 +99,8 @@ def lengauer_tarjan(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, Nod
         return label[v]
 
     # --- steps 2 & 3: semidominators and implicit idoms -------------------
+    if tick is not None and n > 1:
+        tick(n - 1)  # the semidominator sweep about to run
     for w in range(n, 1, -1):
         node = vertex[w]
         for pred in cfg.predecessors(node):
@@ -94,6 +110,10 @@ def lengauer_tarjan(cfg: CFG, root: Optional[NodeId] = None) -> Dict[NodeId, Nod
             u = evaluate(v)
             if semi[u] < semi[w]:
                 semi[w] = semi[u]
+        if _FAULTS is not None and semi[w] > 1 and _FAULTS.should_fire(
+            "lengauer-tarjan/semi-skew"
+        ):
+            semi[w] -= 1  # injected fault: off-by-one semidominator
         buckets[semi[w]].append(w)
         ancestor[w] = parent[w]
         p = parent[w]

@@ -1,0 +1,75 @@
+"""The structured exception taxonomy of the library.
+
+Every error the library raises deliberately derives from :class:`ReproError`
+so callers (the CLI, the resilience engine, the batch runner) can distinguish
+*our* diagnoses from genuine crashes with a single ``except`` clause::
+
+    ReproError
+    ├── InvalidCFGError        (repro.cfg.graph; also a ValueError)
+    │       the input violates the CFG invariants of Definition 1
+    ├── ResourceExhausted      a cooperative guard checkpoint tripped
+    │   ├── DeadlineExceeded   wall-clock deadline passed
+    │   └── BudgetExceeded     step budget consumed
+    ├── PostconditionError     a fast-path result failed a validity check
+    └── AnalysisError          an analysis failed or diverged from its
+                               reference (fallback ladder exhausted)
+
+:class:`InvalidCFGError` keeps its historical ``ValueError`` base (and its
+home in :mod:`repro.cfg.graph`) so existing ``except ValueError`` call sites
+keep working; it is re-exported here for completeness.
+
+The guard exceptions carry structured context (``steps``, ``elapsed``,
+``limit``) so diagnostics can report *how far* an analysis got before the
+checkpoint fired; see :mod:`repro.resilience.guards`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Root of the library's exception taxonomy."""
+
+
+class ResourceExhausted(ReproError):
+    """A cooperative guard checkpoint tripped (see resilience.guards).
+
+    ``steps`` is the number of checkpoint ticks consumed, ``elapsed`` the
+    wall-clock seconds since the guard was armed, ``limit`` the configured
+    bound that was exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        steps: Optional[int] = None,
+        elapsed: Optional[float] = None,
+        limit: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.steps = steps
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed before the analysis finished."""
+
+
+class BudgetExceeded(ResourceExhausted):
+    """The step budget was consumed before the analysis finished."""
+
+
+class PostconditionError(ReproError):
+    """A fast-path result failed one of the engine's validity checks.
+
+    Raised (and caught) inside :mod:`repro.resilience.engine`; reaching a
+    caller means the slow reference fallback failed the same check, which
+    indicates a malformed input or a genuine bug.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis failed outright or diverged from its reference."""

@@ -23,6 +23,8 @@ control regions       O(E) node-cycle-equivalence vs the FOW87
 dataflow              iterative fixpoint vs PST elimination vs QPG
                       sparse solve, for RD / LV / AE
 φ-placement           iterated dominance frontiers vs PST placement
+resilience            the guarded engine under persistent fault
+                      injection at every site vs the clean verified run
 ====================  =================================================
 """
 
@@ -321,6 +323,53 @@ def _check_dataflow(case: FuzzCase) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# resilience engine under fault injection
+# ----------------------------------------------------------------------
+
+def _check_fault_recovery(case: FuzzCase) -> Optional[str]:
+    """The resilience engine must absorb every injected fault.
+
+    For each fault site, a persistent fault is injected and
+    :func:`repro.resilience.engine.run_analysis` is run; the engine must
+    report success (detecting the corruption and falling back, or the fault
+    being masked) and its results must equal the clean run's -- which the
+    engine itself has already verified against the slow references.
+    """
+    from repro.resilience import engine as _engine
+    from repro.resilience import faults as _faults
+
+    cfg = case.cfg
+    clean = _engine.run_analysis(cfg)
+    if not clean.ok:
+        return f"engine failed on clean input: {clean.error}"
+    if clean.degraded:
+        return (
+            "engine degraded on clean input: "
+            + "; ".join(a.describe() for a in clean.diagnostic.failures())
+        )
+    clean_pst = sorted((r.entry.eid, r.exit.eid) for r in clean.pst.canonical_regions())
+    for site in _faults.ALL_SITES:
+        plan = _faults.FaultPlan(sites=[site.name], seed=case.seed)
+        with _faults.inject(plan):
+            injected = _engine.run_analysis(cfg)
+        if not injected.ok:
+            return f"[{site.name}] engine failed under injection: {injected.error}"
+        if injected.idom != clean.idom:
+            return f"[{site.name}] recovered idoms differ from the clean run"
+        if injected.control_regions != clean.control_regions:
+            return f"[{site.name}] recovered control regions differ from the clean run"
+        injected_pst = sorted(
+            (r.entry.eid, r.exit.eid) for r in injected.pst.canonical_regions()
+        )
+        if injected_pst != clean_pst:
+            return (
+                f"[{site.name}] recovered PST regions {injected_pst} != "
+                f"clean {clean_pst} (edge-id pairs)"
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
 # φ-placement
 # ----------------------------------------------------------------------
 
@@ -351,6 +400,7 @@ ALL_ORACLES: List[Oracle] = [
     Oracle("control-regions/matrix", _check_control_regions),
     Oracle("dataflow/solvers", _check_dataflow),
     Oracle("phi/placement", _check_phi_placement),
+    Oracle("resilience/fault-recovery", _check_fault_recovery),
 ]
 
 ORACLES_BY_NAME: Dict[str, Oracle] = {oracle.name: oracle for oracle in ALL_ORACLES}

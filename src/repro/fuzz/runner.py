@@ -81,13 +81,17 @@ def run_fuzz(
     oracles: Optional[Sequence[Oracle]] = None,
     time_budget: Optional[float] = None,
     on_case: Optional[Callable[[FuzzCase], None]] = None,
+    fail_fast: bool = False,
 ) -> FuzzReport:
     """Run a deterministic campaign; shrink every divergence found.
 
     ``time_budget`` (seconds) stops the campaign early once exceeded --
     determinism is preserved for the cases that did run, since case ``i``
     depends only on ``seed + i``.  ``oracles`` restricts the matrix (by
-    default all cross-checks run on every case).
+    default all cross-checks run on every case).  ``fail_fast`` stops the
+    campaign at the first diverging case (its full oracle matrix still runs,
+    and shrinking still happens) -- the debugging loop wants the first
+    counterexample now, not the whole census.
     """
     matrix = list(oracles) if oracles is not None else list(ALL_ORACLES)
     report = FuzzReport(seed=seed, count=count, size=size)
@@ -102,6 +106,8 @@ def run_fuzz(
         report.per_strategy[case.strategy] = report.per_strategy.get(case.strategy, 0) + 1
         for divergence in _run_matrix(case, matrix):
             report.divergences.append(_shrink_divergence(divergence, matrix))
+        if fail_fast and report.divergences:
+            break
     report.elapsed = time.monotonic() - started
     return report
 

@@ -1,0 +1,258 @@
+"""Resilient corpus runs: per-item isolation, retries, checkpoint/resume.
+
+:func:`run_batch` drives :func:`repro.resilience.engine.run_analysis` over a
+corpus of named CFGs the way a nightly analysis job must run: one item's
+failure (or crash, or guard trip) never takes down the batch; failed items
+are retried with exponential backoff; every completed item is appended to a
+JSONL checkpoint so an interrupted run resumes where it left off instead of
+recomputing; and the report summarizes partial results honestly (done /
+degraded / failed / skipped-from-checkpoint).
+
+Checkpoint format -- one JSON object per line, append-only::
+
+    {"key": "corpus.mini::main", "status": "ok", "elapsed": 0.0012,
+     "paths": {"pst": "fast", ...}, "tries": 1, "error": null}
+
+``status`` is ``ok`` (all stages verified, fast paths), ``degraded`` (all
+stages verified, but a fallback or retry was needed), ``failed`` (the engine
+reported an error: invalid input, exhausted ladder, deadline), or ``error``
+(the item itself could not be produced/run -- isolation caught a crash).
+A resumed run skips every key already present in the checkpoint, whatever
+its status; delete the line (or the file) to force recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cfg.graph import CFG
+from repro.resilience.engine import AnalysisResult, run_analysis
+
+#: statuses that count as a successfully analyzed item
+SUCCESS_STATUSES = ("ok", "degraded")
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one corpus item (possibly restored from a checkpoint)."""
+
+    key: str
+    status: str  # "ok" | "degraded" | "failed" | "error"
+    elapsed: float = 0.0
+    tries: int = 1
+    paths: Dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None
+    resumed: bool = False  # restored from the checkpoint, not recomputed
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "key": self.key,
+                "status": self.status,
+                "elapsed": round(self.elapsed, 6),
+                "tries": self.tries,
+                "paths": self.paths,
+                "error": self.error,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "BatchItemResult":
+        data = json.loads(line)
+        return cls(
+            key=data["key"],
+            status=data["status"],
+            elapsed=float(data.get("elapsed", 0.0)),
+            tries=int(data.get("tries", 1)),
+            paths=dict(data.get("paths", {})),
+            error=data.get("error"),
+            resumed=True,
+        )
+
+
+@dataclass
+class BatchReport:
+    """Aggregate of a batch run, including checkpoint-restored items."""
+
+    results: List[BatchItemResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in SUCCESS_STATUSES for r in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for result in self.results:
+            out[result.status] = out.get(result.status, 0) + 1
+        return out
+
+    def failures(self) -> List[BatchItemResult]:
+        return [r for r in self.results if r.status not in SUCCESS_STATUSES]
+
+    def render(self) -> str:
+        counts = self.counts()
+        resumed = sum(1 for r in self.results if r.resumed)
+        parts = [f"{len(self.results)} item(s)"]
+        for status in ("ok", "degraded", "failed", "error"):
+            if counts.get(status):
+                parts.append(f"{counts[status]} {status}")
+        if resumed:
+            parts.append(f"{resumed} resumed from checkpoint")
+        lines = [f"batch: {', '.join(parts)} in {self.elapsed:.2f}s"]
+        for result in self.results:
+            if result.status in SUCCESS_STATUSES and result.status != "ok":
+                lines.append(
+                    f"  degraded {result.key}: paths {result.paths} "
+                    f"(tries={result.tries})"
+                )
+        for result in self.failures():
+            lines.append(
+                f"  {result.status.upper()} {result.key}: {result.error} "
+                f"(tries={result.tries})"
+            )
+        return "\n".join(lines)
+
+
+def load_checkpoint(path: str) -> Dict[str, BatchItemResult]:
+    """Parse a JSONL checkpoint; later lines win; bad lines are skipped."""
+    done: Dict[str, BatchItemResult] = {}
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    result = BatchItemResult.from_json(line)
+                except (ValueError, KeyError):
+                    continue  # torn write from an interrupted run
+                done[result.key] = result
+    except FileNotFoundError:
+        pass
+    return done
+
+
+def run_batch(
+    items: Iterable[Tuple[str, Callable[[], CFG]]],
+    *,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = True,
+    retries: int = 1,
+    backoff: float = 0.05,
+    backoff_factor: float = 2.0,
+    deadline: Optional[float] = None,
+    step_budget: Optional[int] = None,
+    engine: Callable[..., AnalysisResult] = run_analysis,
+    on_item: Optional[Callable[[BatchItemResult], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> BatchReport:
+    """Run the analysis engine over ``items`` with full isolation.
+
+    ``items`` yields ``(key, thunk)`` pairs; the thunk produces the CFG so
+    that even *loading* an item is inside the isolation boundary.  ``retries``
+    extra batch-level tries (with exponential backoff starting at
+    ``backoff`` seconds) are spent on items whose status is ``failed`` or
+    ``error`` -- this is on top of the engine's own internal ladder, and
+    matters when failures come from the environment rather than the input.
+    ``deadline``/``step_budget`` are forwarded to each engine call.
+    ``on_item`` observes each fresh (non-resumed) result as it completes.
+    """
+    started = clock()
+    done = (
+        load_checkpoint(checkpoint_path)
+        if checkpoint_path is not None and resume
+        else {}
+    )
+    report = BatchReport()
+    checkpoint = (
+        open(checkpoint_path, "a" if resume else "w")
+        if checkpoint_path is not None
+        else None
+    )
+    try:
+        for key, thunk in items:
+            prior = done.get(key)
+            if prior is not None:
+                report.results.append(prior)
+                continue
+            result = _run_item(
+                key,
+                thunk,
+                retries=retries,
+                backoff=backoff,
+                backoff_factor=backoff_factor,
+                deadline=deadline,
+                step_budget=step_budget,
+                engine=engine,
+                sleep=sleep,
+                clock=clock,
+            )
+            report.results.append(result)
+            if checkpoint is not None:
+                checkpoint.write(result.to_json() + "\n")
+                checkpoint.flush()
+            if on_item is not None:
+                try:
+                    on_item(result)
+                except Exception:  # observers must not break the batch
+                    pass
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    report.elapsed = clock() - started
+    return report
+
+
+def _run_item(
+    key: str,
+    thunk: Callable[[], CFG],
+    *,
+    retries: int,
+    backoff: float,
+    backoff_factor: float,
+    deadline: Optional[float],
+    step_budget: Optional[int],
+    engine: Callable[..., AnalysisResult],
+    sleep: Callable[[float], None],
+    clock: Callable[[], float],
+) -> BatchItemResult:
+    item_started = clock()
+    pause = backoff
+    last_error: Optional[str] = None
+    status = "error"
+    paths: Dict[str, str] = {}
+    tries = 0
+    for attempt in range(retries + 1):
+        tries = attempt + 1
+        if attempt > 0:
+            sleep(pause)
+            pause *= backoff_factor
+        try:
+            cfg = thunk()
+            result = engine(cfg, deadline=deadline, step_budget=step_budget)
+        except Exception as error:  # isolation: nothing escapes the item
+            status = "error"
+            last_error = f"{type(error).__name__}: {error}"
+            continue
+        if result.ok:
+            status = "degraded" if result.degraded else "ok"
+            paths = result.diagnostic.paths
+            last_error = None
+            break
+        status = "failed"
+        last_error = result.error
+        paths = result.diagnostic.paths
+    return BatchItemResult(
+        key=key,
+        status=status,
+        elapsed=clock() - item_started,
+        tries=tries,
+        paths=paths,
+        error=last_error,
+    )

@@ -1,0 +1,499 @@
+"""The guarded analysis orchestrator: fast path, verified fallback.
+
+:func:`run_analysis` runs the paper's analyses the way a production service
+must: the O(E) fast algorithms first, each result validated against cheap
+postconditions, and -- on an invariant failure, an internal crash, or a
+tripped guard -- a bounded retry ladder that degrades to the slow reference
+implementations (the §3.3 bracket-set algorithm, Cooper-Harvey-Kennedy
+iterative dominators, the CFS90 partition refinement).  The caller always
+gets an :class:`AnalysisResult` tagged with a :class:`Diagnostic` recording
+which path ran, why, and how long it took; the function itself never raises.
+
+This is the pairing Chalupa et al. use for their strong-control-dependence
+algorithms -- fast algorithm shipped together with a slow checker -- promoted
+from a test-time oracle to a first-class runtime mechanism.
+
+Postconditions per stage (all independent of the fast algorithms and of
+every fault site in :mod:`repro.resilience.faults`):
+
+* **pst** -- node ownership is a partition of the CFG's nodes; every
+  canonical region's entry edge dominates its exit edge and the exit edge
+  postdominates the entry edge (the Definition-of-SESE dominance conditions,
+  checked on the edge-split graph with iterative dominators); and, for
+  graphs within ``full_check_limit`` edges, the full cycle-equivalence
+  partition is cross-checked against the §3.3 bracket-set reference.
+* **dominators** -- the Lengauer-Tarjan tree is cross-checked against the
+  independently derived iterative fixpoint (cheap: a couple of O(E) sweeps).
+* **control-regions** -- the groups partition the node set, ``start`` and
+  ``end`` share a group (both are always-executed), and graphs within
+  ``full_check_limit`` edges are cross-checked against the CFS90 baseline.
+
+The fallback ladder per stage is ``fast``, ``fast-retry`` x ``fast_retries``
+(recovers transient faults), then ``slow``.  Slow results pass through the
+same postconditions (minus the self-comparison), so a degraded answer is
+still a *verified* answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.graph import CFG, Edge, NodeId
+from repro.cfg.validate import check_cfg
+from repro.controldep.regions_cfs import control_regions_cfs
+from repro.controldep.regions_fast import control_regions
+from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence_of_cfg
+from repro.core.cycle_equiv_slow import cycle_equivalence_bracket_sets
+from repro.core.pst import ProgramStructureTree, build_pst
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.tree import DominatorTree
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    PostconditionError,
+)
+from repro.resilience.guards import Ticker
+
+ALL_ANALYSES: Tuple[str, ...] = ("pst", "dominators", "control-regions")
+
+#: Graphs with at most this many edges get the *full* slow cross-check as a
+#: postcondition (it is microseconds there); larger graphs rely on the
+#: structural and dominance checks, which stay O(E).
+DEFAULT_FULL_CHECK_LIMIT = 256
+
+
+@dataclass
+class Attempt:
+    """One rung of one stage's fallback ladder."""
+
+    stage: str
+    path: str  # "fast" | "fast-retry" | "slow" | "validate"
+    outcome: str  # "ok" | "postcondition" | "crash" | "budget" | "deadline" | "invalid"
+    detail: str = ""
+    elapsed: float = 0.0
+
+    def describe(self) -> str:
+        text = f"{self.stage}: {self.path} {self.outcome} ({self.elapsed:.4f}s)"
+        if self.detail:
+            text += f" -- {self.detail}"
+        return text
+
+
+@dataclass
+class Diagnostic:
+    """What :func:`run_analysis` did: every attempt, in order."""
+
+    attempts: List[Attempt] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def paths(self) -> Dict[str, str]:
+        """stage -> path of the attempt that produced the stage's result."""
+        return {a.stage: a.path for a in self.attempts if a.outcome == "ok"}
+
+    @property
+    def degraded(self) -> bool:
+        """True iff any stage needed more than its first fast attempt."""
+        return any(a.outcome != "ok" or a.path != "fast" for a in self.attempts)
+
+    def failures(self) -> List[Attempt]:
+        return [a for a in self.attempts if a.outcome != "ok"]
+
+    def render(self) -> str:
+        lines = [a.describe() for a in self.attempts]
+        lines.append(f"total elapsed: {self.elapsed:.4f}s")
+        return "\n".join(lines)
+
+
+@dataclass
+class AnalysisResult:
+    """The engine's answer: per-stage results plus the diagnostic trail.
+
+    ``ok`` means every requested stage produced a verified result.  Stages
+    that failed (or were skipped after a deadline) leave their field
+    ``None`` and put the reason in ``error``.
+    """
+
+    ok: bool
+    diagnostic: Diagnostic
+    pst: Optional[ProgramStructureTree] = None
+    idom: Optional[Dict[NodeId, NodeId]] = None
+    control_regions: Optional[List[List[NodeId]]] = None
+    error: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.diagnostic.degraded
+
+
+def run_analysis(
+    cfg: CFG,
+    analyses: Sequence[str] = ALL_ANALYSES,
+    *,
+    deadline: Optional[float] = None,
+    step_budget: Optional[int] = None,
+    fast_retries: int = 1,
+    full_check_limit: int = DEFAULT_FULL_CHECK_LIMIT,
+    check_every: int = 512,
+    clock: Callable[[], float] = time.monotonic,
+) -> AnalysisResult:
+    """Run the requested analyses resiliently; never raises.
+
+    ``deadline`` (seconds) is global across all stages and attempts;
+    ``step_budget`` applies per attempt (slow fallbacks get a fresh budget).
+    ``fast_retries`` extra fast attempts run before falling back, which is
+    what recovers *transient* corruption.
+    """
+    try:
+        return _run_analysis(
+            cfg,
+            analyses,
+            deadline=deadline,
+            step_budget=step_budget,
+            fast_retries=fast_retries,
+            full_check_limit=full_check_limit,
+            check_every=check_every,
+            clock=clock,
+        )
+    except Exception as error:  # pragma: no cover - last-resort containment
+        diagnostic = Diagnostic(
+            attempts=[
+                Attempt(
+                    stage="engine",
+                    path="engine",
+                    outcome="crash",
+                    detail=f"{type(error).__name__}: {error}",
+                )
+            ]
+        )
+        return AnalysisResult(
+            ok=False,
+            diagnostic=diagnostic,
+            error=f"engine crash: {type(error).__name__}: {error}",
+        )
+
+
+def _run_analysis(
+    cfg: CFG,
+    analyses: Sequence[str],
+    *,
+    deadline: Optional[float],
+    step_budget: Optional[int],
+    fast_retries: int,
+    full_check_limit: int,
+    check_every: int,
+    clock: Callable[[], float],
+) -> AnalysisResult:
+    unknown = [name for name in analyses if name not in ALL_ANALYSES]
+    if unknown:
+        return AnalysisResult(
+            ok=False,
+            diagnostic=Diagnostic(),
+            error=f"unknown analyses: {', '.join(unknown)}",
+        )
+
+    started = clock()
+    deadline_at = None if deadline is None else started + deadline
+    diagnostic = Diagnostic()
+    errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Stage 0: input validation.  An invalid CFG is a *rejected input*,
+    # not a degradation -- the slow references need Definition 1 too.
+    # ------------------------------------------------------------------
+    validate_started = clock()
+    try:
+        problems = check_cfg(cfg)
+    except Exception as error:
+        problems = [f"validation crashed: {type(error).__name__}: {error}"]
+    if problems:
+        detail = "; ".join(problems)
+        diagnostic.attempts.append(
+            Attempt(
+                stage="validate",
+                path="validate",
+                outcome="invalid",
+                detail=detail,
+                elapsed=clock() - validate_started,
+            )
+        )
+        diagnostic.elapsed = clock() - started
+        return AnalysisResult(
+            ok=False, diagnostic=diagnostic, error=f"invalid CFG: {detail}"
+        )
+
+    stages = _build_stages(cfg, full_check_limit)
+    results: Dict[str, object] = {}
+    aborted = False
+
+    for name in analyses:
+        if aborted:
+            diagnostic.attempts.append(
+                Attempt(stage=name, path="-", outcome="deadline", detail="skipped")
+            )
+            errors.append(f"{name}: skipped after deadline")
+            continue
+        fast, slow, checker = stages[name]
+        ladder: List[Tuple[str, Callable, bool]] = [("fast", fast, True)]
+        ladder.extend(("fast-retry", fast, True) for _ in range(fast_retries))
+        ladder.append(("slow", slow, False))
+
+        stage_ok = False
+        for path, compute, cross_check in ladder:
+            attempt_started = clock()
+            remaining = None if deadline_at is None else deadline_at - attempt_started
+            if remaining is not None and remaining <= 0:
+                diagnostic.attempts.append(
+                    Attempt(stage=name, path=path, outcome="deadline",
+                            detail="deadline passed before attempt")
+                )
+                aborted = True
+                break
+            ticker = (
+                None
+                if remaining is None and step_budget is None
+                else Ticker(
+                    deadline=remaining,
+                    step_budget=step_budget,
+                    check_every=check_every,
+                    clock=clock,
+                )
+            )
+            try:
+                value = compute(ticker)
+                checker(value, cross_check, ticker)
+            except DeadlineExceeded as error:
+                diagnostic.attempts.append(
+                    Attempt(stage=name, path=path, outcome="deadline",
+                            detail=str(error), elapsed=clock() - attempt_started)
+                )
+                aborted = True
+                break
+            except BudgetExceeded as error:
+                diagnostic.attempts.append(
+                    Attempt(stage=name, path=path, outcome="budget",
+                            detail=str(error), elapsed=clock() - attempt_started)
+                )
+                continue
+            except PostconditionError as error:
+                diagnostic.attempts.append(
+                    Attempt(stage=name, path=path, outcome="postcondition",
+                            detail=str(error), elapsed=clock() - attempt_started)
+                )
+                continue
+            except Exception as error:
+                diagnostic.attempts.append(
+                    Attempt(stage=name, path=path, outcome="crash",
+                            detail=f"{type(error).__name__}: {error}",
+                            elapsed=clock() - attempt_started)
+                )
+                continue
+            diagnostic.attempts.append(
+                Attempt(stage=name, path=path, outcome="ok",
+                        elapsed=clock() - attempt_started)
+            )
+            results[name] = value
+            stage_ok = True
+            break
+
+        if aborted:
+            errors.append(f"{name}: deadline exceeded")
+        elif not stage_ok:
+            errors.append(f"{name}: all attempts failed (fallback ladder exhausted)")
+
+    diagnostic.elapsed = clock() - started
+    pst = results.get("pst")
+    return AnalysisResult(
+        ok=not errors,
+        diagnostic=diagnostic,
+        pst=pst[1] if pst is not None else None,
+        idom=results.get("dominators"),
+        control_regions=results.get("control-regions"),
+        error="; ".join(errors) if errors else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# stage definitions: (fast, slow, checker) triples
+# ----------------------------------------------------------------------
+
+def _build_stages(cfg: CFG, full_check_limit: int):
+    def pst_fast(ticker):
+        equiv = cycle_equivalence_of_cfg(cfg, validate=False, ticker=ticker)
+        return equiv, build_pst(cfg, equiv)
+
+    def pst_slow(ticker):
+        equiv = _slow_cycle_equivalence(cfg)
+        return equiv, build_pst(cfg, equiv)
+
+    def pst_check(value, cross_check, ticker):
+        equiv, pst = value
+        _check_pst_structure(cfg, pst)
+        _check_sese_dominance(cfg, pst, ticker)
+        if cross_check and cfg.num_edges <= full_check_limit:
+            _check_equiv_against_reference(cfg, equiv)
+
+    def dom_fast(ticker):
+        return lengauer_tarjan(cfg, ticker=ticker)
+
+    def dom_slow(ticker):
+        return immediate_dominators(cfg, ticker=ticker)
+
+    def dom_check(value, cross_check, ticker):
+        if not cross_check:
+            return  # the iterative fixpoint is the reference
+        reference = immediate_dominators(cfg, ticker=ticker)
+        if value != reference:
+            diffs = [
+                f"{node!r}: fast={value.get(node)!r} reference={reference.get(node)!r}"
+                for node in set(value) | set(reference)
+                if value.get(node) != reference.get(node)
+            ]
+            raise PostconditionError(
+                "idom mismatch vs iterative reference: " + "; ".join(sorted(diffs)[:5])
+            )
+
+    def cr_fast(ticker):
+        return control_regions(cfg, validate=False)
+
+    def cr_slow(ticker):
+        return control_regions_cfs(cfg)
+
+    def cr_check(value, cross_check, ticker):
+        _check_control_partition(cfg, value)
+        if cross_check and cfg.num_edges <= full_check_limit:
+            reference = control_regions_cfs(cfg)
+            if value != reference:
+                raise PostconditionError(
+                    f"control regions diverge from CFS90 reference: "
+                    f"fast={value} reference={reference}"
+                )
+
+    return {
+        "pst": (pst_fast, pst_slow, pst_check),
+        "dominators": (dom_fast, dom_slow, dom_check),
+        "control-regions": (cr_fast, cr_slow, cr_check),
+    }
+
+
+# ----------------------------------------------------------------------
+# postconditions
+# ----------------------------------------------------------------------
+
+def _check_pst_structure(cfg: CFG, pst: ProgramStructureTree) -> None:
+    """Node ownership must partition the CFG's nodes."""
+    seen = set()
+    for region in pst.regions():
+        for node in region.own_nodes:
+            if node in seen:
+                raise PostconditionError(f"PST: node {node!r} owned by two regions")
+            seen.add(node)
+    missing = [n for n in cfg.nodes if n not in seen]
+    if missing:
+        raise PostconditionError(f"PST: nodes {missing[:5]!r} not owned by any region")
+
+
+def _check_sese_dominance(
+    cfg: CFG, pst: ProgramStructureTree, ticker: Optional[Ticker]
+) -> None:
+    """Definition-of-SESE dominance conditions for every canonical region.
+
+    Checked on the edge-split graph with *iterative* dominators, which share
+    no code with the fast path (and carry no fault sites).
+    """
+    regions = pst.canonical_regions()
+    if not regions:
+        return
+    split, split_node = cfg.edge_split()
+    dom = DominatorTree(
+        immediate_dominators(split, ticker=ticker), split.start
+    )
+    rsplit = split.reversed()
+    pdom = DominatorTree(
+        immediate_dominators(rsplit, ticker=ticker), rsplit.start
+    )
+    for region in regions:
+        a, b = split_node[region.entry], split_node[region.exit]
+        if a not in dom or b not in dom:
+            raise PostconditionError(
+                f"PST: region {region.describe()} has an unreachable boundary edge"
+            )
+        if not dom.dominates(a, b):
+            raise PostconditionError(
+                f"PST: region {region.describe()}: entry does not dominate exit"
+            )
+        if not pdom.dominates(b, a):
+            raise PostconditionError(
+                f"PST: region {region.describe()}: exit does not postdominate entry"
+            )
+
+
+def _slow_cycle_equivalence(cfg: CFG) -> CycleEquivalence:
+    """The §3.3 bracket-set reference, adapted to ``cfg``'s own edges.
+
+    The slow algorithm runs on the materialized augmented graph; its edges
+    correspond *positionally* to ``cfg.edges`` (``with_return_edge`` copies
+    them in order), with the return edge last.  The mapping must be by
+    position, not edge id -- the copy renumbers edges, and graphs that had
+    edges removed have id gaps.
+    """
+    augmented, back = cfg.with_return_edge()
+    slow = cycle_equivalence_bracket_sets(augmented)
+    key_to_class: Dict[object, int] = {}
+    classes: Dict[Edge, int] = {}
+    copies = [edge for edge in augmented.edges if edge is not back]
+    assert len(copies) == len(cfg.edges)
+    for original, copy in zip(cfg.edges, copies):
+        classes[original] = key_to_class.setdefault(slow[copy], len(key_to_class))
+    return CycleEquivalence(classes)
+
+
+def _partition_of(classes: Dict[Edge, object]):
+    groups: Dict[object, List[int]] = {}
+    for edge, cls in classes.items():
+        groups.setdefault(cls, []).append(edge.eid)
+    return {frozenset(eids) for eids in groups.values()}
+
+
+def _check_equiv_against_reference(cfg: CFG, equiv: CycleEquivalence) -> None:
+    """Full partition cross-check against the §3.3 slow reference."""
+    reference = _slow_cycle_equivalence(cfg)
+    fast_partition = _partition_of(equiv.class_of)
+    slow_partition = _partition_of(reference.class_of)
+    if fast_partition != slow_partition:
+        only_fast = sorted(sorted(s) for s in fast_partition - slow_partition)
+        only_slow = sorted(sorted(s) for s in slow_partition - fast_partition)
+        raise PostconditionError(
+            "cycle-equivalence partition diverges from bracket-set reference: "
+            f"fast-only {only_fast} vs reference-only {only_slow} (edge ids)"
+        )
+
+
+def _check_control_partition(cfg: CFG, groups: List[List[NodeId]]) -> None:
+    """Groups must partition the node set; start and end must share one."""
+    seen: Dict[NodeId, int] = {}
+    for index, group in enumerate(groups):
+        for node in group:
+            if node in seen:
+                raise PostconditionError(
+                    f"control regions: node {node!r} appears in two groups"
+                )
+            seen[node] = index
+    missing = [n for n in cfg.nodes if n not in seen]
+    if missing:
+        raise PostconditionError(
+            f"control regions: nodes {missing[:5]!r} missing from the partition"
+        )
+    extra = [n for n in seen if not cfg.has_node(n)]
+    if extra:
+        raise PostconditionError(
+            f"control regions: unknown nodes {extra[:5]!r} in the partition"
+        )
+    if seen[cfg.start] != seen[cfg.end]:
+        raise PostconditionError(
+            "control regions: start and end (both always-executed) are in "
+            "different groups"
+        )

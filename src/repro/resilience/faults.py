@@ -1,0 +1,181 @@
+"""Deterministic, seeded fault injection for the fast algorithms.
+
+The resilience engine's whole value proposition -- "a corrupted fast path is
+detected and recovered" -- is unfalsifiable without a way to *corrupt the
+fast path on demand*.  This module provides named fault sites compiled into
+the algorithms themselves (guarded by a module-global hook that is ``None``
+in production, so the cost when disabled is one global load per site
+execution):
+
+======================================  =======================================
+``bracketlist/push-bottom``             :meth:`BracketList.push` appends at the
+                                        bottom instead of the top, silently
+                                        corrupting the §3.5 stack order the
+                                        compact ``<top, size>`` naming needs.
+``cycle-equiv/skip-cap``                Figure 4's capping-bracket creation is
+                                        skipped, merging bracket sets that the
+                                        cap should have kept distinct.
+``lengauer-tarjan/semi-skew``           A computed semidominator is decremented
+                                        by one, yielding a structurally valid
+                                        but wrong dominator tree.
+======================================  =======================================
+
+A :class:`FaultPlan` decides *which* eligible site executions actually fire:
+deterministically from ``(seed, site name, occurrence index)``, so a failing
+configuration is reproducible from three numbers.  ``max_fires`` arms a site
+for a bounded number of firings -- ``max_fires=1`` models a transient fault
+(a fast-path *retry* succeeds), ``max_fires=None`` a persistent one (only
+the slow-path fallback recovers).
+
+Plans are installed process-globally (the hooks are module globals); use the
+:func:`inject` context manager so they are always uninstalled, and do not
+run injected and clean computations concurrently in threads.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+# Resolved via importlib: the packages re-export same-named *functions*
+# (e.g. repro.dominance.lengauer_tarjan), which would shadow the submodule
+# attribute under a plain `from ... import ...`.
+_bracketlist_mod = importlib.import_module("repro.core.bracketlist")
+_cycle_equiv_mod = importlib.import_module("repro.core.cycle_equiv")
+_lengauer_tarjan_mod = importlib.import_module("repro.dominance.lengauer_tarjan")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A named code location that can be armed to misbehave."""
+
+    name: str
+    module: str
+    description: str
+
+
+ALL_SITES: Tuple[FaultSite, ...] = (
+    FaultSite(
+        name="bracketlist/push-bottom",
+        module="repro.core.bracketlist",
+        description="push appends at the bottom of the list instead of the top",
+    ),
+    FaultSite(
+        name="cycle-equiv/skip-cap",
+        module="repro.core.cycle_equiv",
+        description="the Figure 4 capping bracket is not created",
+    ),
+    FaultSite(
+        name="lengauer-tarjan/semi-skew",
+        module="repro.dominance.lengauer_tarjan",
+        description="a semidominator number is decremented by one",
+    ),
+)
+
+SITES_BY_NAME: Dict[str, FaultSite] = {site.name: site for site in ALL_SITES}
+
+# The modules carrying a `_FAULTS` hook, keyed so install() can reach them.
+_HOOKED_MODULES = (_bracketlist_mod, _cycle_equiv_mod, _lengauer_tarjan_mod)
+
+
+class FaultPlan:
+    """A deterministic schedule of fault firings.
+
+    ``sites`` selects the armed site names (default: all).  ``rate`` is the
+    per-execution firing probability, drawn from a stream seeded by
+    ``(seed, site name)`` -- with the default ``rate=1.0`` no randomness is
+    consulted and every eligible execution fires.  ``max_fires`` caps the
+    number of firings per site (``None`` = unlimited); ``skip_first`` lets
+    the first ``n`` eligible executions pass untouched so faults can be
+    buried deep in a run.
+    """
+
+    def __init__(
+        self,
+        sites: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        rate: float = 1.0,
+        max_fires: Optional[int] = None,
+        skip_first: int = 0,
+    ):
+        names = list(sites) if sites is not None else [s.name for s in ALL_SITES]
+        unknown = [name for name in names if name not in SITES_BY_NAME]
+        if unknown:
+            raise ValueError(f"unknown fault site(s): {', '.join(unknown)}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        self.sites = tuple(names)
+        self.seed = seed
+        self.rate = rate
+        self.max_fires = max_fires
+        self.skip_first = skip_first
+        self.calls: Dict[str, int] = {name: 0 for name in names}
+        self.fires: Dict[str, int] = {name: 0 for name in names}
+        self._rngs: Dict[str, random.Random] = {
+            # String hashing is randomized per process, so derive the
+            # per-site seed with crc32 to stay deterministic across runs.
+            name: random.Random(seed ^ zlib.crc32(name.encode("utf-8")))
+            for name in names
+        }
+
+    def should_fire(self, site: str) -> bool:
+        """Called from the instrumented code at each eligible execution."""
+        calls = self.calls.get(site)
+        if calls is None:
+            return False  # site not armed by this plan
+        self.calls[site] = calls + 1
+        if calls < self.skip_first:
+            return False
+        if self.max_fires is not None and self.fires[site] >= self.max_fires:
+            return False
+        if self.rate < 1.0 and self._rngs[site].random() >= self.rate:
+            return False
+        self.fires[site] += 1
+        return True
+
+    def total_fires(self) -> int:
+        return sum(self.fires.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(sites={list(self.sites)!r}, seed={self.seed}, "
+            f"rate={self.rate}, max_fires={self.max_fires!r}, fires={self.fires!r})"
+        )
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    for module in _HOOKED_MODULES:
+        if module._FAULTS is not None:
+            return module._FAULTS
+    return None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` into every hooked module (replacing any prior plan)."""
+    for module in _HOOKED_MODULES:
+        module._FAULTS = plan
+
+
+def uninstall() -> None:
+    """Clear the hooks; production behaviour is restored."""
+    for module in _HOOKED_MODULES:
+        module._FAULTS = None
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    previous = active_plan()
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is not None:
+            install(previous)
+        else:
+            uninstall()

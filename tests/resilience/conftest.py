@@ -1,0 +1,66 @@
+"""Shared pathological graphs and fakes for the resilience tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cfg.graph import CFG
+
+
+def chain_cfg(length: int) -> CFG:
+    """start -> c0 -> c1 -> ... -> end: maximal sequential depth."""
+    cfg = CFG(start="start", end="end")
+    previous = "start"
+    for i in range(length):
+        cfg.add_edge(previous, f"c{i}")
+        previous = f"c{i}"
+    cfg.add_edge(previous, "end")
+    return cfg
+
+
+def ladder_cfg(rungs: int) -> CFG:
+    """Two rails with cross edges plus backedges: bracket-heavy.
+
+    Every rung adds a cross edge and a backedge to the entry, so the DFS
+    carries many brackets -- the shape that stresses cycle equivalence and
+    the semidominator computation.
+    """
+    cfg = CFG(start="start", end="end")
+    cfg.add_edge("start", "a0")
+    cfg.add_edge("start", "b0")
+    for i in range(rungs):
+        cfg.add_edge(f"a{i}", f"a{i + 1}")
+        cfg.add_edge(f"b{i}", f"b{i + 1}")
+        cfg.add_edge(f"a{i}", f"b{i}")
+        cfg.add_edge(f"b{i + 1}", f"a{i}")
+    cfg.add_edge(f"a{rungs}", "end")
+    cfg.add_edge(f"b{rungs}", "end")
+    return cfg
+
+
+class FakeClock:
+    """A clock advancing a fixed amount per read; deadline tests stay fast."""
+
+    def __init__(self, step: float = 0.0):
+        self.now = 0.0
+        self.step = step
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, amount: float) -> None:
+        self.now += amount
+
+
+class RecordingSleep:
+    """Stands in for time.sleep; records requested pauses."""
+
+    def __init__(self):
+        self.calls: List[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(seconds)

@@ -1,0 +1,170 @@
+"""CLI robustness: exit codes, structured diagnostics, batch, fail-fast."""
+
+import io
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.cfg.graph import InvalidCFGError
+from repro.errors import AnalysisError, BudgetExceeded
+from repro.fuzz.oracles import ORACLES_BY_NAME, Oracle
+from repro.fuzz.runner import run_fuzz
+
+SOURCE = """
+proc f(n) {
+    s = 0;
+    while (s < n) {
+        if (n > 10) { s = s + 2; } else { s = s + 1; }
+    }
+    return s;
+}
+proc g(n) {
+    return n;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = cli.main(argv, out=out)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# per-procedure error handling and exit codes
+# ----------------------------------------------------------------------
+
+def _boom(error):
+    def fake_build_pst(cfg, *args, **kwargs):
+        raise error
+
+    return fake_build_pst
+
+
+def test_invalid_cfg_exits_3_with_structured_line(source_file, monkeypatch, capsys):
+    monkeypatch.setattr(cli, "build_pst", _boom(InvalidCFGError("no end node")))
+    code, _ = run([source_file])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "error[invalid-cfg]: proc f: no end node" in err
+    assert "Traceback" not in err
+
+
+def test_analysis_error_exits_4(source_file, monkeypatch, capsys):
+    monkeypatch.setattr(cli, "build_pst", _boom(AnalysisError("divergence")))
+    code, _ = run([source_file])
+    assert code == 4
+    assert "error[analysis]: proc f: divergence" in capsys.readouterr().err
+
+
+def test_resource_exhausted_exits_4(source_file, monkeypatch, capsys):
+    monkeypatch.setattr(cli, "build_pst", _boom(BudgetExceeded("budget")))
+    code, _ = run([source_file])
+    assert code == 4
+    assert "error[resource]" in capsys.readouterr().err
+
+
+def test_internal_crash_exits_4_without_traceback(source_file, monkeypatch, capsys):
+    monkeypatch.setattr(cli, "build_pst", _boom(AssertionError("stack discipline")))
+    code, _ = run([source_file])
+    assert code == 4
+    err = capsys.readouterr().err
+    assert "error[internal]: proc f: AssertionError: stack discipline" in err
+    assert "Traceback" not in err
+
+
+def test_failing_procedure_does_not_block_the_next_one(
+    source_file, monkeypatch, capsys
+):
+    real_build_pst = cli.build_pst
+    calls = []
+
+    def flaky(cfg, *args, **kwargs):
+        calls.append(cfg)
+        if len(calls) == 1:
+            raise InvalidCFGError("first proc is broken")
+        return real_build_pst(cfg, *args, **kwargs)
+
+    monkeypatch.setattr(cli, "build_pst", flaky)
+    code, text = run([source_file])
+    assert code == 3  # worst code wins, but...
+    assert "proc g:" in text  # ...proc g was still analyzed and reported
+    assert "error[invalid-cfg]: proc f" in capsys.readouterr().err
+
+
+def test_preexisting_exit_codes_unchanged(tmp_path, source_file):
+    bad = tmp_path / "bad.mini"
+    bad.write_text("proc broken( {")
+    assert run([str(bad)])[0] == 1  # parse diagnostics
+    assert run([str(tmp_path / "missing.mini")])[0] == 2  # I/O
+    assert run([source_file, "--proc", "nope"])[0] == 1  # no such proc
+    assert run([source_file])[0] == 0
+
+
+# ----------------------------------------------------------------------
+# the batch subcommand
+# ----------------------------------------------------------------------
+
+def test_batch_happy_path(source_file):
+    code, text = run(["batch", source_file])
+    assert code == 0
+    assert "2 ok" in text
+
+
+def test_batch_isolates_a_broken_file_and_exits_4(tmp_path, source_file):
+    bad = tmp_path / "bad.mini"
+    bad.write_text("proc broken( {")
+    code, text = run(["batch", source_file, str(bad)])
+    assert code == 4
+    assert "2 ok" in text  # the good file's procedures still ran
+    assert "ERROR" in text and "bad.mini" in text
+
+
+def test_batch_checkpoint_resume(tmp_path, source_file):
+    ck = str(tmp_path / "ck.jsonl")
+    code, _ = run(["batch", source_file, "--checkpoint", ck])
+    assert code == 0
+    entries = [json.loads(line) for line in open(ck)]
+    assert {e["key"].split("::")[1] for e in entries} == {"f", "g"}
+    code, text = run(["batch", source_file, "--checkpoint", ck])
+    assert code == 0
+    assert "2 resumed from checkpoint" in text
+    assert len(open(ck).readlines()) == 2  # nothing recomputed or re-appended
+
+
+def test_batch_rejects_negative_retries(source_file, capsys):
+    assert run(["batch", source_file, "--retries", "-1"])[0] == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+def test_batch_unwritable_checkpoint_exits_2(source_file, capsys):
+    code, _ = run(["batch", source_file, "--checkpoint", "/nonexistent/dir/ck.jsonl"])
+    assert code == 2
+
+
+# ----------------------------------------------------------------------
+# fuzz --fail-fast
+# ----------------------------------------------------------------------
+
+def test_run_fuzz_fail_fast_stops_at_first_divergence(monkeypatch):
+    always_bad = Oracle("test/always-bad", lambda case: "synthetic divergence")
+    monkeypatch.setitem(ORACLES_BY_NAME, always_bad.name, always_bad)
+    report = run_fuzz(seed=0, count=10, size=6, oracles=[always_bad], fail_fast=True)
+    assert report.cases_run == 1
+    assert len(report.divergences) == 1
+    full = run_fuzz(seed=0, count=5, size=6, oracles=[always_bad], fail_fast=False)
+    assert full.cases_run == 5
+
+
+def test_fuzz_cli_accepts_fail_fast_flag():
+    code, text = run(["fuzz", "--seed", "0", "--count", "3", "--fail-fast"])
+    assert code == 0  # no divergences expected on a healthy tree
+    assert "divergences: none" in text

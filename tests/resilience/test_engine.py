@@ -1,0 +1,188 @@
+"""run_analysis: verified results on every path, and it never raises."""
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.graph import CFG
+from repro.controldep.regions_fast import control_regions
+from repro.core.pst import build_pst
+from repro.dominance.iterative import immediate_dominators
+from repro.fuzz.generator import generate_case
+from repro.resilience import faults
+from repro.resilience.engine import run_analysis
+from repro.resilience.faults import ALL_SITES, FaultPlan
+from tests.resilience.conftest import chain_cfg
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    faults.uninstall()
+
+
+def demo_cfg():
+    return cfg_from_edges(
+        [
+            ("start", "a"), ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+            ("d", "e"), ("e", "a"), ("e", "end"), ("start", "end"),
+        ]
+    )
+
+
+def pst_shape(pst):
+    return sorted((r.entry.eid, r.exit.eid) for r in pst.canonical_regions())
+
+
+# ----------------------------------------------------------------------
+# clean inputs
+# ----------------------------------------------------------------------
+
+def test_clean_run_uses_fast_paths_and_matches_direct_calls():
+    cfg = demo_cfg()
+    result = run_analysis(cfg)
+    assert result.ok and not result.degraded and result.error is None
+    assert result.diagnostic.paths == {
+        "pst": "fast", "dominators": "fast", "control-regions": "fast",
+    }
+    assert pst_shape(result.pst) == pst_shape(build_pst(cfg))
+    assert result.idom == immediate_dominators(cfg)
+    assert result.control_regions == control_regions(cfg)
+    assert result.diagnostic.elapsed >= 0
+
+
+def test_analyses_subset_only_computes_whats_asked():
+    result = run_analysis(demo_cfg(), analyses=("dominators",))
+    assert result.ok
+    assert result.idom is not None
+    assert result.pst is None and result.control_regions is None
+    assert [a.stage for a in result.diagnostic.attempts] == ["dominators"]
+
+
+def test_unknown_analysis_reported_not_raised():
+    result = run_analysis(demo_cfg(), analyses=("pst", "nonsense"))
+    assert not result.ok
+    assert "nonsense" in result.error
+
+
+# ----------------------------------------------------------------------
+# the acceptance criterion: every fault site, detected or masked,
+# never a raise, never a wrong answer
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("site", [s.name for s in ALL_SITES])
+def test_persistent_fault_recovers_with_correct_results(site):
+    cfg = demo_cfg()
+    clean = run_analysis(cfg)
+    assert clean.ok
+    with faults.inject(FaultPlan(sites=[site])) as plan:
+        result = run_analysis(cfg)
+    assert plan.total_fires() > 0, "the fault site never executed"
+    assert result.ok, result.diagnostic.render()
+    assert pst_shape(result.pst) == pst_shape(clean.pst)
+    assert result.idom == clean.idom
+    assert result.control_regions == clean.control_regions
+
+
+def test_persistent_semi_skew_degrades_dominators_to_slow():
+    with faults.inject(FaultPlan(sites=["lengauer-tarjan/semi-skew"])):
+        result = run_analysis(demo_cfg())
+    assert result.ok and result.degraded
+    assert result.diagnostic.paths["dominators"] == "slow"
+    outcomes = [
+        (a.path, a.outcome)
+        for a in result.diagnostic.attempts
+        if a.stage == "dominators"
+    ]
+    assert outcomes == [
+        ("fast", "postcondition"),
+        ("fast-retry", "postcondition"),
+        ("slow", "ok"),
+    ]
+
+
+def test_persistent_push_bottom_degrades_pst_to_slow():
+    with faults.inject(FaultPlan(sites=["bracketlist/push-bottom"])):
+        result = run_analysis(demo_cfg())
+    assert result.ok and result.degraded
+    assert result.diagnostic.paths["pst"] == "slow"
+
+
+def test_transient_fault_recovers_on_fast_retry():
+    with faults.inject(
+        FaultPlan(sites=["lengauer-tarjan/semi-skew"], max_fires=1)
+    ):
+        result = run_analysis(demo_cfg())
+    assert result.ok and result.degraded
+    assert result.diagnostic.paths["dominators"] == "fast-retry"
+
+
+def test_fault_sweep_over_fuzz_corpus():
+    clean_by_seed = {}
+    for seed in range(12):
+        cfg = generate_case(seed, size=8).cfg
+        clean = run_analysis(cfg)
+        assert clean.ok, (seed, clean.diagnostic.render())
+        clean_by_seed[seed] = (cfg, clean)
+    for site in ALL_SITES:
+        for seed, (cfg, clean) in clean_by_seed.items():
+            with faults.inject(FaultPlan(sites=[site.name], seed=seed)):
+                result = run_analysis(cfg)
+            assert result.ok, (site.name, seed, result.diagnostic.render())
+            assert result.idom == clean.idom, (site.name, seed)
+            assert result.control_regions == clean.control_regions, (site.name, seed)
+            assert pst_shape(result.pst) == pst_shape(clean.pst), (site.name, seed)
+
+
+# ----------------------------------------------------------------------
+# guards through the engine
+# ----------------------------------------------------------------------
+
+def test_expired_deadline_reported_not_raised():
+    result = run_analysis(demo_cfg(), deadline=0.0)
+    assert not result.ok
+    assert "deadline" in result.error
+    # Later stages are marked skipped rather than silently absent.
+    stages = [a.stage for a in result.diagnostic.attempts]
+    assert "dominators" in stages and "control-regions" in stages
+
+
+def test_tiny_step_budget_reported_not_raised():
+    result = run_analysis(chain_cfg(40), step_budget=3)
+    assert not result.ok
+    assert "pst" in result.error
+    budget_attempts = [
+        a for a in result.diagnostic.attempts if a.outcome == "budget"
+    ]
+    assert budget_attempts, result.diagnostic.render()
+
+
+def test_generous_guards_leave_fast_path_untouched():
+    result = run_analysis(demo_cfg(), deadline=3600.0, step_budget=10_000_000)
+    assert result.ok and not result.degraded
+
+
+# ----------------------------------------------------------------------
+# bad inputs: rejected, never raised
+# ----------------------------------------------------------------------
+
+def test_invalid_cfg_rejected_with_diagnostic():
+    cfg = CFG(start="start", end="end")
+    cfg.add_edge("start", "end")
+    cfg.add_node("orphan")  # violates Definition 1
+    result = run_analysis(cfg)
+    assert not result.ok
+    assert "invalid CFG" in result.error
+    assert result.diagnostic.attempts[0].outcome == "invalid"
+
+
+def test_garbage_input_contained():
+    result = run_analysis(None)  # type: ignore[arg-type]
+    assert not result.ok
+    assert result.error
+
+
+def test_diagnostic_render_is_printable():
+    with faults.inject(FaultPlan(sites=["lengauer-tarjan/semi-skew"])):
+        result = run_analysis(demo_cfg())
+    text = result.diagnostic.render()
+    assert "dominators" in text and "slow" in text and "total elapsed" in text

@@ -1,0 +1,167 @@
+"""Ticker semantics, and guard wiring in each of the four algorithms."""
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.problems import ReachingDefinitions
+from repro.dominance.iterative import immediate_dominators
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    ReproError,
+    ResourceExhausted,
+)
+from repro.ir import Assign, LoweredProcedure
+from repro.resilience.guards import Ticker
+from tests.resilience.conftest import FakeClock, chain_cfg, ladder_cfg
+
+
+# ----------------------------------------------------------------------
+# Ticker unit semantics
+# ----------------------------------------------------------------------
+
+def test_budget_is_exact_regardless_of_check_every():
+    ticker = Ticker(step_budget=5, check_every=100)
+    for _ in range(5):
+        ticker.tick()
+    with pytest.raises(BudgetExceeded) as info:
+        ticker.tick()
+    assert info.value.steps == 6
+    assert info.value.limit == 5
+
+
+def test_budget_zero_rejects_first_tick():
+    ticker = Ticker(step_budget=0, check_every=7)
+    with pytest.raises(BudgetExceeded):
+        ticker.tick()
+
+
+def test_bulk_ticks_count_fully():
+    ticker = Ticker(step_budget=10)
+    ticker.tick(10)
+    with pytest.raises(BudgetExceeded):
+        ticker.tick(1)
+
+
+def test_deadline_detected_at_the_next_checkpoint():
+    clock = FakeClock(step=0.0)
+    ticker = Ticker(deadline=1.0, check_every=4, clock=clock)
+    ticker.tick(3)  # below check_every: clock untouched
+    assert clock.reads == 1  # only the constructor read it
+    clock.advance(2.0)  # deadline now past
+    with pytest.raises(DeadlineExceeded) as info:
+        ticker.tick(1)  # 4th tick reaches the checkpoint and sees the overrun
+    assert info.value.elapsed > 1.0
+    assert info.value.limit == 1.0
+
+
+def test_check_forces_immediate_deadline_detection():
+    clock = FakeClock()
+    ticker = Ticker(deadline=1.0, check_every=1_000_000, clock=clock)
+    ticker.tick(10)
+    clock.advance(5.0)
+    with pytest.raises(DeadlineExceeded):
+        ticker.check()
+
+
+def test_unbounded_ticker_never_raises():
+    ticker = Ticker()
+    ticker.tick(10_000)
+    ticker.check()
+    assert ticker.remaining_budget() == float("inf")
+    assert ticker.remaining_deadline() == float("inf")
+
+
+def test_remaining_budget_counts_down():
+    ticker = Ticker(step_budget=10, check_every=3)
+    ticker.tick(4)
+    assert ticker.remaining_budget() == 6
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        Ticker(check_every=0)
+    with pytest.raises(ValueError):
+        Ticker(step_budget=-1)
+
+
+def test_exception_taxonomy():
+    assert issubclass(BudgetExceeded, ResourceExhausted)
+    assert issubclass(DeadlineExceeded, ResourceExhausted)
+    assert issubclass(ResourceExhausted, ReproError)
+    assert issubclass(ReproError, Exception)
+
+
+# ----------------------------------------------------------------------
+# wiring: each guarded algorithm stops on pathological inputs
+# ----------------------------------------------------------------------
+
+def _dataflow_proc(cfg):
+    proc = LoweredProcedure("p", cfg)
+    for node in cfg.nodes:
+        if node not in ("start", "end"):
+            proc.blocks[node].append(Assign("x", ("x",), "x+1"))
+    return proc
+
+
+CHAIN = chain_cfg(60)
+LADDER = ladder_cfg(25)
+
+
+@pytest.mark.parametrize("cfg", [CHAIN, LADDER], ids=["chain", "ladder"])
+@pytest.mark.parametrize(
+    "run",
+    [
+        lambda cfg, ticker: cycle_equivalence_of_cfg(cfg, ticker=ticker),
+        lambda cfg, ticker: lengauer_tarjan(cfg, ticker=ticker),
+        lambda cfg, ticker: immediate_dominators(cfg, ticker=ticker),
+        lambda cfg, ticker: solve_iterative(
+            cfg, ReachingDefinitions(_dataflow_proc(cfg)), ticker=ticker
+        ),
+    ],
+    ids=["cycle-equiv", "lengauer-tarjan", "iterative-dominators", "dataflow"],
+)
+class TestGuardWiring:
+    def test_tiny_budget_trips(self, run, cfg):
+        with pytest.raises(BudgetExceeded):
+            run(cfg, Ticker(step_budget=3, check_every=1))
+
+    def test_expired_deadline_trips(self, run, cfg):
+        clock = FakeClock(step=1.0)  # every read advances a full second
+        with pytest.raises(DeadlineExceeded):
+            run(cfg, Ticker(deadline=0.5, check_every=1, clock=clock))
+
+    def test_generous_guard_matches_unguarded(self, run, cfg):
+        guarded = run(cfg, Ticker(step_budget=10_000_000, deadline=3600.0))
+        unguarded = run(cfg, None)
+        if hasattr(guarded, "class_of"):
+            assert guarded.class_of == unguarded.class_of
+        elif hasattr(guarded, "before"):
+            assert guarded.before == unguarded.before
+            assert guarded.after == unguarded.after
+        else:
+            assert guarded == unguarded
+
+    def test_budget_scales_with_input(self, run, cfg):
+        # A budget generous for the small prefix trips on the full graph:
+        # the guard actually tracks work done, not just a constant.
+        steps_needed = _steps_to_finish(run, cfg)
+        with pytest.raises(BudgetExceeded):
+            run(cfg, Ticker(step_budget=max(1, steps_needed // 4), check_every=1))
+
+
+def _steps_to_finish(run, cfg) -> int:
+    ticker = Ticker()
+    run(cfg, ticker)
+    return ticker.steps
+
+
+def test_small_graph_guarded_end_to_end():
+    cfg = cfg_from_edges(
+        [("start", "a"), ("a", "b", "T"), ("a", "end", "F"), ("b", "a"), ("b", "end")]
+    )
+    equiv = cycle_equivalence_of_cfg(cfg, ticker=Ticker(step_budget=10_000))
+    assert equiv.class_of == cycle_equivalence_of_cfg(cfg).class_of
