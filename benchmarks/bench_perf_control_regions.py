@@ -12,7 +12,7 @@ from repro.controldep.regions_fast import control_regions
 from repro.dominance.lengauer_tarjan import lengauer_tarjan
 from repro.synth.structured import random_lowered_procedure
 
-from conftest import best_of, write_result
+from conftest import best_of, sample, stats_of, write_json, write_result
 
 # Sizes straddle the crossover: partition refinement is competitive on
 # small graphs but goes superlinear by a few thousand edges.
@@ -34,14 +34,26 @@ def test_p2_cfs_control_regions(benchmark):
 def test_p2_scaling(benchmark):
     rows = []
     ratios = []
+    series = []
     for statements in SIZES:
         proc = random_lowered_procedure(13, target_statements=statements)
         cfg = proc.cfg
-        fast_t, fast = best_of(lambda: control_regions(cfg, validate=False))
-        cfs_t, cfs = best_of(lambda: control_regions_cfs(cfg))
-        lt_t, _ = best_of(lambda: lengauer_tarjan(cfg))
+        fast_times, fast = sample(lambda: control_regions(cfg, validate=False))
+        cfs_times, cfs = sample(lambda: control_regions_cfs(cfg), repeats=3)
+        lt_times, _ = sample(lambda: lengauer_tarjan(cfg))
+        fast_t, cfs_t, lt_t = min(fast_times), min(cfs_times), min(lt_times)
         assert fast == cfs
         ratios.append((cfg.num_edges, fast_t, cfs_t))
+        series.append(
+            {
+                "statements": statements,
+                "nodes": cfg.num_nodes,
+                "edges": cfg.num_edges,
+                "fast": stats_of(fast_times),
+                "cfs90": stats_of(cfs_times),
+                "lengauer_tarjan": stats_of(lt_times),
+            }
+        )
         rows.append(
             [
                 cfg.num_nodes,
@@ -65,6 +77,7 @@ def test_p2_scaling(benchmark):
     )
     print("\n" + text)
     write_result("p2_control_regions", text)
+    write_json("p2_control_regions", {"sizes": series})
 
     # shape: the fast algorithm's per-edge cost stays flat while the
     # refinement baseline's grows with size.

@@ -13,7 +13,7 @@ from repro.dominance.lengauer_tarjan import lengauer_tarjan
 from repro.analysis.tables import format_table
 from repro.synth.structured import random_lowered_procedure
 
-from conftest import best_of, write_result
+from conftest import best_of, sample, stats_of, write_json, write_result
 
 
 def test_p1_corpus_cycle_equivalence(benchmark, procedures):
@@ -34,11 +34,22 @@ def test_p1_corpus_lengauer_tarjan(benchmark, procedures):
 
 def test_p1_size_sweep(benchmark, procedures):
     rows = []
+    series = []
     for statements in (250, 1000, 4000):
         proc = random_lowered_procedure(99, target_statements=statements)
         cfg = proc.cfg
-        ce, _ = best_of(lambda: cycle_equivalence_of_cfg(cfg, validate=False))
-        lt, _ = best_of(lambda: lengauer_tarjan(cfg))
+        ce_times, _ = sample(lambda: cycle_equivalence_of_cfg(cfg, validate=False))
+        lt_times, _ = sample(lambda: lengauer_tarjan(cfg))
+        ce, lt = min(ce_times), min(lt_times)
+        series.append(
+            {
+                "statements": statements,
+                "nodes": cfg.num_nodes,
+                "edges": cfg.num_edges,
+                "cycle_equiv": stats_of(ce_times),
+                "lengauer_tarjan": stats_of(lt_times),
+            }
+        )
         rows.append([cfg.num_nodes, cfg.num_edges, f"{1000*ce:.1f}", f"{1000*lt:.1f}", f"{ce/lt:.2f}"])
 
     def run_ce():
@@ -64,6 +75,18 @@ def test_p1_size_sweep(benchmark, procedures):
     )
     print("\n" + text)
     write_result("p1_cyclequiv_vs_lt", text)
+    write_json(
+        "p1_cyclequiv_vs_lt",
+        {
+            "sizes": series,
+            "corpus": {
+                "procedures": len(procedures),
+                "cycle_equiv_s": ce,
+                "lengauer_tarjan_s": lt,
+                "ratio": ce / lt,
+            },
+        },
+    )
     benchmark.extra_info["corpus_ratio"] = round(ce / lt, 2)
     # the shape claim: linear scaling, same ballpark as LT (allow slack for
     # Python constant factors; the paper's C version is faster than LT)

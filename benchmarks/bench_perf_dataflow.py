@@ -18,41 +18,50 @@ from repro.dataflow.qpg import solve_qpg
 from repro.dominance.lengauer_tarjan import lengauer_tarjan
 from repro.dominance.pst_dominators import pst_immediate_dominators
 
-from conftest import write_result
+from conftest import sample, stats_of, write_json, write_result
 
 
 def test_p5_sparse_variable_instances(benchmark, procedures, psts):
     """Per-variable reaching defs: QPG vs whole-graph iteration."""
-    sample = [(p, t) for p, t in zip(procedures, psts) if p.cfg.num_nodes >= 20][:40]
+    pairs = [(p, t) for p, t in zip(procedures, psts) if p.cfg.num_nodes >= 20][:40]
 
     def run_qpg():
-        for proc, pst in sample:
+        for proc, pst in pairs:
             for var in proc.variables()[:5]:
                 solve_qpg(proc.cfg, VariableReachingDefs(proc, var), pst)
 
     def run_iterative():
-        for proc, _ in sample:
+        for proc, _ in pairs:
             for var in proc.variables()[:5]:
                 solve_iterative(proc.cfg, VariableReachingDefs(proc, var))
 
-    t0 = time.perf_counter()
-    run_iterative()
-    iterative_t = time.perf_counter() - t0
-    qpg_t = benchmark.pedantic(lambda: (run_qpg(), time.perf_counter())[1], rounds=1, iterations=1)
+    iterative_times, _ = sample(run_iterative, repeats=3)
+    iterative_t = min(iterative_times)
+    qpg_times, _ = sample(run_qpg, repeats=3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     # correctness spot-check on a few instances
-    for proc, pst in sample[:6]:
+    for proc, pst in pairs[:6]:
         var = proc.variables()[0]
         problem = VariableReachingDefs(proc, var)
         assert solve_qpg(proc.cfg, problem, pst).solution == solve_iterative(proc.cfg, problem)
 
     text = (
         "Experiment P5(a) -- sparse per-variable reaching defs over "
-        f"{len(sample)} procedures x 5 variables\n"
+        f"{len(pairs)} procedures x 5 variables\n"
         f"whole-graph iterative: {1000*iterative_t:.1f} ms\n"
     )
     print("\n" + text)
     write_result("p5_sparse_dataflow", text)
+    write_json(
+        "p5_sparse_dataflow",
+        {
+            "procedures": len(pairs),
+            "variables_per_procedure": 5,
+            "iterative": stats_of(iterative_times),
+            "qpg": stats_of(qpg_times),
+        },
+    )
 
 
 def test_p5_elimination_vs_iterative(benchmark, procedures, psts):
@@ -71,15 +80,21 @@ def test_p5_elimination_vs_iterative(benchmark, procedures, psts):
 
 
 def test_p5_pst_dominators(benchmark, procedures, psts):
-    sample = list(zip(procedures, psts))
+    pairs = list(zip(procedures, psts))
 
-    def run():
-        for proc, pst in sample:
+    def run_pst():
+        for proc, pst in pairs:
             pst_immediate_dominators(proc.cfg, pst)
 
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    def run_lt():
+        for proc, _ in pairs:
+            lengauer_tarjan(proc.cfg)
+
+    pst_times, _ = sample(run_pst, repeats=3)
+    lt_times, _ = sample(run_lt, repeats=3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []
-    for proc, pst in sample[:5]:
+    for proc, pst in pairs[:5]:
         assert pst_immediate_dominators(proc.cfg, pst) == lengauer_tarjan(proc.cfg)
         rows.append([proc.name, proc.cfg.num_nodes, len(pst.canonical_regions())])
     text = (
@@ -88,3 +103,11 @@ def test_p5_pst_dominators(benchmark, procedures, psts):
     )
     print("\n" + text)
     write_result("p5_pst_dominators", text)
+    write_json(
+        "p5_pst_dominators",
+        {
+            "procedures": len(pairs),
+            "pst_dominators": stats_of(pst_times),
+            "lengauer_tarjan": stats_of(lt_times),
+        },
+    )

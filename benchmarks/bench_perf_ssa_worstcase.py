@@ -8,8 +8,6 @@ measure total frontier size (quadratic vs linear) and wall-clock for one
 variable's φ-placement.
 """
 
-import time
-
 from repro.analysis.tables import format_table
 from repro.core.pst import build_pst
 from repro.dominance.frontier import dominance_frontiers
@@ -19,7 +17,7 @@ from repro.ssa.phi_placement import phi_blocks_cytron
 from repro.ssa.pst_phi import place_phis_pst
 from repro.synth.patterns import repeat_until_nest
 
-from conftest import write_result
+from conftest import sample, stats_of, write_json, write_result
 
 DEPTHS = (25, 50, 100, 200)
 
@@ -50,20 +48,28 @@ def pst_frontier_cells(cfg):
 def test_p3_frontier_blowup(benchmark):
     rows = []
     growth = []
+    series = []
     for depth in DEPTHS:
         proc = nest_procedure(depth)
         global_cells = global_frontier_cells(proc.cfg)
         local_cells = pst_frontier_cells(proc.cfg)
 
-        t0 = time.perf_counter()
-        classic = phi_blocks_cytron(proc)
-        classic_t = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        sparse = place_phis_pst(proc)
-        pst_t = time.perf_counter() - t0
+        classic_times, classic = sample(lambda: phi_blocks_cytron(proc), repeats=3)
+        pst_times, sparse = sample(lambda: place_phis_pst(proc), repeats=3)
+        classic_t, pst_t = min(classic_times), min(pst_times)
         assert sparse.phi_blocks == classic
 
         growth.append((depth, global_cells, local_cells))
+        series.append(
+            {
+                "depth": depth,
+                "nodes": proc.cfg.num_nodes,
+                "global_df_cells": global_cells,
+                "pst_df_cells": local_cells,
+                "cytron": stats_of(classic_times),
+                "pst": stats_of(pst_times),
+            }
+        )
         rows.append(
             [
                 depth,
@@ -87,6 +93,7 @@ def test_p3_frontier_blowup(benchmark):
     )
     print("\n" + text)
     write_result("p3_ssa_worstcase", text)
+    write_json("p3_ssa_worstcase", {"depths": series})
 
     # shape: global cells grow ~4x when depth doubles; PST cells ~2x.
     (d0, g0, l0), (d3, g3, l3) = growth[0], growth[-1]

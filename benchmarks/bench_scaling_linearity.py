@@ -12,7 +12,7 @@ from repro.analysis.tables import format_table
 from repro.core.pst import build_pst
 from repro.synth.structured import random_lowered_procedure
 
-from conftest import best_of, write_result
+from conftest import sample, stats_of, write_json, write_result
 
 SIZES = (500, 2000, 8000)
 
@@ -20,11 +20,23 @@ SIZES = (500, 2000, 8000)
 def test_a2_pst_linear_scaling(benchmark):
     rows = []
     per_edge = []
+    series = []
     for statements in SIZES:
         proc = random_lowered_procedure(21, target_statements=statements)
         cfg = proc.cfg
-        elapsed, pst = best_of(lambda: build_pst(cfg))
+        times, pst = sample(lambda: build_pst(cfg))
+        elapsed = min(times)
         per_edge.append(elapsed / cfg.num_edges)
+        series.append(
+            {
+                "statements": statements,
+                "nodes": cfg.num_nodes,
+                "edges": cfg.num_edges,
+                "regions": len(pst.canonical_regions()),
+                "build": stats_of(times),
+                "us_per_edge": 1e6 * elapsed / cfg.num_edges,
+            }
+        )
         rows.append(
             [
                 cfg.num_nodes,
@@ -48,6 +60,10 @@ def test_a2_pst_linear_scaling(benchmark):
     )
     print("\n" + text)
     write_result("a2_linearity", text)
+    write_json(
+        "a2_linearity",
+        {"sizes": series, "per_edge_band": round(max(per_edge) / min(per_edge), 2)},
+    )
 
     benchmark.extra_info["per_edge_band"] = round(max(per_edge) / min(per_edge), 2)
     assert max(per_edge) / min(per_edge) < 3.0

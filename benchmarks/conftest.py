@@ -63,10 +63,84 @@ def best_of(fn, repeats: int = 3):
     return best, result
 
 
+def sample(fn, repeats: int = 5):
+    """(list of wall-clock seconds, last result) with warmup and GC paused.
+
+    Like :func:`best_of` but keeps every sample so callers can report
+    median/stdev in the machine-readable JSON results.
+    """
+    import gc
+    import time
+
+    fn()  # warmup
+    times: List[float] = []
+    result = None
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - started)
+    finally:
+        if enabled:
+            gc.enable()
+    return times, result
+
+
+def stats_of(times) -> dict:
+    """Summary statistics for one timed series, in seconds."""
+    import statistics
+
+    return {
+        "median_s": statistics.median(times),
+        "stdev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "min_s": min(times),
+        "repeats": len(times),
+    }
+
+
+def git_rev() -> str:
+    """The current git revision, or "unknown" outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(__file__),
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
 def write_result(name: str, text: str) -> str:
     """Persist a rendered table/series under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Persist machine-readable results next to the ``.txt`` rendering.
+
+    Stamps the bench name, git revision, and host facts so a results file
+    is self-describing when collected into a trajectory.
+    """
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    record = {"bench": name, "git_rev": git_rev(), "cpu_count": os.cpu_count()}
+    record.update(payload)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path

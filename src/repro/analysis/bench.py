@@ -1,0 +1,300 @@
+"""Self-contained performance micro-suite behind ``repro bench``.
+
+Times the array kernels against their object-graph reference
+implementations (cycle equivalence, Lengauer-Tarjan, PST construction,
+control regions) on synthetic procedures, plus the batch driver serial vs
+parallel, and writes machine-readable JSON under ``benchmarks/results/``
+without needing pytest.
+
+The headline number per component is the *ratio* kernel/reference (of the
+best wall-clock over ``--repeats`` runs).  Ratios are measured within one
+process on one host, so they are stable across machines in a way absolute
+times are not; the CI perf-smoke job compares them against the checked-in
+``perf_smoke_baseline.json`` and fails on a >25% regression
+(``--check``/``--tolerance``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+DEFAULT_SIZES = (500, 2000)
+DEFAULT_REPEATS = 5
+DEFAULT_OUT = os.path.join("benchmarks", "results")
+
+
+def _sample(fn: Callable[[], object], repeats: int) -> List[float]:
+    """Wall-clock seconds for ``repeats`` runs, with warmup and GC paused."""
+    fn()  # warmup
+    times: List[float] = []
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+    finally:
+        if enabled:
+            gc.enable()
+    return times
+
+
+def _stats(times: List[float]) -> Dict[str, float]:
+    return {
+        "median_s": statistics.median(times),
+        "stdev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "min_s": min(times),
+        "repeats": len(times),
+    }
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
+def _components() -> Dict[str, Tuple[Callable, Callable]]:
+    """name -> (kernel path, object-graph reference), both ``cfg -> result``."""
+    from repro.controldep.regions_fast import control_regions, control_regions_reference
+    from repro.core.cycle_equiv import (
+        cycle_equivalence_of_cfg,
+        cycle_equivalence_of_cfg_reference,
+    )
+    from repro.core.pst import build_pst, build_pst_reference
+    from repro.dominance.lengauer_tarjan import lengauer_tarjan, lengauer_tarjan_reference
+
+    return {
+        "cycle_equiv": (
+            lambda cfg: cycle_equivalence_of_cfg(cfg, validate=False),
+            lambda cfg: cycle_equivalence_of_cfg_reference(cfg, validate=False),
+        ),
+        "lengauer_tarjan": (lengauer_tarjan, lengauer_tarjan_reference),
+        "build_pst": (build_pst, build_pst_reference),
+        "control_regions": (
+            lambda cfg: control_regions(cfg, validate=False),
+            lambda cfg: control_regions_reference(cfg, validate=False),
+        ),
+    }
+
+
+def run_kernel_bench(sizes: List[int], repeats: int, seed: int = 42) -> Dict[str, list]:
+    """Time every kernel/reference pair on one procedure per size."""
+    from repro.synth.structured import random_lowered_procedure
+
+    graphs = []
+    for statements in sizes:
+        proc = random_lowered_procedure(seed, target_statements=statements)
+        graphs.append((statements, proc.cfg))
+
+    results: Dict[str, list] = {}
+    for name, (kernel, reference) in _components().items():
+        series = []
+        for statements, cfg in graphs:
+            kernel_times = _sample(lambda: kernel(cfg), repeats)
+            reference_times = _sample(lambda: reference(cfg), repeats)
+            series.append(
+                {
+                    "statements": statements,
+                    "nodes": cfg.num_nodes,
+                    "edges": cfg.num_edges,
+                    "kernel": _stats(kernel_times),
+                    "reference": _stats(reference_times),
+                    "ratio": min(kernel_times) / min(reference_times),
+                }
+            )
+        results[name] = series
+    return results
+
+
+def run_batch_bench(items: int, workers: int, size: int = 120, seed: int = 7) -> dict:
+    """Time the batch driver serial vs parallel on a synthetic corpus.
+
+    On single-core hosts the parallel run is expected to be *slower*
+    (pure process overhead); consumers must gate on ``cpu_count``.
+    """
+    from repro.resilience.batch import run_batch
+    from repro.synth.structured import random_lowered_procedure
+
+    cfgs = [
+        random_lowered_procedure(seed + i, target_statements=size).cfg
+        for i in range(items)
+    ]
+
+    def corpus():
+        return [(f"item{i}", (lambda c=cfg: c)) for i, cfg in enumerate(cfgs)]
+
+    t0 = time.perf_counter()
+    serial_report = run_batch(corpus(), workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel_report = run_batch(corpus(), workers=workers)
+    parallel_s = time.perf_counter() - t0
+    serial_statuses = [r.status for r in serial_report.results]
+    parallel_statuses = [r.status for r in parallel_report.results]
+    return {
+        "items": items,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "statuses_agree": serial_statuses == parallel_statuses,
+    }
+
+
+def check_against_baseline(
+    record: dict, baseline: dict, tolerance: float, out
+) -> List[str]:
+    """Ratio regressions of ``record`` vs ``baseline``, as printed lines.
+
+    A component regresses when its kernel/reference ratio at some size
+    grew by more than ``tolerance`` (relative).  Missing components or
+    sizes in either file are skipped, not failed, so the suite can evolve.
+    """
+    failures: List[str] = []
+    base_components = baseline.get("components", {})
+    for name, series in record.get("components", {}).items():
+        base_series = {row["statements"]: row for row in base_components.get(name, [])}
+        for row in series:
+            base_row = base_series.get(row["statements"])
+            if base_row is None:
+                continue
+            ratio, base_ratio = row["ratio"], base_row["ratio"]
+            limit = base_ratio * (1.0 + tolerance)
+            verdict = "ok" if ratio <= limit else "REGRESSED"
+            print(
+                f"  {name} @ {row['statements']}: ratio {ratio:.3f} "
+                f"(baseline {base_ratio:.3f}, limit {limit:.3f}) {verdict}",
+                file=out,
+            )
+            if ratio > limit:
+                failures.append(f"{name} @ {row['statements']}")
+    return failures
+
+
+def build_bench_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the array kernels vs their object-graph references "
+        "and write machine-readable JSON under benchmarks/results/",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES), metavar="N",
+        help=f"procedure sizes in statements (default {' '.join(map(str, DEFAULT_SIZES))})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"timed runs per measurement (default {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=DEFAULT_OUT,
+        help=f"directory for the JSON results (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--name", default="bench_kernels",
+        help="basename of the results file (default bench_kernels)",
+    )
+    parser.add_argument(
+        "--batch-items", type=int, default=0, metavar="N",
+        help="also time the batch driver serial vs parallel on N items (default: skip)",
+    )
+    parser.add_argument(
+        "--batch-workers", type=int, default=2, metavar="N",
+        help="worker processes for the batch comparison (default 2)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare kernel/reference ratios against this baseline JSON "
+        "and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative ratio growth under --check (default 0.25)",
+    )
+    return parser
+
+
+def bench_main(argv: List[str], out) -> int:
+    args = build_bench_arg_parser().parse_args(argv)
+    if args.repeats < 1 or any(s < 1 for s in args.sizes):
+        print("error: --repeats and --sizes must be >= 1", file=sys.stderr)
+        return 2
+
+    print(
+        f"repro bench: sizes {args.sizes}, {args.repeats} repeats, "
+        f"{os.cpu_count()} cpu(s)",
+        file=out,
+    )
+    components = run_kernel_bench(args.sizes, args.repeats)
+    for name, series in components.items():
+        for row in series:
+            print(
+                f"  {name} @ {row['statements']}: kernel "
+                f"{1000 * row['kernel']['min_s']:.1f} ms, reference "
+                f"{1000 * row['reference']['min_s']:.1f} ms, "
+                f"ratio {row['ratio']:.3f}",
+                file=out,
+            )
+
+    record = {
+        "bench": args.name,
+        "git_rev": _git_rev(),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "sizes": list(args.sizes),
+        "repeats": args.repeats,
+        "components": components,
+    }
+    if args.batch_items > 0:
+        batch = run_batch_bench(args.batch_items, args.batch_workers)
+        record["batch"] = batch
+        print(
+            f"  batch x{batch['items']}: serial {batch['serial_s']:.2f} s, "
+            f"{batch['workers']} workers {batch['parallel_s']:.2f} s, "
+            f"speedup {batch['speedup']:.2f}x",
+            file=out,
+        )
+
+    try:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"{args.name}.json")
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {path}", file=out)
+
+    if args.check:
+        try:
+            with open(args.check) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline {args.check}: {error}", file=sys.stderr)
+            return 2
+        print(f"checking ratios against {args.check} (+{100 * args.tolerance:.0f}%)", file=out)
+        failures = check_against_baseline(record, baseline, args.tolerance, out)
+        if failures:
+            print(f"perf regression in: {', '.join(failures)}", file=out)
+            return 1
+        print("perf smoke: all ratios within tolerance", file=out)
+    return 0

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.pst import ProgramStructureTree
+from repro.kernel.session import session_for
 from repro.core.region_kinds import RegionKind, classify_pst, is_completely_structured, region_weight
 from repro.dataflow.problems import VariableReachingDefs
 from repro.dataflow.qpg import build_qpg
@@ -86,7 +87,7 @@ def procedure_profile(procs: List[LoweredProcedure]) -> List[Tuple[int, int, flo
     """
     out: List[Tuple[int, int, float, int]] = []
     for proc in procs:
-        pst = build_pst(proc.cfg)
+        pst = session_for(proc.cfg).pst()
         regions = pst.canonical_regions()
         depths = [r.depth for r in regions]
         avg_depth = sum(depths) / len(depths) if depths else 0.0
@@ -100,7 +101,7 @@ def corpus_stats(procs: List[LoweredProcedure]) -> CorpusStats:
     stats = CorpusStats()
     stats.kind_weights = {kind: 0 for kind in RegionKind}
     for proc in procs:
-        pst = build_pst(proc.cfg)
+        pst = session_for(proc.cfg).pst()
         regions = pst.canonical_regions()
         stats.procedures += 1
         stats.regions += len(regions)
@@ -127,7 +128,7 @@ def phi_sparsity(procs: List[LoweredProcedure]) -> List[float]:
     """
     fractions: List[float] = []
     for proc in procs:
-        pst = build_pst(proc.cfg)
+        pst = session_for(proc.cfg).pst()
         result = place_phis_pst(proc, pst)
         for var in result.regions_examined:
             fractions.append(result.examined_fraction(var))
@@ -152,7 +153,7 @@ def qpg_sizes(
     out: List[Tuple[int, int, int]] = []
     for proc in procs:
         target = statement_level(proc) if granularity == "statement" else proc
-        pst = build_pst(target.cfg)
+        pst = session_for(target.cfg).pst()
         statements = proc.num_statements()
         variables = target.variables()
         if max_vars_per_proc is not None:

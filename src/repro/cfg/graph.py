@@ -87,6 +87,7 @@ class CFG:
         self._preds: Dict[NodeId, List[Edge]] = {}
         self._edges: List[Edge] = []
         self._next_eid = 0
+        self._version = 0
         if start is not None:
             self.add_node(start)
         if end is not None and end != start:
@@ -100,6 +101,7 @@ class CFG:
         if node not in self._succs:
             self._succs[node] = []
             self._preds[node] = []
+            self._version += 1
         return node
 
     def add_edge(self, source: NodeId, target: NodeId, label: Optional[str] = None) -> Edge:
@@ -111,6 +113,7 @@ class CFG:
         self._edges.append(edge)
         self._succs[source].append(edge)
         self._preds[target].append(edge)
+        self._version += 1
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
@@ -118,6 +121,7 @@ class CFG:
         self._succs[edge.source].remove(edge)
         self._preds[edge.target].remove(edge)
         self._edges.remove(edge)
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -128,6 +132,7 @@ class CFG:
                 self.remove_edge(edge)
         del self._succs[node]
         del self._preds[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -157,11 +162,35 @@ class CFG:
     def in_edges(self, node: NodeId) -> List[Edge]:
         return list(self._preds[node])
 
+    def iter_out_edges(self, node: NodeId) -> Iterable[Edge]:
+        """The out-edge list of ``node`` without the defensive copy.
+
+        The returned sequence is the live adjacency list: callers must not
+        mutate the graph while iterating it.  Inner loops of the analyses
+        use this instead of :meth:`out_edges` to avoid an O(degree)
+        allocation per visit.
+        """
+        return self._succs[node]
+
+    def iter_in_edges(self, node: NodeId) -> Iterable[Edge]:
+        """The in-edge list of ``node`` without the defensive copy (live)."""
+        return self._preds[node]
+
     def successors(self, node: NodeId) -> List[NodeId]:
         return [e.target for e in self._succs[node]]
 
     def predecessors(self, node: NodeId) -> List[NodeId]:
         return [e.source for e in self._preds[node]]
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every mutation.
+
+        Snapshots (:class:`repro.kernel.csr.FrozenCFG`) record it to detect
+        staleness: a frozen view is valid iff the graph's version still
+        equals the one captured at freeze time.
+        """
+        return self._version
 
     def out_degree(self, node: NodeId) -> int:
         return len(self._succs[node])

@@ -26,7 +26,7 @@ def dfs_preorder(cfg: CFG, root: Optional[NodeId] = None) -> List[NodeId]:
         seen.add(node)
         order.append(node)
         # reversed so that the first adjacency-list edge is explored first
-        for edge in reversed(cfg.out_edges(node)):
+        for edge in reversed(cfg.iter_out_edges(node)):
             if edge.target not in seen:
                 stack.append(edge.target)
     return order
@@ -38,14 +38,14 @@ def dfs_postorder(cfg: CFG, root: Optional[NodeId] = None) -> List[NodeId]:
     seen: Set[NodeId] = {root}
     order: List[NodeId] = []
     # stack holds (node, iterator over out-edges)
-    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.out_edges(root)))]
+    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.iter_out_edges(root)))]
     while stack:
         node, it = stack[-1]
         advanced = False
         for edge in it:
             if edge.target not in seen:
                 seen.add(edge.target)
-                stack.append((edge.target, iter(cfg.out_edges(edge.target))))
+                stack.append((edge.target, iter(cfg.iter_out_edges(edge.target))))
                 advanced = True
                 break
         if not advanced:
@@ -77,7 +77,7 @@ def dfs_edges(
     root = cfg.start if root is None else root
     seen: Set[NodeId] = {root}
     visited: List[Edge] = []
-    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.out_edges(root)))]
+    stack: List[Tuple[NodeId, Iterator[Edge]]] = [(root, iter(cfg.iter_out_edges(root)))]
     while stack:
         node, it = stack[-1]
         advanced = False
@@ -87,7 +87,7 @@ def dfs_edges(
                 on_edge(edge)
             if edge.target not in seen:
                 seen.add(edge.target)
-                stack.append((edge.target, iter(cfg.out_edges(edge.target))))
+                stack.append((edge.target, iter(cfg.iter_out_edges(edge.target))))
                 advanced = True
                 break
         if not advanced:
@@ -107,7 +107,7 @@ def reaches(cfg: CFG, sink: Optional[NodeId] = None) -> Set[NodeId]:
     stack: List[NodeId] = [sink]
     while stack:
         node = stack.pop()
-        for edge in cfg.in_edges(node):
+        for edge in cfg.iter_in_edges(node):
             if edge.source not in seen:
                 seen.add(edge.source)
                 stack.append(edge.source)

@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cfg.graph import CFG, InvalidCFGError, NodeId
-from repro.cfg.traversal import reachable_from, reaches
 
 
 def check_cfg(cfg: CFG) -> List[str]:
@@ -48,14 +47,37 @@ def check_cfg(cfg: CFG) -> List[str]:
     if cfg.out_degree(cfg.end) > 0:
         problems.append(f"end node {cfg.end!r} has successors")
 
-    from_start = reachable_from(cfg)
-    to_end = reaches(cfg)
-    for node in cfg.nodes:
-        if node not in from_start:
-            problems.append(f"node {node!r} is unreachable from start")
-        elif node not in to_end:
-            problems.append(f"node {node!r} cannot reach end")
+    # Reachability over the shared CSR snapshot (bytearray marks instead of
+    # NodeId hash sets); node_ids is insertion order, so diagnostics come
+    # out in the same order as the object-path traversals did.
+    from repro.kernel.registry import shared_frozen
+
+    frozen = shared_frozen(cfg)
+    from_start = _reach(frozen.num_nodes, frozen.succ_off, frozen.succ_dst, frozen.start)
+    to_end = _reach(frozen.num_nodes, frozen.pred_off, frozen.pred_src, frozen.end)
+    if 0 in from_start or 0 in to_end:
+        for i, node in enumerate(frozen.node_ids):
+            if not from_start[i]:
+                problems.append(f"node {node!r} is unreachable from start")
+            elif not to_end[i]:
+                problems.append(f"node {node!r} cannot reach end")
     return problems
+
+
+def _reach(n: int, off: List[int], dst: List[int], root: int) -> bytearray:
+    """Nodes reachable from ``root`` following the given CSR rows."""
+    seen = bytearray(n)
+    seen[root] = 1
+    stack = [root]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        node = pop()
+        for t in dst[off[node] : off[node + 1]]:
+            if not seen[t]:
+                seen[t] = 1
+                push(t)
+    return seen
 
 
 def validate_cfg(cfg: CFG) -> CFG:

@@ -25,6 +25,14 @@ of source files with per-item isolation and JSONL checkpoint/resume (see
 
     python -m repro batch corpus/*.mini --checkpoint run.jsonl
 
+The ``bench`` subcommand times the array kernels against their
+object-graph references and writes machine-readable JSON under
+``benchmarks/results/`` (see :mod:`repro.analysis.bench` and
+``docs/PERFORMANCE.md``)::
+
+    python -m repro bench --sizes 500 2000
+    python -m repro bench --check benchmarks/results/perf_smoke_baseline.json
+
 Exit codes (all commands; a multi-procedure run reports the worst):
 
 ====  ==============================================================
@@ -49,9 +57,8 @@ from typing import List, Optional
 
 from repro.cfg.dot import cfg_to_dot, pst_to_dot
 from repro.cfg.graph import InvalidCFGError
-from repro.controldep import control_regions
-from repro.core.pst import build_pst
 from repro.core.region_kinds import classify_pst
+from repro.kernel.session import session_for
 from repro.errors import AnalysisError, ReproError, ResourceExhausted
 from repro.ir import LoweredProcedure
 from repro.lang import lower_program, parse_program
@@ -147,6 +154,10 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         "--step-budget", type=int, default=None, metavar="STEPS",
         help="per-attempt step budget forwarded to the engine",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="analyze items on N worker processes (default 1: serial)",
+    )
     return parser
 
 
@@ -156,6 +167,9 @@ def batch_main(argv: List[str], out) -> int:
     args = build_batch_arg_parser().parse_args(argv)
     if args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE_IO
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
         return EXIT_USAGE_IO
 
     def items():
@@ -181,6 +195,7 @@ def batch_main(argv: List[str], out) -> int:
             backoff=args.backoff,
             deadline=args.deadline,
             step_budget=args.step_budget,
+            workers=args.workers,
         )
     except OSError as error:  # checkpoint file unusable
         print(f"error: {error}", file=sys.stderr)
@@ -237,6 +252,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return fuzz_main(argv[1:], out)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:], out)
+    if argv and argv[0] == "bench":
+        from repro.analysis.bench import bench_main
+
+        return bench_main(argv[1:], out)
     args = build_arg_parser().parse_args(argv)
 
     if args.source == "-":
@@ -296,7 +315,8 @@ def _report_one(proc: LoweredProcedure, args, out) -> int:
 
 
 def _report(proc: LoweredProcedure, args, out) -> None:
-    pst = build_pst(proc.cfg)
+    session = session_for(proc.cfg)
+    pst = session.pst()
     print(
         f"proc {proc.name}: {proc.cfg.num_nodes} blocks, {proc.cfg.num_edges} edges, "
         f"{proc.num_statements()} statements, {len(pst.canonical_regions())} SESE regions, "
@@ -322,7 +342,7 @@ def _report(proc: LoweredProcedure, args, out) -> None:
         if args.dot:
             print(pst_to_dot(pst, title=f"{proc.name}.pst"), file=out)
     if args.control_regions:
-        for group in control_regions(proc.cfg):
+        for group in session.control_regions():
             print(f"  control region: {group}", file=out)
     if args.ssa:
         placement = place_phis_pst(proc, pst).phi_blocks

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.cfg.graph import CFG, Edge, NodeId
+from repro.cfg.graph import CFG, Edge, InvalidCFGError, NodeId
 from repro.cfg.validate import validate_cfg
 from repro.core.cycle_equiv import cycle_equivalence_scc
+from repro.kernel.cycle_equiv import kernel_control_region_classes
+from repro.kernel.registry import shared_frozen
+from repro.resilience.guards import Ticker
 
 
 def node_expand(graph: CFG) -> Tuple[CFG, Dict[NodeId, Edge]]:
@@ -52,12 +55,42 @@ def node_cycle_equivalence(graph: CFG, root: Optional[NodeId] = None) -> Dict[No
     return {node: equiv.class_of[rep] for node, rep in representative.items()}
 
 
-def control_regions(cfg: CFG, validate: bool = True) -> List[List[NodeId]]:
+def control_regions(
+    cfg: CFG, validate: bool = True, ticker: Optional[Ticker] = None
+) -> List[List[NodeId]]:
     """Control regions of ``cfg`` in O(E) time (the paper's algorithm).
 
     Nodes in the same returned group have identical control-dependence sets.
     Groups and their members are sorted for deterministic comparison with
     :func:`repro.controldep.fow.control_regions_by_definition`.
+
+    Runs the array kernel
+    (:func:`repro.kernel.cycle_equiv.kernel_control_region_classes`), which
+    builds the node expansion directly in CSR form -- the implementation the
+    paper alludes to that never materializes ``T(S)`` as a graph.
+    :func:`control_regions_reference` is the retained object-graph path.
+    """
+    frozen = shared_frozen(cfg)
+    if validate and not frozen.validated:
+        validate_cfg(cfg)
+        frozen.validated = True
+    if cfg.start is None or cfg.end is None:
+        raise InvalidCFGError("CFG must have start and end nodes set")
+    classes = kernel_control_region_classes(frozen, ticker=ticker)
+    buckets: Dict[int, List[NodeId]] = {}
+    node_ids = frozen.node_ids
+    for i, cls in enumerate(classes):
+        buckets.setdefault(cls, []).append(node_ids[i])
+    regions = [sorted(nodes, key=repr) for nodes in buckets.values()]
+    regions.sort(key=repr)
+    return regions
+
+
+def control_regions_reference(cfg: CFG, validate: bool = True) -> List[List[NodeId]]:
+    """Object-graph reference for :func:`control_regions` (same contract).
+
+    Materializes the augmented graph and its node expansion ``T(S)``
+    explicitly; kept as the oracle the kernel path is fuzzed against.
     """
     if validate:
         validate_cfg(cfg)

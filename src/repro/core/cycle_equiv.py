@@ -40,6 +40,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cfg.graph import CFG, Edge, InvalidCFGError, NodeId
 from repro.cfg.validate import validate_cfg
 from repro.core.bracketlist import Bracket, BracketList
+from repro.kernel.cycle_equiv import kernel_cycle_equivalence
+from repro.kernel.registry import shared_frozen
 from repro.resilience.guards import Ticker
 
 INFINITY = float("inf")
@@ -85,10 +87,34 @@ class CycleEquivalence:
 
     ``class_of`` maps every directed edge (including any augmentation edge)
     to an integer class id.  Edges with equal ids are cycle equivalent.
+
+    ``positional`` optionally carries the same ids as a flat list indexed by
+    edge *position* in the source graph's ``edges`` list (set when the
+    result came from the CSR kernel); consumers that walk edges by index
+    (e.g. :func:`repro.core.pst.build_pst`) use it to skip dict lookups.
+
+    When constructed from the kernel, the ``class_of`` dict is materialized
+    lazily from ``positional`` and the edge list on first access, so
+    positional-only consumers never pay for it.
     """
 
-    def __init__(self, class_of: Dict[Edge, int]):
-        self.class_of = class_of
+    def __init__(
+        self,
+        class_of: Optional[Dict[Edge, int]],
+        positional: Optional[List[int]] = None,
+        lazy_edges: Optional[List[Edge]] = None,
+    ):
+        self._class_of = class_of
+        self.positional = positional
+        self._lazy_edges = lazy_edges
+
+    @property
+    def class_of(self) -> Dict[Edge, int]:
+        mapping = self._class_of
+        if mapping is None:
+            assert self._lazy_edges is not None and self.positional is not None
+            mapping = self._class_of = dict(zip(self._lazy_edges, self.positional))
+        return mapping
 
     def classes(self) -> Dict[int, List[Edge]]:
         """Class id -> edges, each list in ascending edge-id order."""
@@ -333,7 +359,35 @@ def cycle_equivalence_of_cfg(
     """Cycle-equivalence classes keyed by the edges of ``cfg`` itself.
 
     The ``end -> start`` augmentation is applied virtually (no graph copy);
-    its class is not reported.
+    its class is not reported.  Runs the array kernel
+    (:func:`repro.kernel.cycle_equiv.kernel_cycle_equivalence`) over the
+    shared frozen snapshot; class ids are identical to the object-graph
+    reference (:func:`cycle_equivalence_of_cfg_reference`) because both
+    follow the same DFS and the same new-class order.
+    """
+    frozen = shared_frozen(cfg)
+    if validate and not frozen.validated:
+        validate_cfg(cfg)
+        frozen.validated = True
+    if cfg.start is None or cfg.end is None:
+        raise InvalidCFGError("CFG must have start and end nodes set")
+    classes = kernel_cycle_equivalence(
+        frozen,
+        root=frozen.start,
+        virtual_edges=((frozen.end, frozen.start),),
+        ticker=ticker,
+    )
+    return CycleEquivalence(None, positional=classes, lazy_edges=cfg.edges)
+
+
+def cycle_equivalence_of_cfg_reference(
+    cfg: CFG, validate: bool = True, ticker: Optional[Ticker] = None
+) -> CycleEquivalence:
+    """Object-graph reference for :func:`cycle_equivalence_of_cfg`.
+
+    Same contract, computed by :func:`cycle_equivalence_scc` directly over
+    the object multigraph.  Kept as the oracle the fuzz campaign and the
+    kernel unit tests compare the CSR kernel against.
     """
     if validate:
         validate_cfg(cfg)

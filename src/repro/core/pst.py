@@ -32,6 +32,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cfg.graph import CFG, Edge, NodeId
 from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence_of_cfg
 from repro.core.sese import SESERegion, canonical_sese_regions
+from repro.kernel.pst import kernel_build_pst
+from repro.kernel.registry import shared_frozen
 
 REGION_ENTRY = "$entry$"
 REGION_EXIT = "$exit$"
@@ -195,7 +197,26 @@ def build_pst(
     single tree-walk of the CFG's DFS tree.  ``ticker`` (a
     :class:`~repro.resilience.guards.Ticker`) guards the cycle-equivalence
     phase, which dominates the running time.
+
+    The region derivation and tree walk run on the CSR kernel
+    (:func:`repro.kernel.pst.kernel_build_pst`);
+    :func:`build_pst_reference` is the retained object-graph builder, with
+    identical output.
     """
+    if equiv is None:
+        equiv = cycle_equivalence_of_cfg(cfg, ticker=ticker)
+    frozen = shared_frozen(cfg)
+    classes = equiv.positional
+    if classes is None or len(classes) != frozen.num_edges:
+        class_of = equiv.class_of
+        classes = [class_of[edge] for edge in cfg.edges]
+    return kernel_build_pst(frozen, classes)
+
+
+def build_pst_reference(
+    cfg: CFG, equiv: Optional[CycleEquivalence] = None, ticker=None
+) -> ProgramStructureTree:
+    """Object-graph reference for :func:`build_pst` (same contract)."""
     if equiv is None:
         equiv = cycle_equivalence_of_cfg(cfg, ticker=ticker)
     canonical = canonical_sese_regions(cfg, equiv)
@@ -255,7 +276,7 @@ def _tree_events(cfg: CFG) -> Iterator[Tuple[str, Edge]]:
     """
     seen = {cfg.start}
     stack: List[Tuple[NodeId, Iterator[Edge], Optional[Edge]]] = [
-        (cfg.start, iter(cfg.out_edges(cfg.start)), None)
+        (cfg.start, iter(cfg.iter_out_edges(cfg.start)), None)
     ]
     while stack:
         node, it, via = stack[-1]
@@ -264,7 +285,7 @@ def _tree_events(cfg: CFG) -> Iterator[Tuple[str, Edge]]:
             if edge.target not in seen:
                 seen.add(edge.target)
                 yield ("down", edge)
-                stack.append((edge.target, iter(cfg.out_edges(edge.target)), edge))
+                stack.append((edge.target, iter(cfg.iter_out_edges(edge.target)), edge))
                 advanced = True
                 break
         if not advanced:

@@ -26,7 +26,26 @@ def solve_iterative(
     ``ticker`` is charged one step per worklist pop (billed in batches of
     :data:`~repro.resilience.guards.TICK_CHUNK`), so a deadline or step
     budget bounds slowly-converging (e.g. deep-chain) instances.
+
+    Runs the array kernel
+    (:func:`repro.kernel.dataflow.kernel_solve_iterative`) over the shared
+    frozen snapshot -- backward problems solve directly on the predecessor
+    CSR rows, with no reversed-graph copy.
+    :func:`solve_iterative_reference` is the retained object-graph
+    implementation the fuzz oracles compare against.
     """
+    if (cfg.end if problem.direction == BACKWARD else cfg.start) is not None:
+        from repro.kernel.dataflow import kernel_solve_iterative
+        from repro.kernel.registry import shared_frozen
+
+        return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
+    return solve_iterative_reference(cfg, problem, ticker)
+
+
+def solve_iterative_reference(
+    cfg: CFG, problem: DataflowProblem, ticker: Optional[Ticker] = None
+) -> Solution:
+    """Object-graph reference for :func:`solve_iterative` (same contract)."""
     backward = problem.direction == BACKWARD
     if backward:
         graph = cfg.reversed()

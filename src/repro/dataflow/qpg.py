@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.cfg.graph import CFG, Edge
-from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.pst import ProgramStructureTree
+from repro.kernel.session import session_for
 from repro.core.sese import SESERegion
 from repro.dataflow.framework import BACKWARD, DataflowProblem, Solution
 from repro.dataflow.iterative import solve_iterative
@@ -65,7 +66,7 @@ def build_qpg(
     ``marked`` is the set of non-transparent regions.
     """
     if pst is None:
-        pst = build_pst(cfg)
+        pst = session_for(cfg).pst()
 
     # Step 1: mark regions with non-identity transfer functions (leaf-up).
     marked: Set[SESERegion] = {pst.root}  # keep start/end even if all-identity
@@ -111,7 +112,7 @@ def solve_qpg(
 ) -> QPGResult:
     """Solve ``problem`` sparsely and project the solution onto all of ``cfg``."""
     if pst is None:
-        pst = build_pst(cfg)
+        pst = session_for(cfg).pst()
     qpg, chains, bypassed = build_qpg(cfg, problem, pst)
     solution = solve_iterative(qpg, problem)
 

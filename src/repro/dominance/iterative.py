@@ -58,7 +58,8 @@ def immediate_dominators(
             if node == root:
                 continue
             new_idom: Optional[NodeId] = None
-            for pred in cfg.predecessors(node):
+            for in_edge in cfg.iter_in_edges(node):
+                pred = in_edge.source
                 if pred not in reachable or pred not in idom:
                     continue
                 new_idom = pred if new_idom is None else intersect(pred, new_idom)

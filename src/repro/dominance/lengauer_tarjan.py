@@ -18,6 +18,8 @@ from typing import Dict, List, Optional
 
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.validate import require_root
+from repro.kernel.dominance import kernel_lengauer_tarjan
+from repro.kernel.registry import shared_frozen
 from repro.resilience.guards import Ticker
 
 # Fault-injection hook (repro.resilience.faults installs/clears a plan here;
@@ -34,10 +36,33 @@ def lengauer_tarjan(
     ``idom[root] == root``, unreachable nodes omitted; degenerate CFGs are
     accepted but a missing root raises
     :class:`~repro.cfg.graph.InvalidCFGError`.  ``ticker`` is charged one
-    step per node per phase (reachability probe, DFS numbering,
-    semidominators), billed in one bulk ``tick`` at each phase boundary --
-    every phase is O(V + E), so per-iteration checkpoints would only add
-    overhead without tightening the bound.
+    step per node per phase (DFS numbering -- billed double, standing in for
+    the reachability probe the array kernel no longer needs -- and
+    semidominators), billed in one bulk ``tick`` at each phase boundary.
+
+    Runs the array kernel
+    (:func:`repro.kernel.dominance.kernel_lengauer_tarjan`) over the shared
+    frozen snapshot; :func:`lengauer_tarjan_reference` is the retained
+    object-graph implementation the fuzz oracles compare against.
+    """
+    root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
+    frozen = shared_frozen(cfg)
+    idom = kernel_lengauer_tarjan(frozen, frozen.index_of[root], ticker)
+    node_ids = frozen.node_ids
+    return {
+        node_ids[i]: node_ids[idom[i]]
+        for i in range(frozen.num_nodes)
+        if idom[i] != -1
+    }
+
+
+def lengauer_tarjan_reference(
+    cfg: CFG, root: Optional[NodeId] = None, ticker: Optional[Ticker] = None
+) -> Dict[NodeId, NodeId]:
+    """Object-graph reference for :func:`lengauer_tarjan` (same contract).
+
+    Billing differs only in shape: a separate reachability probe precedes
+    the DFS numbering, charged in the same ``tick(2n)``.
     """
     root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
     tick = None if ticker is None else ticker.tick
@@ -51,7 +76,8 @@ def lengauer_tarjan(
     while probe:
         node = probe.pop()
         n += 1
-        for nxt in cfg.successors(node):
+        for out_edge in cfg.iter_out_edges(node):
+            nxt = out_edge.target
             if nxt not in reached:
                 reached.add(nxt)
                 probe.append(nxt)
@@ -70,7 +96,7 @@ def lengauer_tarjan(
         num[node] = counter
         vertex[counter] = node
         parent[counter] = par
-        for edge in reversed(cfg.out_edges(node)):
+        for edge in reversed(cfg.iter_out_edges(node)):
             if edge.target not in num:
                 dfs_stack.append((edge.target, counter))
 
@@ -103,8 +129,8 @@ def lengauer_tarjan(
         tick(n - 1)  # the semidominator sweep about to run
     for w in range(n, 1, -1):
         node = vertex[w]
-        for pred in cfg.predecessors(node):
-            v = num.get(pred)
+        for in_edge in cfg.iter_in_edges(node):
+            v = num.get(in_edge.source)
             if v is None:
                 continue  # unreachable predecessor
             u = evaluate(v)

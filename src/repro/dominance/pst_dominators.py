@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.cfg.graph import CFG, NodeId
-from repro.core.pst import REGION_ENTRY, ProgramStructureTree, build_pst
+from repro.core.pst import REGION_ENTRY, ProgramStructureTree
+from repro.kernel.session import session_for
 from repro.dominance.iterative import immediate_dominators
 
 
@@ -43,7 +44,7 @@ def pst_immediate_dominators(
     :class:`~repro.cfg.graph.InvalidCFGError` during PST construction.
     """
     if pst is None:
-        pst = build_pst(cfg)
+        pst = session_for(cfg).pst()
 
     idom: Dict[NodeId, NodeId] = {cfg.start: cfg.start}
     by_id = {r.region_id: r for r in pst.canonical_regions()}

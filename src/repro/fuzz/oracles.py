@@ -20,6 +20,9 @@ dominators            iterative (Cooper et al.) vs Lengauer-Tarjan vs
                       for postdominators
 control regions       O(E) node-cycle-equivalence vs the FOW87
                       definition (Theorem 7) vs the CFS90 refinement
+CSR kernels           every array kernel vs its retained object-graph
+                      reference, exact (identical ids and shapes, not
+                      just equal partitions)
 dataflow              iterative fixpoint vs PST elimination vs QPG
                       sparse solve, for RD / LV / AE
 φ-placement           iterated dominance frontiers vs PST placement
@@ -34,17 +37,21 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cfg.graph import CFG, Edge
-from repro.core.cycle_equiv import cycle_equivalence_scc
+from repro.core.cycle_equiv import (
+    cycle_equivalence_of_cfg,
+    cycle_equivalence_of_cfg_reference,
+    cycle_equivalence_scc,
+)
 from repro.core.cycle_equiv_slow import (
     cycle_equivalence_bracket_sets,
     cycle_equivalence_bruteforce,
     group_by_class,
 )
-from repro.core.pst import build_pst
+from repro.core.pst import build_pst, build_pst_reference
 from repro.core.sese import canonical_sese_regions
 from repro.controldep.fow import control_regions_by_definition
 from repro.controldep.regions_cfs import control_regions_cfs
-from repro.controldep.regions_fast import control_regions
+from repro.controldep.regions_fast import control_regions, control_regions_reference
 from repro.dataflow.elimination import solve_elimination
 from repro.dataflow.iterative import solve_iterative
 from repro.dataflow.problems import (
@@ -54,7 +61,7 @@ from repro.dataflow.problems import (
 )
 from repro.dataflow.qpg import solve_qpg
 from repro.dominance.iterative import immediate_dominators
-from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.dominance.lengauer_tarjan import lengauer_tarjan, lengauer_tarjan_reference
 from repro.dominance.pst_dominators import pst_immediate_dominators
 from repro.dominance.tree import DominatorTree
 from repro.fuzz.generator import FuzzCase
@@ -231,6 +238,68 @@ def _check_pst_structure(case: FuzzCase) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# CSR kernel vs object-graph references
+# ----------------------------------------------------------------------
+
+def _pst_signature(pst) -> List[tuple]:
+    out: List[tuple] = []
+
+    def walk(region, depth: int) -> None:
+        out.append(
+            (
+                depth,
+                None if region.entry is None else region.entry.eid,
+                None if region.exit is None else region.exit.eid,
+                tuple(region.own_nodes),
+            )
+        )
+        for child in region.children:
+            walk(child, depth + 1)
+
+    walk(pst.root, 0)
+    return out
+
+
+def _check_kernel_reference(case: FuzzCase) -> Optional[str]:
+    """The array kernels agree *exactly* with their object-graph references.
+
+    Stricter than the partition-level oracles above: class ids must be
+    identical (not merely the same partition), the PST must have the same
+    shape region by region, and Lengauer-Tarjan / control-region outputs
+    must match verbatim -- the kernels promise bit-identical results, so
+    any slack here would hide a divergence.
+    """
+    cfg = case.cfg
+    kernel = cycle_equivalence_of_cfg(cfg, validate=False)
+    reference = cycle_equivalence_of_cfg_reference(cfg, validate=False)
+    if kernel.class_of != reference.class_of:
+        diffs = [
+            f"eid {edge.eid}: kernel={kernel.class_of[edge]} "
+            f"reference={reference.class_of[edge]}"
+            for edge in cfg.edges
+            if kernel.class_of[edge] != reference.class_of[edge]
+        ]
+        return "cycle-equiv class ids differ: " + "; ".join(diffs[:5])
+
+    diff = _diff_idoms(
+        lengauer_tarjan(cfg), lengauer_tarjan_reference(cfg), "kernel", "reference"
+    )
+    if diff:
+        return diff
+
+    kernel_pst = _pst_signature(build_pst(cfg))
+    reference_pst = _pst_signature(build_pst_reference(cfg))
+    if kernel_pst != reference_pst:
+        return f"PST structure differs: kernel {kernel_pst} != reference {reference_pst}"
+
+    kernel_cr = control_regions(cfg, validate=False)
+    reference_cr = control_regions_reference(cfg, validate=False)
+    if kernel_cr != reference_cr:
+        return f"control regions differ: kernel {kernel_cr} != reference {reference_cr}"
+    return None
+
+
+# ----------------------------------------------------------------------
 # dominators
 # ----------------------------------------------------------------------
 
@@ -395,6 +464,7 @@ ALL_ORACLES: List[Oracle] = [
     Oracle("sese/slow-partition", _check_sese_slow_partition),
     Oracle("sese/definition", _check_sese_definition),
     Oracle("pst/structure", _check_pst_structure),
+    Oracle("kernel/reference", _check_kernel_reference),
     Oracle("dominators/matrix", _check_dominators),
     Oracle("postdominators/pair", _check_postdominators),
     Oracle("control-regions/matrix", _check_control_regions),

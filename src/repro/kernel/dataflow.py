@@ -1,0 +1,122 @@
+"""Array-based iterative worklist solver over CSR snapshots.
+
+Mirrors :func:`repro.dataflow.iterative.solve_iterative` with the worklist,
+pending set, and per-node values all indexed by dense node ints.  Backward
+problems run directly over the predecessor CSR rows (the snapshot doubles
+as the reverse graph), so no ``cfg.reversed()`` copy is ever built.
+Lattice values stay opaque objects -- only the graph bookkeeping around
+them is flattened.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.dataflow.framework import BACKWARD, DataflowProblem, Solution
+from repro.kernel.csr import FrozenCFG
+from repro.resilience.guards import TICK_CHUNK, Ticker
+
+
+def kernel_solve_iterative(
+    frozen: FrozenCFG, problem: DataflowProblem, ticker: Optional[Ticker] = None
+) -> Solution:
+    """Solve ``problem`` over the snapshot to its maximal fixpoint.
+
+    Same contract and ticker billing (one step per worklist pop, batched in
+    :data:`~repro.resilience.guards.TICK_CHUNK`) as the object-graph
+    reference.  Requires the root in the solving direction (``start``, or
+    ``end`` for backward problems) to be present in the snapshot.
+    """
+    backward = problem.direction == BACKWARD
+    n = frozen.num_nodes
+    if backward:
+        root = frozen.end
+        succ_off = frozen.pred_off
+        succ_dst = frozen.pred_src
+        pred_off = frozen.succ_off
+        pred_src = frozen.succ_dst
+    else:
+        root = frozen.start
+        succ_off = frozen.succ_off
+        succ_dst = frozen.succ_dst
+        pred_off = frozen.pred_off
+        pred_src = frozen.pred_src
+    if root < 0:
+        raise KeyError(
+            f"CFG {frozen.cfg.name!r} has no {'end' if backward else 'start'} "
+            "node; the iterative solver needs a root in the solving direction"
+        )
+    node_ids = frozen.node_ids
+    transfer = problem.transfer
+    meet = problem.meet
+
+    # Seed order: reverse postorder in the solving direction.
+    visited = bytearray(n)
+    visited[root] = 1
+    order: List[int] = []
+    stack = [[root, succ_off[root], succ_off[root + 1]]]
+    while stack:
+        frame = stack[-1]
+        ptr = frame[1]
+        end_ptr = frame[2]
+        advanced = False
+        while ptr < end_ptr:
+            nxt = succ_dst[ptr]
+            ptr += 1
+            if not visited[nxt]:
+                visited[nxt] = 1
+                frame[1] = ptr
+                stack.append([nxt, succ_off[nxt], succ_off[nxt + 1]])
+                advanced = True
+                break
+        if not advanced:
+            order.append(frame[0])
+            stack.pop()
+    order.reverse()
+
+    # Nodes unreachable in the solving direction keep top (see the object
+    # reference for why such nodes can occur transiently).
+    entry: List[object] = [problem.top() for _ in range(n)]
+    entry[root] = problem.boundary()
+    exit_: List[object] = [transfer(node_ids[i], entry[i]) for i in range(n)]
+
+    tick = None if ticker is None else ticker.tick
+    pending = bytearray(n)
+    for i in order:
+        pending[i] = 1
+    queue = deque(order)
+    unbilled = 0
+    while queue:
+        if tick is not None:
+            unbilled += 1
+            if unbilled == TICK_CHUNK:
+                tick(TICK_CHUNK)
+                unbilled = 0
+        node = queue.popleft()
+        pending[node] = 0
+        if node != root:
+            value = None
+            for i in range(pred_off[node], pred_off[node + 1]):
+                pv = exit_[pred_src[i]]
+                value = pv if value is None else meet(value, pv)
+            if value is None:
+                value = problem.top()
+            entry[node] = value
+        new_exit = transfer(node_ids[node], entry[node])
+        if new_exit != exit_[node]:
+            exit_[node] = new_exit
+            for i in range(succ_off[node], succ_off[node + 1]):
+                succ = succ_dst[i]
+                if not pending[succ]:
+                    pending[succ] = 1
+                    queue.append(succ)
+    if tick is not None and unbilled:
+        tick(unbilled)
+
+    entry_d = {node_ids[i]: entry[i] for i in range(n)}
+    exit_d = {node_ids[i]: exit_[i] for i in range(n)}
+    if backward:
+        # program order: `before` is the transferred (in) value.
+        return Solution(before=exit_d, after=entry_d)
+    return Solution(before=entry_d, after=exit_d)

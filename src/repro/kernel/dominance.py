@@ -1,0 +1,153 @@
+"""Array-based Lengauer-Tarjan over CSR snapshots.
+
+Same algorithm (and the same tick billing and fault site) as
+:mod:`repro.dominance.lengauer_tarjan`'s object-graph implementation, with
+node ids replaced by dense indices: the DFS walks the flat ``succ_dst``
+rows, the semidominator sweep walks ``pred_src``, and the EVAL/LINK forest
+is the usual set of int arrays.  Passing ``reverse=True`` swaps the roles
+of the two CSR halves, which computes *post*\\ dominators without ever
+materializing a reversed copy of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.csr import FrozenCFG
+from repro.resilience.guards import Ticker
+
+# Fault-injection hook for "lengauer-tarjan/semi-skew" (installed and
+# cleared by repro.resilience.faults alongside the object-path hook).
+_FAULTS = None
+
+
+def kernel_lengauer_tarjan(
+    frozen: FrozenCFG,
+    root: int,
+    ticker: Optional[Ticker] = None,
+    reverse: bool = False,
+) -> List[int]:
+    """Immediate dominators by node index; ``-1`` marks unreachable nodes.
+
+    ``idom[root] == root``.  With ``reverse=True`` the edge direction flips
+    (successor rows become predecessor rows and vice versa), yielding
+    postdominators when called with ``root=frozen.end``.
+    """
+    n = frozen.num_nodes
+    if reverse:
+        succ_off = frozen.pred_off
+        succ_dst = frozen.pred_src
+        pred_off = frozen.succ_off
+        pred_src = frozen.succ_dst
+    else:
+        succ_off = frozen.succ_off
+        succ_dst = frozen.succ_dst
+        pred_off = frozen.pred_off
+        pred_src = frozen.pred_src
+    tick = None if ticker is None else ticker.tick
+    faults = _FAULTS
+
+    # --- step 1: DFS numbering (1-based; 0 is a sentinel) -----------------
+    num = [0] * n
+    vertex = [0] * (n + 1)
+    parent = [0] * (n + 1)
+    dfs_stack = [(root, 0)]
+    counter = 0
+    while dfs_stack:
+        node, par = dfs_stack.pop()
+        if num[node]:
+            continue
+        counter += 1
+        num[node] = counter
+        vertex[counter] = node
+        parent[counter] = par
+        lo = succ_off[node]
+        for i in range(succ_off[node + 1] - 1, lo - 1, -1):
+            nxt = succ_dst[i]
+            if not num[nxt]:
+                dfs_stack.append((nxt, counter))
+    nr = counter
+    if tick is not None:
+        tick(2 * nr)  # the DFS numbering just done counts for both passes
+
+    # --- forest for EVAL/LINK with path compression -----------------------
+    semi = list(range(nr + 1))
+    ancestor = [0] * (nr + 1)
+    label = list(range(nr + 1))
+    idom_num = [0] * (nr + 1)
+    # Buckets as linked lists: bucket_head by semi number, bucket_next by
+    # vertex number (each vertex sits in at most one bucket at a time).
+    bucket_head = [0] * (nr + 1)
+    bucket_next = [0] * (nr + 1)
+    path: List[int] = []  # reused scratch for path compression
+
+    # --- steps 2 & 3: semidominators and implicit idoms -------------------
+    if tick is not None and nr > 1:
+        tick(nr - 1)  # the semidominator sweep about to run
+    for w in range(nr, 1, -1):
+        node = vertex[w]
+        sw = semi[w]
+        for i in range(pred_off[node], pred_off[node + 1]):
+            v = num[pred_src[i]]
+            if v == 0:
+                continue  # unreachable predecessor
+            # EVAL(v), inlined: this runs once per edge and dominates the
+            # sweep, so the call overhead of evaluate() is worth shedding.
+            if ancestor[v] == 0:
+                u = v
+            else:
+                x = v
+                while ancestor[ancestor[x]] != 0:
+                    path.append(x)
+                    x = ancestor[x]
+                for y in reversed(path):
+                    anc = ancestor[y]
+                    if semi[label[anc]] < semi[label[y]]:
+                        label[y] = label[anc]
+                    ancestor[y] = ancestor[anc]
+                del path[:]
+                u = label[v]
+            su = semi[u]
+            if su < sw:
+                sw = su
+        if faults is not None and sw > 1 and faults.should_fire(
+            "lengauer-tarjan/semi-skew"
+        ):
+            sw -= 1  # injected fault: off-by-one semidominator
+        semi[w] = sw
+        bucket_next[w] = bucket_head[sw]
+        bucket_head[sw] = w
+        ancestor[w] = parent[w]
+        p = parent[w]
+        v = bucket_head[p]
+        bucket_head[p] = 0
+        while v != 0:
+            # EVAL(v), inlined as above.
+            if ancestor[v] == 0:
+                u = v
+            else:
+                x = v
+                while ancestor[ancestor[x]] != 0:
+                    path.append(x)
+                    x = ancestor[x]
+                for y in reversed(path):
+                    anc = ancestor[y]
+                    if semi[label[anc]] < semi[label[y]]:
+                        label[y] = label[anc]
+                    ancestor[y] = ancestor[anc]
+                del path[:]
+                u = label[v]
+            idom_num[v] = u if semi[u] < semi[v] else p
+            v = bucket_next[v]
+
+    # --- step 4: explicit idoms -------------------------------------------
+    for w in range(2, nr + 1):
+        if idom_num[w] != semi[w]:
+            idom_num[w] = idom_num[idom_num[w]]
+    if nr:
+        idom_num[1] = 1
+
+    idom = [-1] * n
+    for w in range(1, nr + 1):
+        idom[vertex[w]] = vertex[idom_num[w]]
+    return idom

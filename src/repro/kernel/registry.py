@@ -1,0 +1,37 @@
+"""Process-wide sharing of frozen snapshots.
+
+Freezing is O(V + E) -- cheap, but not free when every public entry point
+(`cycle_equivalence_of_cfg`, `lengauer_tarjan`, `control_regions`,
+`solve_iterative`) needs the same snapshot of the same graph.  This module
+keys one :class:`~repro.kernel.csr.FrozenCFG` per live CFG in a weak-key
+map, re-freezing only when the CFG's mutation ``version`` moves.
+
+Only *structural* state is shared here.  Analysis results are never cached
+globally -- public functions must recompute on every call so that fault
+injection and the resilience engine's retry ladder observe fresh runs;
+result memoization is the explicit opt-in job of
+:class:`~repro.kernel.session.AnalysisSession`.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.cfg.graph import CFG
+from repro.kernel.csr import FrozenCFG, freeze
+
+_FROZEN: "weakref.WeakKeyDictionary[CFG, FrozenCFG]" = weakref.WeakKeyDictionary()
+
+
+def shared_frozen(cfg: CFG) -> FrozenCFG:
+    """The current snapshot of ``cfg``, freezing (or re-freezing) on demand.
+
+    Returns a cached :class:`~repro.kernel.csr.FrozenCFG` when one exists
+    for the CFG's current ``version``; otherwise freezes anew and caches.
+    The cache holds the CFG weakly, so snapshots die with their graphs.
+    """
+    frozen = _FROZEN.get(cfg)
+    if frozen is None or frozen.version != cfg.version:
+        frozen = freeze(cfg)
+        _FROZEN[cfg] = frozen
+    return frozen

@@ -1,0 +1,178 @@
+"""Explicit, opt-in memoization of derived analysis artifacts.
+
+The public entry points (``cycle_equivalence_of_cfg``, ``build_pst``,
+``lengauer_tarjan``, ``control_regions``) deliberately recompute on every
+call -- the resilience engine's retry ladder and the fault-injection tests
+depend on each call being a fresh run.  An :class:`AnalysisSession` is the
+opposite contract: one object per CFG that computes each artifact *once*
+and hands the same result back to every consumer, for driver code (the
+CLI, :mod:`repro.analysis.report`, the benchmark harness) that asks for the
+same PST or dominator tree many times over.
+
+Every getter re-checks the CFG's mutation ``version`` first, so mutating
+the graph between calls transparently discards stale artifacts;
+:meth:`AnalysisSession.invalidate` drops them explicitly (the engine does
+this between retry attempts so a corrupted artifact is never reused).
+
+``session_for`` maintains one session per live CFG in a weak-key registry,
+mirroring :func:`repro.kernel.registry.shared_frozen` one layer up.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cfg.graph import CFG, NodeId
+from repro.kernel.csr import FrozenCFG
+from repro.kernel.registry import shared_frozen
+
+
+class AnalysisSession:
+    """Per-CFG cache of derived analysis artifacts.
+
+    Artifacts are keyed on the frozen snapshot: whenever the CFG's
+    ``version`` has moved since an artifact was stored, the whole cache is
+    dropped and the next getter recomputes against a fresh snapshot.
+    """
+
+    __slots__ = ("cfg", "_version", "_cache", "hits", "misses", "__weakref__")
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self._version = cfg.version
+        self._cache: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> FrozenCFG:
+        """The current CSR snapshot (re-frozen if the CFG mutated)."""
+        self._refresh()
+        return shared_frozen(self.cfg)
+
+    def invalidate(self) -> None:
+        """Drop every cached artifact (the snapshot refreshes on demand)."""
+        self._cache.clear()
+        self._version = self.cfg.version
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and the number of artifacts currently held."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def _refresh(self) -> None:
+        if self._version != self.cfg.version:
+            self.invalidate()
+
+    def _memo(self, key: str, compute: Callable[[], Any]) -> Any:
+        self._refresh()
+        cache = self._cache
+        if key in cache:
+            self.hits += 1
+            return cache[key]
+        self.misses += 1
+        value = compute()
+        cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def cycle_equivalence(self, ticker=None, validate: bool = True):
+        """Cycle equivalence of the augmented graph (Figure 4 kernel).
+
+        ``validate=False`` skips Definition-1 validation for callers (the
+        resilience engine) that have already validated the graph; it does
+        not change the artifact, so both spellings share one cache slot.
+        """
+        from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+
+        return self._memo(
+            "equiv",
+            lambda: cycle_equivalence_of_cfg(
+                self.cfg, validate=validate, ticker=ticker
+            ),
+        )
+
+    def dfs_edge_order(self) -> List[int]:
+        """Edge indices in DFS visit order over the snapshot."""
+        from repro.kernel.pst import kernel_dfs_edge_order
+
+        return self._memo("dfs", lambda: kernel_dfs_edge_order(self.frozen))
+
+    def pst(self, ticker=None):
+        """The Program Structure Tree (computing cycle equivalence first)."""
+        from repro.core.pst import build_pst
+
+        return self._memo(
+            "pst",
+            lambda: build_pst(
+                self.cfg, equiv=self.cycle_equivalence(ticker), ticker=ticker
+            ),
+        )
+
+    def sese_regions(self):
+        """Canonical SESE regions, in PST discovery order."""
+        return self.pst().canonical_regions()
+
+    def dominators(self, ticker=None) -> Dict[NodeId, NodeId]:
+        """Immediate dominators (Lengauer-Tarjan kernel, root = start)."""
+        from repro.dominance.lengauer_tarjan import lengauer_tarjan
+
+        return self._memo("dom", lambda: lengauer_tarjan(self.cfg, ticker=ticker))
+
+    def postdominators(self, ticker=None) -> Dict[NodeId, NodeId]:
+        """Immediate postdominators (the same kernel on reversed CSR rows).
+
+        Runs :func:`repro.kernel.dominance.kernel_lengauer_tarjan` with
+        ``reverse=True`` over the existing snapshot, so no reversed CFG is
+        ever materialized.
+        """
+        from repro.cfg.validate import require_root
+        from repro.kernel.dominance import kernel_lengauer_tarjan
+
+        def compute() -> Dict[NodeId, NodeId]:
+            root = require_root(self.cfg, self.cfg.end, "postdominators")
+            frozen = self.frozen
+            idom = kernel_lengauer_tarjan(
+                frozen, frozen.index_of[root], ticker, reverse=True
+            )
+            node_ids = frozen.node_ids
+            return {
+                node_ids[i]: node_ids[idom[i]]
+                for i in range(frozen.num_nodes)
+                if idom[i] != -1
+            }
+
+        return self._memo("pdom", compute)
+
+    def control_regions(self, ticker=None, validate: bool = True) -> List[List[NodeId]]:
+        """Control regions (§5 node-expansion kernel)."""
+        from repro.controldep.regions_fast import control_regions
+
+        return self._memo(
+            "cr",
+            lambda: control_regions(self.cfg, validate=validate, ticker=ticker),
+        )
+
+
+_SESSIONS: "weakref.WeakKeyDictionary[CFG, AnalysisSession]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def session_for(cfg: CFG) -> AnalysisSession:
+    """The process-wide session for ``cfg`` (created on first use).
+
+    Sessions are held weakly, so they die with their graphs.  Callers that
+    need isolation (the resilience engine) construct their own
+    :class:`AnalysisSession` instead.
+    """
+    session = _SESSIONS.get(cfg)
+    if session is None:
+        session = AnalysisSession(cfg)
+        _SESSIONS[cfg] = session
+    return session

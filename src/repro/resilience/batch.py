@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cfg.graph import CFG
 from repro.resilience.engine import AnalysisResult, run_analysis
@@ -147,6 +147,7 @@ def run_batch(
     backoff_factor: float = 2.0,
     deadline: Optional[float] = None,
     step_budget: Optional[int] = None,
+    workers: int = 1,
     engine: Callable[..., AnalysisResult] = run_analysis,
     on_item: Optional[Callable[[BatchItemResult], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
@@ -162,12 +163,28 @@ def run_batch(
     matters when failures come from the environment rather than the input.
     ``deadline``/``step_budget`` are forwarded to each engine call.
     ``on_item`` observes each fresh (non-resumed) result as it completes.
+
+    ``workers > 1`` fans the engine calls out over a process pool: thunks
+    still run in this process (they are arbitrary closures), but each CFG is
+    re-encoded as a plain tuple and analyzed -- retries, backoff and all --
+    in a worker, so one item's crash cannot take down the batch or its
+    siblings.  Results keep the submission order of ``items`` and the
+    checkpoint is appended as futures complete, exactly as in serial mode.
+    Custom ``engine``/``sleep``/``clock`` callables are a serial-only
+    feature (they cannot cross a process boundary); supplying any of them
+    forces the serial path regardless of ``workers``.
     """
     started = clock()
     done = (
         load_checkpoint(checkpoint_path)
         if checkpoint_path is not None and resume
         else {}
+    )
+    parallel = (
+        workers > 1
+        and engine is run_analysis
+        and sleep is time.sleep
+        and clock is time.monotonic
     )
     report = BatchReport()
     checkpoint = (
@@ -176,37 +193,222 @@ def run_batch(
         else None
     )
     try:
-        for key, thunk in items:
-            prior = done.get(key)
-            if prior is not None:
-                report.results.append(prior)
-                continue
-            result = _run_item(
-                key,
-                thunk,
+        if parallel:
+            _run_parallel(
+                items,
+                done,
+                report,
+                checkpoint,
+                on_item,
+                workers=workers,
                 retries=retries,
                 backoff=backoff,
                 backoff_factor=backoff_factor,
                 deadline=deadline,
                 step_budget=step_budget,
-                engine=engine,
-                sleep=sleep,
-                clock=clock,
             )
-            report.results.append(result)
-            if checkpoint is not None:
-                checkpoint.write(result.to_json() + "\n")
-                checkpoint.flush()
-            if on_item is not None:
-                try:
-                    on_item(result)
-                except Exception:  # observers must not break the batch
-                    pass
+        else:
+            for key, thunk in items:
+                prior = done.get(key)
+                if prior is not None:
+                    report.results.append(prior)
+                    continue
+                result = _run_item(
+                    key,
+                    thunk,
+                    retries=retries,
+                    backoff=backoff,
+                    backoff_factor=backoff_factor,
+                    deadline=deadline,
+                    step_budget=step_budget,
+                    engine=engine,
+                    sleep=sleep,
+                    clock=clock,
+                )
+                report.results.append(result)
+                _record(result, checkpoint, on_item)
     finally:
         if checkpoint is not None:
             checkpoint.close()
     report.elapsed = clock() - started
     return report
+
+
+def _record(result: BatchItemResult, checkpoint, on_item) -> None:
+    """Checkpoint and observe one freshly computed result."""
+    if checkpoint is not None:
+        checkpoint.write(result.to_json() + "\n")
+        checkpoint.flush()
+    if on_item is not None:
+        try:
+            on_item(result)
+        except Exception:  # observers must not break the batch
+            pass
+
+
+def _run_parallel(
+    items: Iterable[Tuple[str, Callable[[], CFG]]],
+    done: Dict[str, BatchItemResult],
+    report: BatchReport,
+    checkpoint,
+    on_item,
+    *,
+    workers: int,
+    retries: int,
+    backoff: float,
+    backoff_factor: float,
+    deadline: Optional[float],
+    step_budget: Optional[int],
+) -> None:
+    """Fan engine calls out over a process pool; fill ``report`` in order."""
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    # Slots keep submission order; each is a BatchItemResult once known.
+    slots: List[Optional[BatchItemResult]] = []
+    pending = {}  # future -> slot index
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for key, thunk in items:
+            prior = done.get(key)
+            if prior is not None:
+                slots.append(prior)
+                continue
+            loaded = _load_item(key, thunk, retries, backoff, backoff_factor)
+            if isinstance(loaded, BatchItemResult):  # thunk never produced a CFG
+                slots.append(loaded)
+                _record(loaded, checkpoint, on_item)
+                continue
+            payload, load_tries, load_elapsed = loaded
+            index = len(slots)
+            slots.append(None)
+            future = pool.submit(
+                _worker_run_item,
+                key,
+                payload,
+                retries,
+                backoff,
+                backoff_factor,
+                deadline,
+                step_budget,
+                load_tries,
+                load_elapsed,
+            )
+            pending[future] = (index, key)
+        while pending:
+            finished, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, item_key = pending.pop(future)
+                error = future.exception()
+                if error is not None:
+                    # The worker process itself died (OOM, segfault, ...).
+                    result = BatchItemResult(
+                        key=item_key,
+                        status="error",
+                        error=f"worker crashed: {type(error).__name__}: {error}",
+                    )
+                else:
+                    result = BatchItemResult(**future.result())
+                slots[index] = result
+                _record(result, checkpoint, on_item)
+    report.results.extend(r for r in slots if r is not None)
+
+
+def _load_item(
+    key: str,
+    thunk: Callable[[], CFG],
+    retries: int,
+    backoff: float,
+    backoff_factor: float,
+):
+    """Call ``thunk`` (with the batch retry policy) and encode its CFG.
+
+    Returns either ``(payload, tries, elapsed)`` on success or a finished
+    ``error`` :class:`BatchItemResult` when every try raised -- loading
+    happens in the parent (thunks are arbitrary closures), so its retries
+    are spent here rather than in the worker.
+    """
+    started = time.monotonic()
+    pause = backoff
+    last_error = "thunk produced no CFG"
+    for attempt in range(retries + 1):
+        if attempt > 0:
+            time.sleep(pause)
+            pause *= backoff_factor
+        try:
+            cfg = thunk()
+            return _encode_cfg(cfg), attempt + 1, time.monotonic() - started
+        except Exception as error:
+            last_error = f"{type(error).__name__}: {error}"
+    return BatchItemResult(
+        key=key,
+        status="error",
+        elapsed=time.monotonic() - started,
+        tries=retries + 1,
+        error=last_error,
+    )
+
+
+def _encode_cfg(cfg: CFG) -> Tuple[str, Any, Any, Tuple, Tuple]:
+    """A picklable structural snapshot: (name, start, end, nodes, edges)."""
+    return (
+        cfg.name,
+        cfg.start,
+        cfg.end,
+        tuple(cfg.nodes),
+        tuple((e.source, e.target, e.label) for e in cfg.edges),
+    )
+
+
+def _decode_cfg(payload: Tuple[str, Any, Any, Tuple, Tuple]) -> CFG:
+    """Rebuild a CFG from :func:`_encode_cfg` (same node/edge order)."""
+    name, start, end, nodes, edges = payload
+    cfg = CFG(name=name)
+    for node in nodes:
+        cfg.add_node(node)
+    for source, target, label in edges:
+        cfg.add_edge(source, target, label)
+    cfg.start = start
+    cfg.end = end
+    return cfg
+
+
+def _worker_run_item(
+    key: str,
+    payload: Tuple,
+    retries: int,
+    backoff: float,
+    backoff_factor: float,
+    deadline: Optional[float],
+    step_budget: Optional[int],
+    load_tries: int,
+    load_elapsed: float,
+) -> Dict[str, Any]:
+    """Process-pool entry point: decode, run the ladder, return plain data.
+
+    Must stay module-level (pickled by reference).  Returns the fields of a
+    :class:`BatchItemResult` as a dict so the parent never unpickles custom
+    classes from a possibly-wedged worker.
+    """
+    started = time.monotonic()
+    result = _run_item(
+        key,
+        lambda: _decode_cfg(payload),
+        retries=retries,
+        backoff=backoff,
+        backoff_factor=backoff_factor,
+        deadline=deadline,
+        step_budget=step_budget,
+        engine=run_analysis,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    )
+    return {
+        "key": result.key,
+        "status": result.status,
+        "elapsed": load_elapsed + (time.monotonic() - started),
+        "tries": max(result.tries, load_tries),
+        "paths": result.paths,
+        "error": result.error,
+    }
 
 
 def _run_item(

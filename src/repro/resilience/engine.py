@@ -43,13 +43,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cfg.graph import CFG, Edge, NodeId
 from repro.cfg.validate import check_cfg
 from repro.controldep.regions_cfs import control_regions_cfs
-from repro.controldep.regions_fast import control_regions
-from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence_of_cfg
+from repro.core.cycle_equiv import CycleEquivalence
 from repro.core.cycle_equiv_slow import cycle_equivalence_bracket_sets
 from repro.core.pst import ProgramStructureTree, build_pst
 from repro.dominance.iterative import immediate_dominators
-from repro.dominance.lengauer_tarjan import lengauer_tarjan
 from repro.dominance.tree import DominatorTree
+from repro.kernel.session import AnalysisSession
 from repro.errors import (
     BudgetExceeded,
     DeadlineExceeded,
@@ -225,7 +224,12 @@ def _run_analysis(
             ok=False, diagnostic=diagnostic, error=f"invalid CFG: {detail}"
         )
 
-    stages = _build_stages(cfg, full_check_limit)
+    # One private session per engine call: fast paths share the frozen
+    # snapshot and each artifact is computed once across stages, but the
+    # ladder invalidates it before every retry/fallback so a corrupted
+    # artifact is never reused (fault injection sees fresh runs).
+    session = AnalysisSession(cfg)
+    stages = _build_stages(cfg, session, full_check_limit)
     results: Dict[str, object] = {}
     aborted = False
 
@@ -243,6 +247,8 @@ def _run_analysis(
 
         stage_ok = False
         for path, compute, cross_check in ladder:
+            if path != "fast":
+                session.invalidate()
             attempt_started = clock()
             remaining = None if deadline_at is None else deadline_at - attempt_started
             if remaining is not None and remaining <= 0:
@@ -320,10 +326,10 @@ def _run_analysis(
 # stage definitions: (fast, slow, checker) triples
 # ----------------------------------------------------------------------
 
-def _build_stages(cfg: CFG, full_check_limit: int):
+def _build_stages(cfg: CFG, session: "AnalysisSession", full_check_limit: int):
     def pst_fast(ticker):
-        equiv = cycle_equivalence_of_cfg(cfg, validate=False, ticker=ticker)
-        return equiv, build_pst(cfg, equiv)
+        equiv = session.cycle_equivalence(ticker, validate=False)
+        return equiv, session.pst(ticker)
 
     def pst_slow(ticker):
         equiv = _slow_cycle_equivalence(cfg)
@@ -337,7 +343,7 @@ def _build_stages(cfg: CFG, full_check_limit: int):
             _check_equiv_against_reference(cfg, equiv)
 
     def dom_fast(ticker):
-        return lengauer_tarjan(cfg, ticker=ticker)
+        return session.dominators(ticker)
 
     def dom_slow(ticker):
         return immediate_dominators(cfg, ticker=ticker)
@@ -357,7 +363,7 @@ def _build_stages(cfg: CFG, full_check_limit: int):
             )
 
     def cr_fast(ticker):
-        return control_regions(cfg, validate=False)
+        return session.control_regions(ticker, validate=False)
 
     def cr_slow(ticker):
         return control_regions_cfs(cfg)

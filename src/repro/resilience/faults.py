@@ -47,6 +47,10 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 _bracketlist_mod = importlib.import_module("repro.core.bracketlist")
 _cycle_equiv_mod = importlib.import_module("repro.core.cycle_equiv")
 _lengauer_tarjan_mod = importlib.import_module("repro.dominance.lengauer_tarjan")
+# The CSR kernels carry the same fault sites under the same names, so a plan
+# corrupts the production (kernel) path and the object reference alike.
+_kernel_cycle_equiv_mod = importlib.import_module("repro.kernel.cycle_equiv")
+_kernel_dominance_mod = importlib.import_module("repro.kernel.dominance")
 
 
 @dataclass(frozen=True)
@@ -79,7 +83,13 @@ ALL_SITES: Tuple[FaultSite, ...] = (
 SITES_BY_NAME: Dict[str, FaultSite] = {site.name: site for site in ALL_SITES}
 
 # The modules carrying a `_FAULTS` hook, keyed so install() can reach them.
-_HOOKED_MODULES = (_bracketlist_mod, _cycle_equiv_mod, _lengauer_tarjan_mod)
+_HOOKED_MODULES = (
+    _bracketlist_mod,
+    _cycle_equiv_mod,
+    _lengauer_tarjan_mod,
+    _kernel_cycle_equiv_mod,
+    _kernel_dominance_mod,
+)
 
 
 class FaultPlan:

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.cfg.graph import NodeId
-from repro.core.pst import ProgramStructureTree, build_pst
+from repro.core.pst import ProgramStructureTree
+from repro.kernel.session import session_for
 from repro.core.sese import SESERegion
 from repro.dominance.frontier import dominance_frontiers, iterated_dominance_frontier
 from repro.dominance.tree import dominator_tree
@@ -74,7 +75,7 @@ def place_phis_pst(
     ``specialize_kinds`` enables the closed-form case/loop rules of §6.1.
     """
     if pst is None:
-        pst = build_pst(proc.cfg)
+        pst = session_for(proc.cfg).pst()
     if variables is None:
         variables = proc.variables()
     # root + canonical regions: the denominator of the Figure 10 fraction.

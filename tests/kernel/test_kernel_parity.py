@@ -1,0 +1,94 @@
+"""Deterministic kernel-vs-reference spot checks on multigraph edge cases.
+
+The fuzz campaign (``repro.fuzz`` with the ``kernel/reference`` oracle)
+covers breadth; these pin the shapes CSR encodings historically get wrong
+-- parallel edges, self-loops, back edges -- with exact-id equality, so a
+regression fails loudly in the unit suite rather than only under fuzzing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.graph import CFG, InvalidCFGError
+from repro.controldep.regions_fast import control_regions, control_regions_reference
+from repro.core.cycle_equiv import (
+    cycle_equivalence_of_cfg,
+    cycle_equivalence_of_cfg_reference,
+)
+from repro.core.pst import build_pst, build_pst_reference
+from repro.dominance.lengauer_tarjan import lengauer_tarjan, lengauer_tarjan_reference
+
+
+def loopy_multigraph() -> CFG:
+    """Parallel edges, a self-loop, and a back edge in one graph."""
+    cfg = CFG(start="start", end="end", name="loopy")
+    cfg.add_edge("start", "a")
+    cfg.add_edge("a", "b", "T")
+    cfg.add_edge("a", "b", "F")  # parallel
+    cfg.add_edge("b", "b")  # self-loop
+    cfg.add_edge("b", "a")  # back edge
+    cfg.add_edge("b", "end")
+    return cfg
+
+
+CASES = [
+    pytest.param(
+        cfg_from_edges(
+            [("start", "a"), ("start", "b"), ("a", "end"), ("b", "end")]
+        ),
+        id="diamond",
+    ),
+    pytest.param(
+        cfg_from_edges([("start", "a"), ("a", "b"), ("b", "end")]), id="chain"
+    ),
+    pytest.param(loopy_multigraph(), id="loopy-multigraph"),
+]
+
+
+@pytest.mark.parametrize("cfg", CASES)
+def test_cycle_equivalence_ids_match_exactly(cfg):
+    kernel = cycle_equivalence_of_cfg(cfg)
+    reference = cycle_equivalence_of_cfg_reference(cfg)
+    # Identical class ids per edge, not merely the same partition.
+    assert kernel.class_of == reference.class_of
+
+
+@pytest.mark.parametrize("cfg", CASES)
+def test_dominators_match(cfg):
+    assert lengauer_tarjan(cfg) == lengauer_tarjan_reference(cfg)
+
+
+@pytest.mark.parametrize("cfg", CASES)
+def test_pst_structure_matches(cfg):
+    def signature(pst):
+        out, stack = [], [pst.root]
+        while stack:
+            region = stack.pop()
+            out.append(
+                (
+                    region.depth,
+                    region.entry.eid if region.entry else None,
+                    region.exit.eid if region.exit else None,
+                    tuple(region.own_nodes),
+                )
+            )
+            stack.extend(reversed(region.children))
+        return out
+
+    assert signature(build_pst(cfg)) == signature(build_pst_reference(cfg))
+
+
+@pytest.mark.parametrize("cfg", CASES)
+def test_control_regions_match(cfg):
+    assert control_regions(cfg) == control_regions_reference(cfg)
+
+
+def test_kernel_and_reference_agree_on_rejection():
+    cfg = CFG(name="no-roots")
+    cfg.add_edge("a", "b")
+    with pytest.raises(InvalidCFGError):
+        cycle_equivalence_of_cfg(cfg)
+    with pytest.raises(InvalidCFGError):
+        cycle_equivalence_of_cfg_reference(cfg)

@@ -1,0 +1,109 @@
+"""Parallel batch execution: parity with serial mode, checkpointing, fallback.
+
+These tests exercise the real process pool (workers=2), so corpora are kept
+tiny.  Behavioral parity -- same keys, same order, same statuses as the
+serial path -- is the contract; wall-clock speedup is only asserted where
+the host actually has cores to parallelize over.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.cfg.graph import CFG
+from repro.resilience.batch import (
+    _decode_cfg,
+    _encode_cfg,
+    load_checkpoint,
+    run_batch,
+)
+from tests.resilience.conftest import RecordingSleep
+
+
+def good_cfg() -> CFG:
+    return cfg_from_edges(
+        [("start", "a"), ("start", "b"), ("a", "b"), ("b", "a"), ("a", "end"), ("b", "end")]
+    )
+
+
+def bad_cfg() -> CFG:
+    cfg = cfg_from_edges([("start", "a"), ("a", "end")], validate=False)
+    cfg.add_node("orphan")  # unreachable: fails Definition 1 in the engine
+    return cfg
+
+
+def crasher() -> CFG:
+    raise RuntimeError("corpus item exploded")
+
+
+def corpus():
+    return [
+        ("good.one", good_cfg),
+        ("bad.orphan", bad_cfg),
+        ("crash.load", crasher),
+        ("good.two", good_cfg),
+    ]
+
+
+def strip(report):
+    return [(r.key, r.status, r.paths, r.error) for r in report.results]
+
+
+def test_encode_decode_roundtrip_preserves_structure():
+    cfg = good_cfg()
+    cfg.edges[0].label = "T"
+    clone = _decode_cfg(_encode_cfg(cfg))
+    assert clone.nodes == cfg.nodes
+    assert clone.start == cfg.start and clone.end == cfg.end
+    assert [(e.source, e.target, e.label) for e in clone.edges] == [
+        (e.source, e.target, e.label) for e in cfg.edges
+    ]
+
+
+def test_parallel_matches_serial_in_order_and_status():
+    serial = run_batch(corpus(), retries=0)
+    parallel = run_batch(corpus(), retries=0, workers=2)
+    assert strip(parallel) == strip(serial)
+    assert [r.key for r in parallel.results] == [k for k, _ in corpus()]
+    statuses = {r.key: r.status for r in parallel.results}
+    assert statuses["good.one"] == "ok"
+    assert statuses["bad.orphan"] == "failed"
+    assert statuses["crash.load"] == "error"
+    assert "RuntimeError" in {r.key: r for r in parallel.results}["crash.load"].error
+
+
+def test_parallel_writes_and_resumes_checkpoint(tmp_path):
+    path = str(tmp_path / "batch.jsonl")
+    first = run_batch(corpus(), retries=0, workers=2, checkpoint_path=path)
+    assert len(load_checkpoint(path)) == len(first.results)
+    second = run_batch(corpus(), retries=0, workers=2, checkpoint_path=path)
+    assert all(r.resumed for r in second.results)
+    assert [r.key for r in second.results] == [k for k, _ in corpus()]
+
+
+def test_parallel_on_item_sees_every_fresh_result():
+    seen = []
+    run_batch(corpus(), retries=0, workers=2, on_item=seen.append)
+    assert sorted(r.key for r in seen) == sorted(k for k, _ in corpus())
+
+
+def test_custom_sleep_forces_serial_path_despite_workers():
+    # A crasher with retries>0 sleeps between attempts; the recorder only
+    # observes those pauses when the serial path runs them in-process.
+    recorder = RecordingSleep()
+    report = run_batch(
+        [("crash", crasher)], retries=2, backoff=0.5, workers=4, sleep=recorder
+    )
+    assert report.results[0].status == "error"
+    assert recorder.calls == [0.5, 1.0]
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs real cores")
+def test_parallel_is_faster_on_multicore():
+    items = [(f"item.{i}", good_cfg) for i in range(16)]
+    serial = run_batch(items, retries=0)
+    parallel = run_batch(items, retries=0, workers=4)
+    assert parallel.elapsed < serial.elapsed

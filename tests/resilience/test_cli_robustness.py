@@ -6,6 +6,7 @@ import json
 import pytest
 
 import repro.cli as cli
+import repro.core.pst as core_pst
 from repro.cfg.graph import InvalidCFGError
 from repro.errors import AnalysisError, BudgetExceeded
 from repro.fuzz.oracles import ORACLES_BY_NAME, Oracle
@@ -50,7 +51,9 @@ def _boom(error):
 
 
 def test_invalid_cfg_exits_3_with_structured_line(source_file, monkeypatch, capsys):
-    monkeypatch.setattr(cli, "build_pst", _boom(InvalidCFGError("no end node")))
+    # The CLI builds its PST through an AnalysisSession, which resolves
+    # build_pst from repro.core.pst at call time -- patch it there.
+    monkeypatch.setattr(core_pst, "build_pst", _boom(InvalidCFGError("no end node")))
     code, _ = run([source_file])
     assert code == 3
     err = capsys.readouterr().err
@@ -59,21 +62,21 @@ def test_invalid_cfg_exits_3_with_structured_line(source_file, monkeypatch, caps
 
 
 def test_analysis_error_exits_4(source_file, monkeypatch, capsys):
-    monkeypatch.setattr(cli, "build_pst", _boom(AnalysisError("divergence")))
+    monkeypatch.setattr(core_pst, "build_pst", _boom(AnalysisError("divergence")))
     code, _ = run([source_file])
     assert code == 4
     assert "error[analysis]: proc f: divergence" in capsys.readouterr().err
 
 
 def test_resource_exhausted_exits_4(source_file, monkeypatch, capsys):
-    monkeypatch.setattr(cli, "build_pst", _boom(BudgetExceeded("budget")))
+    monkeypatch.setattr(core_pst, "build_pst", _boom(BudgetExceeded("budget")))
     code, _ = run([source_file])
     assert code == 4
     assert "error[resource]" in capsys.readouterr().err
 
 
 def test_internal_crash_exits_4_without_traceback(source_file, monkeypatch, capsys):
-    monkeypatch.setattr(cli, "build_pst", _boom(AssertionError("stack discipline")))
+    monkeypatch.setattr(core_pst, "build_pst", _boom(AssertionError("stack discipline")))
     code, _ = run([source_file])
     assert code == 4
     err = capsys.readouterr().err
@@ -84,7 +87,7 @@ def test_internal_crash_exits_4_without_traceback(source_file, monkeypatch, caps
 def test_failing_procedure_does_not_block_the_next_one(
     source_file, monkeypatch, capsys
 ):
-    real_build_pst = cli.build_pst
+    real_build_pst = core_pst.build_pst
     calls = []
 
     def flaky(cfg, *args, **kwargs):
@@ -93,7 +96,7 @@ def test_failing_procedure_does_not_block_the_next_one(
             raise InvalidCFGError("first proc is broken")
         return real_build_pst(cfg, *args, **kwargs)
 
-    monkeypatch.setattr(cli, "build_pst", flaky)
+    monkeypatch.setattr(core_pst, "build_pst", flaky)
     code, text = run([source_file])
     assert code == 3  # worst code wins, but...
     assert "proc g:" in text  # ...proc g was still analyzed and reported
