@@ -15,15 +15,27 @@ A complete reproduction of the paper's system:
 
 Quickstart::
 
-    from repro import cfg_from_edges, build_pst
+    from repro import build_cfg, build_pst, run_analysis
 
-    g = cfg_from_edges([
+    g = build_cfg([
         ("start", "a"), ("a", "b", "T"), ("a", "c", "F"),
         ("b", "d"), ("c", "d"), ("d", "end"),
     ])
     pst = build_pst(g)
     for region in pst.canonical_regions():
         print(region.describe(), "depth", region.depth)
+
+    result = run_analysis(g)          # guarded: fast paths + verified fallback
+    assert result.ok and not result.degraded
+
+This module is the canonical import surface: graph construction
+(:func:`build_cfg`), the paper's analyses (:func:`cycle_equivalence`,
+:func:`build_pst`, :func:`control_regions`), the resilient engine
+(:func:`run_analysis`, :func:`run_batch`, :class:`AnalysisConfig`), cached
+sessions (:class:`AnalysisSession`, :func:`session_for`), and observability
+(:class:`Observer`).  Deep imports keep working, but the promoted names
+under ``repro.kernel`` and ``repro.resilience`` package attributes now emit
+:class:`DeprecationWarning`.
 """
 
 from repro.cfg import CFG, CFGBuilder, Edge, InvalidCFGError, cfg_from_edges
@@ -40,23 +52,67 @@ from repro.core import (
 )
 from repro.core.cycle_equiv import cycle_equivalence_of_cfg
 
+#: Canonical spelling for building a CFG from an edge list.
+build_cfg = cfg_from_edges
+
 __version__ = "1.0.0"
 
+# The engine/session/observability layer imports the analysis modules above,
+# so these re-exports are lazy (PEP 562) -- both to break the cycle and to
+# keep `import repro` light for callers that only build graphs.
+_LAZY = {
+    "AnalysisConfig": "repro.config",
+    "DEFAULT_CONFIG": "repro.config",
+    "AnalysisResult": "repro.resilience.engine",
+    "Diagnostic": "repro.resilience.engine",
+    "run_analysis": "repro.resilience.engine",
+    "run_batch": "repro.resilience.batch",
+    "BatchReport": "repro.resilience.batch",
+    "FaultPlan": "repro.resilience.faults",
+    "AnalysisSession": "repro.kernel.session",
+    "session_for": "repro.kernel.session",
+    "Observer": "repro.obs.observer",
+    "control_regions": "repro.controldep.regions_fast",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "AnalysisSession",
+    "BatchReport",
     "CFG",
     "CFGBuilder",
+    "DEFAULT_CONFIG",
+    "Diagnostic",
     "Edge",
+    "FaultPlan",
     "InvalidCFGError",
-    "cfg_from_edges",
+    "Observer",
     "ProgramStructureTree",
     "RegionKind",
     "SESERegion",
+    "build_cfg",
     "build_pst",
     "canonical_sese_regions",
+    "cfg_from_edges",
     "classify_pst",
     "classify_region",
+    "control_regions",
     "cycle_equivalence",
-    "cycle_equivalence_scc",
     "cycle_equivalence_of_cfg",
+    "cycle_equivalence_scc",
+    "run_analysis",
+    "run_batch",
+    "session_for",
     "__version__",
 ]

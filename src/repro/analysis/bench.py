@@ -26,6 +26,8 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import EXIT_BUDGET_EXCEEDED
+
 DEFAULT_SIZES = (500, 2000)
 DEFAULT_REPEATS = 5
 DEFAULT_OUT = os.path.join("benchmarks", "results")
@@ -295,6 +297,8 @@ def bench_main(argv: List[str], out) -> int:
         failures = check_against_baseline(record, baseline, args.tolerance, out)
         if failures:
             print(f"perf regression in: {', '.join(failures)}", file=out)
-            return 1
+            # Exit 3: a declared (ratio) budget was exceeded, distinct from
+            # the generic diagnostics exit 1 (see repro.errors).
+            return EXIT_BUDGET_EXCEEDED
         print("perf smoke: all ratios within tolerance", file=out)
     return 0

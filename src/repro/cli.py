@@ -33,13 +33,24 @@ object-graph references and writes machine-readable JSON under
     python -m repro bench --sizes 500 2000
     python -m repro bench --check benchmarks/results/perf_smoke_baseline.json
 
+The ``trace`` subcommand runs the guarded engine with a full
+:class:`~repro.obs.observer.Observer` attached and emits the trace as JSONL
+(see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``)::
+
+    python -m repro trace program.mini --out run.jsonl
+    python -m repro trace --synth-seed 0 --synth-size 40 --render
+    python -m repro trace --check run.jsonl     # validate against the schema
+
 Exit codes (all commands; a multi-procedure run reports the worst):
 
 ====  ==============================================================
 0     success
-1     parse/lowering diagnostics, no such procedure, fuzz divergence
+1     parse/lowering diagnostics, no such procedure, fuzz divergence,
+      trace schema violations
 2     usage or I/O errors (unreadable file, bad flag value)
-3     a procedure's CFG violates Definition 1 (invalid CFG)
+3     a declared budget was exceeded: a procedure's CFG violates
+      Definition 1 (invalid CFG), or ``bench --check`` measured a
+      perf ratio over its regression budget
 4     analysis failure: internal error, guard trip, or divergence
       detected while analyzing a valid CFG; batch items failed
 ====  ==============================================================
@@ -59,19 +70,25 @@ from repro.cfg.dot import cfg_to_dot, pst_to_dot
 from repro.cfg.graph import InvalidCFGError
 from repro.core.region_kinds import classify_pst
 from repro.kernel.session import session_for
-from repro.errors import AnalysisError, ReproError, ResourceExhausted
+from repro.errors import (
+    EXIT_ANALYSIS_FAILED,
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_DIAGNOSTICS,
+    EXIT_OK,
+    EXIT_USAGE_IO,
+    AnalysisError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.ir import LoweredProcedure
 from repro.lang import lower_program, parse_program
 from repro.ssa.pst_phi import place_phis_pst
 from repro.ssa.rename import construct_ssa
 from repro.ssa.verify import verify_ssa
 
-# Exit codes (documented in the module docstring and docs/ROBUSTNESS.md).
-EXIT_OK = 0
-EXIT_DIAGNOSTICS = 1
-EXIT_USAGE_IO = 2
-EXIT_INVALID_CFG = 3
-EXIT_ANALYSIS_FAILED = 4
+# Historical alias: an invalid CFG is the "budget" of Definition 1 being
+# exceeded; both spellings map to the same documented exit code 3.
+EXIT_INVALID_CFG = EXIT_BUDGET_EXCEEDED
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -161,6 +178,157 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run the guarded engine with tracing + metrics attached "
+        "and emit the trace as JSONL (one trace per procedure), or validate "
+        "an existing trace file against docs/trace_schema.json",
+    )
+    parser.add_argument(
+        "source", nargs="?", default=None,
+        help="MiniLang source file, or '-' for stdin (omit with --synth-seed "
+        "or --check)",
+    )
+    parser.add_argument("--proc", help="trace only the procedure with this name")
+    parser.add_argument(
+        "--synth-seed", type=int, default=None, metavar="SEED",
+        help="trace a synthetic procedure generated from SEED instead of a file",
+    )
+    parser.add_argument(
+        "--synth-size", type=int, default=30, metavar="STATEMENTS",
+        help="target statement count for --synth-seed (default 30)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSONL trace here (default: stdout)",
+    )
+    parser.add_argument(
+        "--render", action="store_true",
+        help="print the indented span tree instead of raw JSONL",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing JSONL trace file against the schema and exit",
+    )
+    parser.add_argument(
+        "--schema", metavar="PATH", default=None,
+        help="schema to validate against (default: docs/trace_schema.json)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-procedure engine deadline",
+    )
+    parser.add_argument(
+        "--step-budget", type=int, default=None, metavar="STEPS",
+        help="per-attempt engine step budget",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="arm per-phase ticker timers (attached to attempt spans)",
+    )
+    return parser
+
+
+def trace_main(argv: List[str], out) -> int:
+    from repro.config import AnalysisConfig
+    from repro.obs.observer import Observer
+    from repro.obs.schema import default_schema_path, load_schema, validate_trace
+    from repro.obs.trace import read_jsonl, render_trace
+    from repro.resilience.engine import run_analysis
+
+    args = build_trace_arg_parser().parse_args(argv)
+
+    # --- check mode: validate an existing trace file ----------------------
+    if args.check is not None:
+        try:
+            schema = load_schema(args.schema or default_schema_path())
+            with open(args.check) as handle:
+                records = read_jsonl(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE_IO
+        problems = validate_trace(records, schema)
+        if problems:
+            for problem in problems:
+                print(f"schema violation: {problem}", file=out)
+            print(f"{args.check}: {len(problems)} problem(s)", file=out)
+            return EXIT_DIAGNOSTICS
+        spans = sum(1 for r in records if r.get("type") == "span")
+        print(f"{args.check}: valid ({spans} span(s))", file=out)
+        return EXIT_OK
+
+    # --- record mode: run the engine under an observer --------------------
+    if (args.source is None) == (args.synth_seed is None):
+        print(
+            "error: give exactly one of a source file or --synth-seed",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_IO
+    if args.synth_seed is not None:
+        from repro.synth.structured import random_lowered_procedure
+
+        procedures = [
+            random_lowered_procedure(args.synth_seed, args.synth_size)
+        ]
+    else:
+        if args.source == "-":
+            source = sys.stdin.read()
+        else:
+            try:
+                with open(args.source) as handle:
+                    source = handle.read()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return EXIT_USAGE_IO
+        try:
+            procedures = lower_program(parse_program(source))
+        except Exception as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+        if args.proc is not None:
+            procedures = [p for p in procedures if p.name == args.proc]
+            if not procedures:
+                print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
+                return EXIT_DIAGNOSTICS
+
+    sink = None
+    if args.out is not None:
+        try:
+            sink = open(args.out, "w")
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE_IO
+    worst = EXIT_OK
+    try:
+        for proc in procedures:
+            observer = Observer(profile=args.profile)
+            config = AnalysisConfig(
+                deadline=args.deadline,
+                step_budget=args.step_budget,
+                observer=observer,
+                profile=args.profile,
+            )
+            result = run_analysis(proc.cfg, config=config)
+            if not result.ok:
+                print(
+                    f"error[analysis]: proc {proc.name}: {result.error}",
+                    file=sys.stderr,
+                )
+                worst = max(worst, EXIT_ANALYSIS_FAILED)
+            if args.render:
+                records = read_jsonl(observer.recorder.jsonl_lines(
+                    observer.metrics_snapshot()
+                ))
+                print(render_trace(records), file=out)
+            else:
+                observer.write_jsonl(sink if sink is not None else out)
+    finally:
+        if sink is not None:
+            sink.close()
+    return worst
+
+
 def batch_main(argv: List[str], out) -> int:
     from repro.resilience.batch import run_batch
 
@@ -219,13 +387,13 @@ def fuzz_main(argv: List[str], out) -> int:
     if args.list_oracles:
         for oracle in ALL_ORACLES:
             print(oracle.name, file=out)
-        return 0
+        return EXIT_OK
     oracles = None
     if args.oracle:
         unknown = [name for name in args.oracle if name not in ORACLES_BY_NAME]
         if unknown:
             print(f"error: unknown oracle(s) {', '.join(unknown)}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE_IO
         oracles = [ORACLES_BY_NAME[name] for name in args.oracle]
 
     report = run_fuzz(
@@ -242,20 +410,27 @@ def fuzz_main(argv: List[str], out) -> int:
             for item in report.divergences:
                 handle.write("\n\n" + item.test_source)
         print(f"wrote {len(report.divergences)} regression test(s) to {args.emit_tests}", file=out)
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_DIAGNOSTICS
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = sys.stdout if out is None else out
     argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] == "fuzz":
-        return fuzz_main(argv[1:], out)
-    if argv and argv[0] == "batch":
-        return batch_main(argv[1:], out)
-    if argv and argv[0] == "bench":
-        from repro.analysis.bench import bench_main
+    try:
+        if argv and argv[0] == "fuzz":
+            return fuzz_main(argv[1:], out)
+        if argv and argv[0] == "batch":
+            return batch_main(argv[1:], out)
+        if argv and argv[0] == "bench":
+            from repro.analysis.bench import bench_main
 
-        return bench_main(argv[1:], out)
+            return bench_main(argv[1:], out)
+        if argv and argv[0] == "trace":
+            return trace_main(argv[1:], out)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: the Unix
+        # convention is a silent exit, not a traceback.
+        return EXIT_OK
     args = build_arg_parser().parse_args(argv)
 
     if args.source == "-":
@@ -266,19 +441,19 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 source = handle.read()
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE_IO
 
     try:
         procedures = lower_program(parse_program(source))
     except Exception as error:  # lex/parse/lowering diagnostics
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_DIAGNOSTICS
 
     if args.proc is not None:
         procedures = [p for p in procedures if p.name == args.proc]
         if not procedures:
             print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
-            return 1
+            return EXIT_DIAGNOSTICS
 
     worst = EXIT_OK
     for proc in procedures:

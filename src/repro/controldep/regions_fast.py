@@ -25,6 +25,7 @@ from repro.cfg.validate import validate_cfg
 from repro.core.cycle_equiv import cycle_equivalence_scc
 from repro.kernel.cycle_equiv import kernel_control_region_classes
 from repro.kernel.registry import shared_frozen
+from repro.obs import observer as _obs
 from repro.resilience.guards import Ticker
 
 
@@ -70,6 +71,19 @@ def control_regions(
     paper alludes to that never materializes ``T(S)`` as a graph.
     :func:`control_regions_reference` is the retained object-graph path.
     """
+    o = _obs._CURRENT
+    if o is None:
+        return _control_regions(cfg, validate, ticker)
+    o.count("dispatch", component="control_regions", impl="kernel")
+    with o.span(
+        "control_regions", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _control_regions(cfg, validate, ticker)
+
+
+def _control_regions(
+    cfg: CFG, validate: bool, ticker: Optional[Ticker]
+) -> List[List[NodeId]]:
     frozen = shared_frozen(cfg)
     if validate and not frozen.validated:
         validate_cfg(cfg)
@@ -92,6 +106,17 @@ def control_regions_reference(cfg: CFG, validate: bool = True) -> List[List[Node
     Materializes the augmented graph and its node expansion ``T(S)``
     explicitly; kept as the oracle the kernel path is fuzzed against.
     """
+    o = _obs._CURRENT
+    if o is None:
+        return _control_regions_reference(cfg, validate)
+    o.count("dispatch", component="control_regions", impl="reference")
+    with o.span(
+        "control_regions", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _control_regions_reference(cfg, validate)
+
+
+def _control_regions_reference(cfg: CFG, validate: bool) -> List[List[NodeId]]:
     if validate:
         validate_cfg(cfg)
     augmented, _ = cfg.with_return_edge()

@@ -42,6 +42,7 @@ from repro.cfg.validate import validate_cfg
 from repro.core.bracketlist import Bracket, BracketList
 from repro.kernel.cycle_equiv import kernel_cycle_equivalence
 from repro.kernel.registry import shared_frozen
+from repro.obs import observer as _obs
 from repro.resilience.guards import Ticker
 
 INFINITY = float("inf")
@@ -204,6 +205,8 @@ def cycle_equivalence_scc(
 
     if tick is not None:
         tick(capacity + len(uedges))  # the DFS about to run is O(V + E)
+    o = _obs._CURRENT
+    dfs_span = o.span("cycle_equiv.dfs") if o is not None else None
     stack: List[Tuple[NodeId, int, Iterator[_UndirectedEdge]]] = [
         (root, 0, iter(adjacency[root]))
     ]
@@ -239,6 +242,10 @@ def cycle_equivalence_scc(
             down_backedges[other_num].append(ue)
         if not advanced:
             stack.pop()
+    if dfs_span is not None:
+        dfs_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("dfs")
 
     if len(dfsnum) != graph.num_nodes:
         missing = [n for n in graph.nodes if n not in dfsnum][:5]
@@ -257,6 +264,7 @@ def cycle_equivalence_scc(
 
     if tick is not None:
         tick(len(node_at))  # the reverse depth-first sweep about to run
+    bracket_span = o.span("cycle_equiv.brackets") if o is not None else None
     for num in range(len(node_at) - 1, -1, -1):
         node = node_at[num]
 
@@ -328,9 +336,19 @@ def cycle_equivalence_scc(
             if b.recent_size == 1 and not b.is_capping:
                 b.class_id = tree_edge.class_id
 
+    if bracket_span is not None:
+        bracket_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("brackets")
+
+    naming_span = o.span("cycle_equiv.naming") if o is not None else None
     for ue in uedges:
         assert ue.class_id is not None, f"unlabelled edge {ue!r}"
         class_of[ue.directed] = ue.class_id
+    if naming_span is not None:
+        naming_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("naming")
     return CycleEquivalence(class_of)
 
 
@@ -365,6 +383,17 @@ def cycle_equivalence_of_cfg(
     reference (:func:`cycle_equivalence_of_cfg_reference`) because both
     follow the same DFS and the same new-class order.
     """
+    o = _obs._CURRENT
+    if o is None:
+        return _cycle_equivalence_of_cfg(cfg, validate, ticker)
+    o.count("dispatch", component="cycle_equiv", impl="kernel")
+    with o.span("cycle_equiv", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges):
+        return _cycle_equivalence_of_cfg(cfg, validate, ticker)
+
+
+def _cycle_equivalence_of_cfg(
+    cfg: CFG, validate: bool, ticker: Optional[Ticker]
+) -> CycleEquivalence:
     frozen = shared_frozen(cfg)
     if validate and not frozen.validated:
         validate_cfg(cfg)
@@ -393,9 +422,18 @@ def cycle_equivalence_of_cfg_reference(
         validate_cfg(cfg)
     if cfg.start is None or cfg.end is None:
         raise InvalidCFGError("CFG must have start and end nodes set")
-    return cycle_equivalence_scc(
-        cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),), ticker=ticker
-    )
+    o = _obs._CURRENT
+    if o is None:
+        return cycle_equivalence_scc(
+            cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),), ticker=ticker
+        )
+    o.count("dispatch", component="cycle_equiv", impl="reference")
+    with o.span(
+        "cycle_equiv", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return cycle_equivalence_scc(
+            cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),), ticker=ticker
+        )
 
 
 class _ClassCounter:

@@ -34,6 +34,7 @@ from repro.core.cycle_equiv import CycleEquivalence, cycle_equivalence_of_cfg
 from repro.core.sese import SESERegion, canonical_sese_regions
 from repro.kernel.pst import kernel_build_pst
 from repro.kernel.registry import shared_frozen
+from repro.obs import observer as _obs
 
 REGION_ENTRY = "$entry$"
 REGION_EXIT = "$exit$"
@@ -203,6 +204,17 @@ def build_pst(
     :func:`build_pst_reference` is the retained object-graph builder, with
     identical output.
     """
+    o = _obs._CURRENT
+    if o is None:
+        return _build_pst(cfg, equiv, ticker)
+    o.count("dispatch", component="build_pst", impl="kernel")
+    with o.span("build_pst", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges):
+        return _build_pst(cfg, equiv, ticker)
+
+
+def _build_pst(
+    cfg: CFG, equiv: Optional[CycleEquivalence], ticker
+) -> ProgramStructureTree:
     if equiv is None:
         equiv = cycle_equivalence_of_cfg(cfg, ticker=ticker)
     frozen = shared_frozen(cfg)
@@ -217,6 +229,19 @@ def build_pst_reference(
     cfg: CFG, equiv: Optional[CycleEquivalence] = None, ticker=None
 ) -> ProgramStructureTree:
     """Object-graph reference for :func:`build_pst` (same contract)."""
+    o = _obs._CURRENT
+    if o is None:
+        return _build_pst_reference(cfg, equiv, ticker)
+    o.count("dispatch", component="build_pst", impl="reference")
+    with o.span(
+        "build_pst", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _build_pst_reference(cfg, equiv, ticker)
+
+
+def _build_pst_reference(
+    cfg: CFG, equiv: Optional[CycleEquivalence], ticker
+) -> ProgramStructureTree:
     if equiv is None:
         equiv = cycle_equivalence_of_cfg(cfg, ticker=ticker)
     canonical = canonical_sese_regions(cfg, equiv)

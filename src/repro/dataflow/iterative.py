@@ -15,6 +15,7 @@ from typing import Dict, Optional, Set
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.traversal import reverse_postorder
 from repro.dataflow.framework import BACKWARD, DataflowProblem, Solution
+from repro.obs import observer as _obs
 from repro.resilience.guards import TICK_CHUNK, Ticker
 
 
@@ -38,7 +39,17 @@ def solve_iterative(
         from repro.kernel.dataflow import kernel_solve_iterative
         from repro.kernel.registry import shared_frozen
 
-        return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
+        o = _obs._CURRENT
+        if o is None:
+            return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
+        o.count("dispatch", component="solve_iterative", impl="kernel")
+        with o.span(
+            "solve_iterative",
+            impl="kernel",
+            nodes=cfg.num_nodes,
+            edges=cfg.num_edges,
+        ):
+            return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
     return solve_iterative_reference(cfg, problem, ticker)
 
 
@@ -46,6 +57,19 @@ def solve_iterative_reference(
     cfg: CFG, problem: DataflowProblem, ticker: Optional[Ticker] = None
 ) -> Solution:
     """Object-graph reference for :func:`solve_iterative` (same contract)."""
+    o = _obs._CURRENT
+    if o is None:
+        return _solve_iterative_reference(cfg, problem, ticker)
+    o.count("dispatch", component="solve_iterative", impl="reference")
+    with o.span(
+        "solve_iterative", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _solve_iterative_reference(cfg, problem, ticker)
+
+
+def _solve_iterative_reference(
+    cfg: CFG, problem: DataflowProblem, ticker: Optional[Ticker]
+) -> Solution:
     backward = problem.direction == BACKWARD
     if backward:
         graph = cfg.reversed()

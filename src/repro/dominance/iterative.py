@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from repro.cfg.graph import CFG, NodeId
 from repro.cfg.traversal import reverse_postorder
 from repro.cfg.validate import require_root
+from repro.obs import observer as _obs
 from repro.resilience.guards import Ticker
 
 
@@ -34,6 +35,22 @@ def immediate_dominators(
     worst-case O(V) sweeps irreducible graphs can need.
     """
     root = require_root(cfg, cfg.start if root is None else root, "dominator computation")
+    o = _obs._CURRENT
+    if o is None:
+        return _immediate_dominators(cfg, root, ticker)
+    o.count("dispatch", component="immediate_dominators", impl="reference")
+    with o.span(
+        "immediate_dominators",
+        impl="reference",
+        nodes=cfg.num_nodes,
+        edges=cfg.num_edges,
+    ):
+        return _immediate_dominators(cfg, root, ticker)
+
+
+def _immediate_dominators(
+    cfg: CFG, root: NodeId, ticker: Optional[Ticker]
+) -> Dict[NodeId, NodeId]:
     tick = None if ticker is None else ticker.tick
     order = reverse_postorder(cfg, root)
     postorder_num = {node: len(order) - 1 - i for i, node in enumerate(order)}

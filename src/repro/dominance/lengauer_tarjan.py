@@ -20,6 +20,7 @@ from repro.cfg.graph import CFG, NodeId
 from repro.cfg.validate import require_root
 from repro.kernel.dominance import kernel_lengauer_tarjan
 from repro.kernel.registry import shared_frozen
+from repro.obs import observer as _obs
 from repro.resilience.guards import Ticker
 
 # Fault-injection hook (repro.resilience.faults installs/clears a plan here;
@@ -46,6 +47,19 @@ def lengauer_tarjan(
     object-graph implementation the fuzz oracles compare against.
     """
     root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
+    o = _obs._CURRENT
+    if o is None:
+        return _lengauer_tarjan(cfg, root, ticker)
+    o.count("dispatch", component="lengauer_tarjan", impl="kernel")
+    with o.span(
+        "lengauer_tarjan", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _lengauer_tarjan(cfg, root, ticker)
+
+
+def _lengauer_tarjan(
+    cfg: CFG, root: NodeId, ticker: Optional[Ticker]
+) -> Dict[NodeId, NodeId]:
     frozen = shared_frozen(cfg)
     idom = kernel_lengauer_tarjan(frozen, frozen.index_of[root], ticker)
     node_ids = frozen.node_ids
@@ -65,6 +79,19 @@ def lengauer_tarjan_reference(
     the DFS numbering, charged in the same ``tick(2n)``.
     """
     root = require_root(cfg, cfg.start if root is None else root, "Lengauer-Tarjan")
+    o = _obs._CURRENT
+    if o is None:
+        return _lengauer_tarjan_reference(cfg, root, ticker)
+    o.count("dispatch", component="lengauer_tarjan", impl="reference")
+    with o.span(
+        "lengauer_tarjan", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+    ):
+        return _lengauer_tarjan_reference(cfg, root, ticker)
+
+
+def _lengauer_tarjan_reference(
+    cfg: CFG, root: NodeId, ticker: Optional[Ticker]
+) -> Dict[NodeId, NodeId]:
     tick = None if ticker is None else ticker.tick
 
     # --- step 1: DFS numbering (1-based; 0 is a sentinel) -----------------

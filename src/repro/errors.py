@@ -73,3 +73,20 @@ class PostconditionError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis failed outright or diverged from its reference."""
+
+
+# ----------------------------------------------------------------------
+# process exit codes (shared by the CLI and the benchmark harness)
+# ----------------------------------------------------------------------
+
+#: Everything succeeded.
+EXIT_OK = 0
+#: The run completed but produced diagnostics (fuzz divergence, failed items).
+EXIT_DIAGNOSTICS = 1
+#: Bad usage or an IO problem (unreadable source, malformed arguments).
+EXIT_USAGE_IO = 2
+#: A declared budget was exceeded: the input violates the Definition-1 CFG
+#: invariants, or a measured benchmark ratio broke its regression budget.
+EXIT_BUDGET_EXCEEDED = 3
+#: An analysis failed outright (fallback ladder exhausted, engine error).
+EXIT_ANALYSIS_FAILED = 4

@@ -35,11 +35,24 @@ _LAZY = {
     "session_for": "repro.kernel.session",
 }
 
+# Both names are promoted to the canonical top-level surface; this
+# package-attribute spelling still works but is deprecated.
+_DEPRECATED = ("AnalysisSession", "session_for")
+
 
 def __getattr__(name):
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name in _DEPRECATED:
+        import warnings
+
+        warnings.warn(
+            f"importing {name} from repro.kernel is deprecated; "
+            f"use `from repro import {name}` instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     import importlib
 
     return getattr(importlib.import_module(module_name), name)

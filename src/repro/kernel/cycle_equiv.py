@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cfg.graph import InvalidCFGError
 from repro.kernel.csr import FrozenCFG
+from repro.obs import observer as _obs
 from repro.resilience.guards import Ticker
 
 # Fault-injection hook for the "cycle-equiv/skip-cap" site (installed and
@@ -203,6 +204,8 @@ def _cycle_equivalence_arrays(
 
     if tick is not None:
         tick(n + n_real)  # the DFS about to run is O(V + E)
+    o = _obs._CURRENT
+    dfs_span = o.span("cycle_equiv.dfs") if o is not None else None
 
     # frames: [node, dfsnum, next adjacency slot, row end]
     stack = [[root, 0, adj_off[root], adj_off[root + 1]]]
@@ -255,6 +258,10 @@ def _cycle_equivalence_arrays(
             db_tail[onum] = ue
         if not advanced:
             stack.pop()
+    if dfs_span is not None:
+        dfs_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("dfs")
 
     if len(node_at) != n:
         ids = node_ids if node_ids is not None else list(range(n))
@@ -288,6 +295,7 @@ def _cycle_equivalence_arrays(
 
     if tick is not None:
         tick(n)  # the reverse depth-first sweep about to run
+    bracket_span = o.span("cycle_equiv.brackets") if o is not None else None
 
     for num in range(n - 1, -1, -1):
         # Single pass over the children: track the highest (hi1) and second
@@ -438,11 +446,21 @@ def _cycle_equivalence_arrays(
             if b_rsize[b] == 1 and not b_cap[b]:
                 b_class[b] = b_rclass[b]
 
+    if bracket_span is not None:
+        bracket_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("brackets")
+
+    naming_span = o.span("cycle_equiv.naming") if o is not None else None
     for e, cls in zip(ue_edge, ue_class):
         if e == -1:
             continue
         assert cls != -1, f"unlabelled undirected edge {e}"
         classes[e] = cls
+    if naming_span is not None:
+        naming_span.finish()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("naming")
     return classes
 
 

@@ -74,6 +74,8 @@ def kernel_solve_iterative(
             order.append(frame[0])
             stack.pop()
     order.reverse()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("seed_order")
 
     # Nodes unreachable in the solving direction keep top (see the object
     # reference for why such nodes can occur transiently).
@@ -113,6 +115,8 @@ def kernel_solve_iterative(
                     queue.append(succ)
     if tick is not None and unbilled:
         tick(unbilled)
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("worklist")
 
     entry_d = {node_ids[i]: entry[i] for i in range(n)}
     exit_d = {node_ids[i]: exit_[i] for i in range(n)}

@@ -69,6 +69,8 @@ def kernel_lengauer_tarjan(
     nr = counter
     if tick is not None:
         tick(2 * nr)  # the DFS numbering just done counts for both passes
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("dfs")
 
     # --- forest for EVAL/LINK with path compression -----------------------
     semi = list(range(nr + 1))
@@ -140,6 +142,9 @@ def kernel_lengauer_tarjan(
             idom_num[v] = u if semi[u] < semi[v] else p
             v = bucket_next[v]
 
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("semidominators")
+
     # --- step 4: explicit idoms -------------------------------------------
     for w in range(2, nr + 1):
         if idom_num[w] != semi[w]:
@@ -150,4 +155,6 @@ def kernel_lengauer_tarjan(
     idom = [-1] * n
     for w in range(1, nr + 1):
         idom[vertex[w]] = vertex[idom_num[w]]
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("idoms")
     return idom

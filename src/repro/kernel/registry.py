@@ -19,6 +19,7 @@ import weakref
 
 from repro.cfg.graph import CFG
 from repro.kernel.csr import FrozenCFG, freeze
+from repro.obs import observer as _obs
 
 _FROZEN: "weakref.WeakKeyDictionary[CFG, FrozenCFG]" = weakref.WeakKeyDictionary()
 
@@ -31,7 +32,15 @@ def shared_frozen(cfg: CFG) -> FrozenCFG:
     The cache holds the CFG weakly, so snapshots die with their graphs.
     """
     frozen = _FROZEN.get(cfg)
+    o = _obs._CURRENT
     if frozen is None or frozen.version != cfg.version:
-        frozen = freeze(cfg)
+        if o is not None:
+            o.count("frozen.cache", result="miss")
+            with o.span("freeze", nodes=cfg.num_nodes, edges=cfg.num_edges):
+                frozen = freeze(cfg)
+        else:
+            frozen = freeze(cfg)
         _FROZEN[cfg] = frozen
+    elif o is not None:
+        o.count("frozen.cache", result="hit")
     return frozen

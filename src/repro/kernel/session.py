@@ -21,11 +21,16 @@ mirroring :func:`repro.kernel.registry.shared_frozen` one layer up.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import AnalysisConfig
 
 from repro.cfg.graph import CFG, NodeId
 from repro.kernel.csr import FrozenCFG
 from repro.kernel.registry import shared_frozen
+from repro.obs import observer as _obs
+from repro.obs.observer import Observer
 
 
 class AnalysisSession:
@@ -34,12 +39,26 @@ class AnalysisSession:
     Artifacts are keyed on the frozen snapshot: whenever the CFG's
     ``version`` has moved since an artifact was stored, the whole cache is
     dropped and the next getter recomputes against a fresh snapshot.
+
+    ``observer`` (or, failing that, the ambient observer) receives a
+    ``session.cache`` counter per lookup, labelled with the artifact and
+    hit/miss, so cache effectiveness shows up in one metrics snapshot next
+    to the engine's retry counters.
     """
 
-    __slots__ = ("cfg", "_version", "_cache", "hits", "misses", "__weakref__")
+    __slots__ = (
+        "cfg",
+        "observer",
+        "_version",
+        "_cache",
+        "hits",
+        "misses",
+        "__weakref__",
+    )
 
-    def __init__(self, cfg: CFG):
+    def __init__(self, cfg: CFG, observer: Optional[Observer] = None):
         self.cfg = cfg
+        self.observer = observer
         self._version = cfg.version
         self._cache: Dict[str, Any] = {}
         self.hits = 0
@@ -70,10 +89,15 @@ class AnalysisSession:
     def _memo(self, key: str, compute: Callable[[], Any]) -> Any:
         self._refresh()
         cache = self._cache
+        o = self.observer if self.observer is not None else _obs._CURRENT
         if key in cache:
             self.hits += 1
+            if o is not None:
+                o.count("session.cache", artifact=key, result="hit")
             return cache[key]
         self.misses += 1
+        if o is not None:
+            o.count("session.cache", artifact=key, result="miss")
         value = compute()
         cache[key] = value
         return value
@@ -164,15 +188,22 @@ _SESSIONS: "weakref.WeakKeyDictionary[CFG, AnalysisSession]" = (
 )
 
 
-def session_for(cfg: CFG) -> AnalysisSession:
+def session_for(cfg: CFG, config: Optional["AnalysisConfig"] = None) -> AnalysisSession:
     """The process-wide session for ``cfg`` (created on first use).
 
     Sessions are held weakly, so they die with their graphs.  Callers that
     need isolation (the resilience engine) construct their own
     :class:`AnalysisSession` instead.
+
+    ``config`` (an :class:`~repro.config.AnalysisConfig`) currently
+    contributes its ``observer``: passing one (re)binds the session's
+    metrics sink, so long-lived driver sessions can be pointed at a fresh
+    registry without being torn down.
     """
     session = _SESSIONS.get(cfg)
     if session is None:
         session = AnalysisSession(cfg)
         _SESSIONS[cfg] = session
+    if config is not None and config.observer is not None:
+        session.observer = config.observer
     return session

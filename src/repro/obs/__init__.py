@@ -1,0 +1,49 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+The layer the ROADMAP's serving ambitions require: the paper's O(E) claims
+(cycle equivalence via bracket lists, PST construction, control regions)
+are validated offline by the benchmarks, but a running service needs to
+show *where* time, cache hits, retries, and fault recoveries actually go.
+
+* :mod:`repro.obs.trace` -- nested spans collected by a
+  :class:`~repro.obs.trace.TraceRecorder`, emitted as JSONL
+  (``docs/trace_schema.json``), rendered by ``repro trace --render``.
+* :mod:`repro.obs.metrics` -- a process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  histograms (kernel-vs-reference dispatches, session/frozen cache
+  hits/misses, engine retries/fallbacks, fault activations, batch
+  latencies).
+* :mod:`repro.obs.observer` -- the :class:`~repro.obs.observer.Observer`
+  object threaded through ``run_analysis`` / ``AnalysisSession`` /
+  ``run_batch`` (via :class:`repro.config.AnalysisConfig`), plus the
+  ambient-install mechanism instrumented hot paths consult.  The default
+  is *no observer installed*: one module load + ``is None`` test per call,
+  inside the <5% guard budget (``benchmarks/bench_guard_overhead.py``).
+* :mod:`repro.obs.schema` -- dependency-free validation of emitted JSONL
+  against the checked-in schema (the CI trace-schema job).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import NOOP_SPAN, Observer, current, install, observe
+from repro.obs.trace import Span, TraceRecorder, read_jsonl, render_trace
+from repro.obs.schema import load_schema, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observer",
+    "Span",
+    "TraceRecorder",
+    "current",
+    "install",
+    "load_schema",
+    "observe",
+    "read_jsonl",
+    "render_trace",
+    "validate_trace",
+]

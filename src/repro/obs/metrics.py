@@ -1,0 +1,201 @@
+"""Process-local metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a plain in-process store -- no background
+threads, no sockets, no sampling.  Instruments are identified by a name
+plus an optional set of string labels (``counter("engine.attempts",
+stage="pst", path="fast")``), mirroring the Prometheus data model so a
+future exporter only needs to walk :meth:`MetricsRegistry.snapshot`.
+
+The registry is deliberately *not* global: it lives on an
+:class:`~repro.obs.observer.Observer`, and code paths consult the ambient
+observer (one module-global load plus a ``None`` check) so the disabled
+cost stays within the guard-overhead budget measured by
+``benchmarks/bench_guard_overhead.py``.
+
+Histograms keep exact count/sum/min/max plus a bounded reservoir of recent
+samples (for percentiles in reports); the reservoir cap keeps a pathological
+million-item batch from holding a million floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: How many raw samples a histogram retains for percentile estimates.
+RESERVOIR_SIZE = 1024
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live cache size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Exact count/sum/min/max plus a bounded sample reservoir."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        samples = self._samples
+        if len(samples) < RESERVOIR_SIZE:
+            samples.append(value)
+        else:  # ring-buffer overwrite: keep the most recent window
+            samples[self.count % RESERVOIR_SIZE] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0..100) from the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one observer, keyed by (name, labels)."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count_of(self, name: str, **labels: str) -> float:
+        """Current value of a counter (0.0 if it never incremented)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def counts_matching(self, name: str) -> Dict[str, float]:
+        """All counters with ``name``, keyed by rendered label string."""
+        return {
+            _render_key(n, key): c.value
+            for (n, key), c in self._counters.items()
+            if n == name
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain-dict dump of every instrument (JSON-serializable)."""
+        return {
+            "counters": {
+                _render_key(name, key): counter.value
+                for (name, key), counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(name, key): gauge.value
+                for (name, key), gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(name, key): histogram.summary()
+                for (name, key), histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-line-per-instrument dump."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        for key, value in snap["counters"].items():
+            lines.append(f"counter {key} = {value:g}")
+        for key, value in snap["gauges"].items():
+            lines.append(f"gauge {key} = {value:g}")
+        for key, summary in snap["histograms"].items():
+            lines.append(
+                f"histogram {key}: count={summary['count']} "
+                f"mean={summary['mean']:.6g} p95={summary['p95']:.6g} "
+                f"max={summary['max']:.6g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""The :class:`Observer`: one object tying tracing + metrics together.
+
+Instrumented code never imports recorders or registries directly; it asks
+for the *ambient* observer::
+
+    from repro.obs import observer as _obs
+
+    o = _obs._CURRENT
+    if o is not None:
+        with o.span("cycle_equiv", edges=cfg.num_edges):
+            ...
+
+The module-global ``_CURRENT`` is ``None`` by default -- the "no-op
+recorder" -- so the disabled cost on a hot path is one module-attribute
+load plus an ``is None`` test per *call* (never per loop iteration).  The
+extended ``benchmarks/bench_guard_overhead.py`` holds this within the
+existing <5% guard budget.
+
+An observer is installed either ambiently (:func:`observe` /
+:func:`install`) or explicitly through
+:class:`repro.config.AnalysisConfig` -- ``run_analysis`` installs
+``config.observer`` for the duration of the call so one trace covers the
+fast path, every retry, and the slow fallback, with kernel-level child
+spans attached in the right place.
+
+Spans degrade gracefully: ``Observer(trace=False)`` hands out a shared
+no-op span, so call sites never branch on whether tracing is on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Span, TraceRecorder
+
+
+class _NoopSpan:
+    """Shared do-nothing span for observers with tracing disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def fail(self, error: str) -> "_NoopSpan":
+        return self
+
+    def finish(self, error: Optional[str] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Observer:
+    """Tracing + metrics + profiling switches for one observed scope.
+
+    ``trace`` enables span recording, ``metrics`` the instrument registry,
+    ``profile`` the :meth:`repro.resilience.guards.Ticker.mark` phase
+    timers (the engine arms a profile list on every ticker it creates when
+    this is set).  All three default to on -- an *installed* observer is
+    assumed to be wanted; the cheap path is not installing one.
+    """
+
+    __slots__ = ("recorder", "metrics", "profile")
+
+    def __init__(
+        self,
+        *,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
+    ):
+        self.recorder: Optional[TraceRecorder] = (
+            TraceRecorder(trace_id=trace_id, clock=clock) if trace else None
+        )
+        self.metrics: Optional[MetricsRegistry] = MetricsRegistry() if metrics else None
+        self.profile = profile
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        """Start a span (or the shared no-op when tracing is off)."""
+        recorder = self.recorder
+        if recorder is None:
+            return NOOP_SPAN
+        return recorder.start(name, **attrs)
+
+    # ------------------------------------------------------------------
+    # metrics conveniences
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: float = 1.0, **labels: str) -> None:
+        registry = self.metrics
+        if registry is not None:
+            registry.counter(name, **labels).inc(n)
+
+    def observe_value(self, name: str, value: float, **labels: str) -> None:
+        registry = self.metrics
+        if registry is not None:
+            registry.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        registry = self.metrics
+        if registry is not None:
+            registry.gauge(name, **labels).set(value)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Optional[Dict[str, object]]:
+        return self.metrics.snapshot() if self.metrics is not None else None
+
+    def write_jsonl(self, handle) -> int:
+        """Dump the trace (and metrics footer) as JSONL; returns lines."""
+        if self.recorder is None:
+            raise ValueError("this observer has tracing disabled")
+        return self.recorder.write_jsonl(handle, self.metrics_snapshot())
+
+
+# ----------------------------------------------------------------------
+# the ambient observer
+# ----------------------------------------------------------------------
+
+#: The installed observer, or None (the no-op default).  Hot paths read
+#: this module attribute directly; everything else goes through current().
+_CURRENT: Optional[Observer] = None
+
+
+def current() -> Optional[Observer]:
+    """The ambient observer, or ``None`` when observation is off."""
+    return _CURRENT
+
+
+def install(observer: Optional[Observer]) -> Optional[Observer]:
+    """Install ``observer`` ambiently; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = observer
+    return previous
+
+
+@contextmanager
+def observe(observer: Optional[Observer]) -> Iterator[Optional[Observer]]:
+    """Ambiently install ``observer`` for a ``with`` block.
+
+    ``observe(None)`` leaves whatever is installed untouched (it does
+    *not* disable an outer observer), so callers can pass an optional
+    observer straight through.
+    """
+    if observer is None:
+        yield _CURRENT
+        return
+    previous = install(observer)
+    try:
+        yield observer
+    finally:
+        install(previous)

@@ -1,0 +1,134 @@
+"""Validate emitted trace JSONL against the checked-in schema.
+
+``docs/trace_schema.json`` describes each record type with a small,
+dependency-free subset of JSON Schema (the container has no ``jsonschema``
+package, and the trace format does not need one):
+
+* ``required``: field names that must be present,
+* ``properties``: per-field ``{"type": ...}`` where type is one of
+  ``string | number | integer | boolean | object | array | null`` or a
+  list of those (unions), plus optional ``enum``,
+* unknown fields are allowed (the format is forward-compatible).
+
+On top of the per-record checks, :func:`validate_trace` enforces the
+structural invariants a well-formed trace must satisfy: exactly one
+header, span ids unique, every parent id resolvable to an *earlier-started*
+span, child intervals contained in their parents (within a small clock
+tolerance), and every span carrying the header's trace id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+#: Relative tolerance for child-interval containment: perf_counter deltas
+#: are rounded to nanoseconds on emission, so exact comparison is too strict.
+_EPSILON = 1e-6
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "null": lambda v: v is None,
+}
+
+
+def default_schema_path() -> str:
+    """The checked-in schema, located relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/obs -> repository root is three levels up.
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "docs", "trace_schema.json")
+
+
+def load_schema(path: Optional[str] = None) -> Dict:
+    with open(path if path is not None else default_schema_path()) as handle:
+        return json.load(handle)
+
+
+def _check_type(value, spec) -> bool:
+    types = spec if isinstance(spec, list) else [spec]
+    return any(_TYPE_CHECKS[t](value) for t in types if t in _TYPE_CHECKS)
+
+
+def _validate_record(record: Dict, schema: Dict, line: int) -> List[str]:
+    problems: List[str] = []
+    kind = record.get("type")
+    record_schemas = schema.get("records", {})
+    if kind not in record_schemas:
+        problems.append(f"line {line}: unknown record type {kind!r}")
+        return problems
+    spec = record_schemas[kind]
+    for field in spec.get("required", []):
+        if field not in record:
+            problems.append(f"line {line}: {kind} record missing field {field!r}")
+    for field, field_spec in spec.get("properties", {}).items():
+        if field not in record:
+            continue
+        value = record[field]
+        if "type" in field_spec and not _check_type(value, field_spec["type"]):
+            problems.append(
+                f"line {line}: {kind}.{field} has type "
+                f"{type(value).__name__}, expected {field_spec['type']}"
+            )
+            continue
+        if "enum" in field_spec and value not in field_spec["enum"]:
+            problems.append(
+                f"line {line}: {kind}.{field} = {value!r} not in {field_spec['enum']}"
+            )
+    return problems
+
+
+def validate_trace(records: List[Dict], schema: Optional[Dict] = None) -> List[str]:
+    """All schema and structural violations of a parsed trace (empty = ok)."""
+    if schema is None:
+        schema = load_schema()
+    problems: List[str] = []
+    for line, record in enumerate(records, 1):
+        problems.extend(_validate_record(record, schema, line))
+    if problems:
+        return problems  # field-level breakage makes structure checks noise
+
+    headers = [r for r in records if r["type"] == "trace"]
+    if len(headers) != 1:
+        problems.append(f"expected exactly one trace header, found {len(headers)}")
+        return problems
+    trace_id = headers[0]["trace"]
+
+    spans = [r for r in records if r["type"] == "span"]
+    by_id: Dict[int, Dict] = {}
+    for span in spans:
+        if span["trace"] != trace_id:
+            problems.append(
+                f"span {span['span']} carries trace id {span['trace']!r}, "
+                f"header says {trace_id!r}"
+            )
+        if span["span"] in by_id:
+            problems.append(f"duplicate span id {span['span']}")
+        by_id[span["span"]] = span
+        if span["end"] + _EPSILON < span["start"]:
+            problems.append(f"span {span['span']} ends before it starts")
+    for span in spans:
+        parent_id = span["parent"]
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {span['span']} references unknown parent {parent_id}"
+            )
+            continue
+        if parent["start"] > span["start"] + _EPSILON:
+            problems.append(
+                f"span {span['span']} starts before its parent {parent_id}"
+            )
+        if span["end"] > parent["end"] + _EPSILON:
+            problems.append(
+                f"span {span['span']} ends after its parent {parent_id}"
+            )
+    return problems

@@ -1,0 +1,268 @@
+"""Structured nested spans and their JSONL wire format.
+
+A :class:`TraceRecorder` collects :class:`Span` records for one logical
+trace (one ``run_analysis`` call, one batch, one CLI invocation).  Spans
+nest through a recorder-level stack: a span started while another is open
+becomes its child, which is exactly the call-tree shape of the engine
+(``run_analysis`` > ``stage:pst`` > ``attempt`` > ``cycle_equiv`` >
+``cycle_equiv.dfs``).
+
+The wire format is JSON Lines (``docs/trace_schema.json`` is the
+checked-in schema; ``repro trace --check`` validates against it):
+
+* one ``{"type": "trace"}`` header line with the trace id and clock origin,
+* one ``{"type": "span"}`` line per finished span (in finish order --
+  children before parents, like flame-graph emitters),
+* optionally one ``{"type": "metrics"}`` footer with the registry snapshot.
+
+Timestamps are seconds relative to the recorder's creation, so traces are
+diffable across runs and carry no wall-clock information.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+_TRACE_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"trace-{os.getpid()}-{next(_TRACE_IDS)}"
+
+
+class Span:
+    """One timed, named, attributed section of work.
+
+    Spans are started by :meth:`TraceRecorder.start` and closed with
+    :meth:`finish` (or by using the span as a context manager, which also
+    marks the span ``error`` when the block raises).
+    """
+
+    __slots__ = (
+        "recorder",
+        "span_id",
+        "parent_id",
+        "name",
+        "started",
+        "attrs",
+        "status",
+        "error",
+        "finished",
+    )
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        started: float,
+        attrs: Dict[str, object],
+    ):
+        self.recorder = recorder
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started = started
+        self.attrs = attrs
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.finished = False
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def fail(self, error: str) -> "Span":
+        """Mark the span as failed; :meth:`finish` keeps the status."""
+        self.status = "error"
+        self.error = error
+        return self
+
+    def finish(self, error: Optional[str] = None) -> None:
+        if self.finished:  # idempotent: double-finish keeps the first record
+            return
+        if error is not None:
+            self.fail(error)
+        self.finished = True
+        self.recorder._finish(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None and self.status == "ok":
+            self.fail(f"{exc_type.__name__}: {exc}")
+        self.finish()
+        return False  # never swallow
+
+
+class TraceRecorder:
+    """Collects the spans of one trace; single-threaded by design."""
+
+    __slots__ = ("trace_id", "records", "_clock", "_origin", "_stack", "_ids")
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
+        self.records: List[Dict[str, object]] = []
+        self._clock = clock
+        self._origin = clock()
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def start(self, name: str, **attrs: object) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            self,
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            started=self._clock() - self._origin,
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        # Normal case: the finishing span is the innermost open one.  A span
+        # finished out of order (a bug in instrumentation, or an exception
+        # unwinding past explicit finish calls) closes everything above it
+        # so the stack can never wedge.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if not top.finished:
+                top.finished = True
+                self._record(top)
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        end = self._clock() - self._origin
+        self.records.append(
+            {
+                "type": "span",
+                "trace": self.trace_id,
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start": round(span.started, 9),
+                "end": round(end, 9),
+                "elapsed": round(end - span.started, 9),
+                "status": span.status,
+                "error": span.error,
+                "attrs": span.attrs,
+            }
+        )
+
+    def open_spans(self) -> int:
+        """How many spans are currently started but not finished."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def header(self) -> Dict[str, object]:
+        return {"type": "trace", "trace": self.trace_id, "spans": len(self.records)}
+
+    def jsonl_lines(
+        self, metrics_snapshot: Optional[Dict[str, object]] = None
+    ) -> Iterator[str]:
+        yield json.dumps(self.header(), sort_keys=True)
+        for record in self.records:
+            yield json.dumps(record, sort_keys=True, default=str)
+        if metrics_snapshot is not None:
+            yield json.dumps(
+                {"type": "metrics", "trace": self.trace_id, "metrics": metrics_snapshot},
+                sort_keys=True,
+                default=str,
+            )
+
+    def write_jsonl(
+        self, handle, metrics_snapshot: Optional[Dict[str, object]] = None
+    ) -> int:
+        """Write the trace to a file object; returns the line count."""
+        count = 0
+        for line in self.jsonl_lines(metrics_snapshot):
+            handle.write(line + "\n")
+            count += 1
+        return count
+
+
+# ----------------------------------------------------------------------
+# reading + rendering (the `repro trace --render` path)
+# ----------------------------------------------------------------------
+
+def read_jsonl(lines: Iterable[str]) -> List[Dict[str, object]]:
+    """Parse JSONL lines into record dicts; blank lines are skipped."""
+    records: List[Dict[str, object]] = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ValueError(f"line {number}: not valid JSON: {error}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"line {number}: expected a JSON object")
+        records.append(record)
+    return records
+
+
+def render_trace(records: List[Dict[str, object]]) -> str:
+    """An indented tree view of a parsed trace (children under parents)."""
+    spans = [r for r in records if r.get("type") == "span"]
+    by_parent: Dict[Optional[int], List[Dict[str, object]]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.get("start", 0.0), s.get("span", 0)))
+
+    lines: List[str] = []
+    trace_headers = [r for r in records if r.get("type") == "trace"]
+    if trace_headers:
+        lines.append(f"trace {trace_headers[0].get('trace')}")
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for span in by_parent.get(parent, []):
+            marker = "" if span.get("status") == "ok" else "  !! " + str(
+                span.get("error") or span.get("status")
+            )
+            attrs = span.get("attrs") or {}
+            attr_text = (
+                " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+                if attrs
+                else ""
+            )
+            lines.append(
+                "  " * depth
+                + f"- {span.get('name')} ({1000 * float(span.get('elapsed', 0.0)):.3f} ms)"
+                + attr_text
+                + marker
+            )
+            walk(span.get("span"), depth + 1)  # type: ignore[arg-type]
+
+    walk(None, 0 if not lines else 1)
+
+    metrics = [r for r in records if r.get("type") == "metrics"]
+    if metrics:
+        counters = metrics[0].get("metrics", {}).get("counters", {})  # type: ignore[union-attr]
+        if counters:
+            lines.append("metrics:")
+            for key, value in sorted(counters.items()):
+                lines.append(f"  counter {key} = {value:g}")
+    return "\n".join(lines)

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cfg.graph import CFG
+from repro.config import AnalysisConfig, _UNSET, coalesce_config
+from repro.obs import observer as _obs
 from repro.resilience.engine import AnalysisResult, run_analysis
 
 #: statuses that count as a successfully analyzed item
@@ -142,13 +144,14 @@ def run_batch(
     *,
     checkpoint_path: Optional[str] = None,
     resume: bool = True,
-    retries: int = 1,
-    backoff: float = 0.05,
-    backoff_factor: float = 2.0,
-    deadline: Optional[float] = None,
-    step_budget: Optional[int] = None,
-    workers: int = 1,
-    engine: Callable[..., AnalysisResult] = run_analysis,
+    config: Optional[AnalysisConfig] = None,
+    retries: object = _UNSET,
+    backoff: object = _UNSET,
+    backoff_factor: object = _UNSET,
+    deadline: object = _UNSET,
+    step_budget: object = _UNSET,
+    workers: object = _UNSET,
+    engine: object = _UNSET,
     on_item: Optional[Callable[[BatchItemResult], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
@@ -156,24 +159,44 @@ def run_batch(
     """Run the analysis engine over ``items`` with full isolation.
 
     ``items`` yields ``(key, thunk)`` pairs; the thunk produces the CFG so
-    that even *loading* an item is inside the isolation boundary.  ``retries``
-    extra batch-level tries (with exponential backoff starting at
-    ``backoff`` seconds) are spent on items whose status is ``failed`` or
-    ``error`` -- this is on top of the engine's own internal ladder, and
-    matters when failures come from the environment rather than the input.
-    ``deadline``/``step_budget`` are forwarded to each engine call.
-    ``on_item`` observes each fresh (non-resumed) result as it completes.
+    that even *loading* an item is inside the isolation boundary.  All
+    tuning lives in ``config`` (an :class:`~repro.config.AnalysisConfig`):
+    ``config.retries`` extra batch-level tries (with exponential backoff
+    starting at ``config.backoff`` seconds) are spent on items whose status
+    is ``failed`` or ``error`` -- this is on top of the engine's own
+    internal ladder, and matters when failures come from the environment
+    rather than the input.  The whole config (deadline, step budget, fast
+    retries, observer, faults, ...) is forwarded to each engine call, and
+    ``config.observer`` is additionally installed ambiently around the
+    batch so per-item latency histograms and status counters accumulate in
+    one place.  ``on_item`` observes each fresh (non-resumed) result as it
+    completes.  The remaining keywords are deprecated aliases for the
+    corresponding config fields.
 
-    ``workers > 1`` fans the engine calls out over a process pool: thunks
-    still run in this process (they are arbitrary closures), but each CFG is
-    re-encoded as a plain tuple and analyzed -- retries, backoff and all --
-    in a worker, so one item's crash cannot take down the batch or its
-    siblings.  Results keep the submission order of ``items`` and the
-    checkpoint is appended as futures complete, exactly as in serial mode.
-    Custom ``engine``/``sleep``/``clock`` callables are a serial-only
-    feature (they cannot cross a process boundary); supplying any of them
-    forces the serial path regardless of ``workers``.
+    ``config.workers > 1`` fans the engine calls out over a process pool:
+    thunks still run in this process (they are arbitrary closures), but
+    each CFG is re-encoded as a plain tuple and analyzed -- retries,
+    backoff and all -- in a worker, so one item's crash cannot take down
+    the batch or its siblings.  Results keep the submission order of
+    ``items`` and the checkpoint is appended as futures complete, exactly
+    as in serial mode.  Custom ``engine``/``sleep``/``clock`` callables and
+    configs carrying an observer, a fault plan, or profiling are a
+    serial-only feature (they cannot cross a process boundary); supplying
+    any of them forces the serial path regardless of ``workers``.
     """
+    config = coalesce_config(
+        config,
+        "run_batch",
+        {
+            "retries": retries,
+            "backoff": backoff,
+            "backoff_factor": backoff_factor,
+            "deadline": deadline,
+            "step_budget": step_budget,
+            "workers": workers,
+            "engine": engine,
+        },
+    )
     started = clock()
     done = (
         load_checkpoint(checkpoint_path)
@@ -181,8 +204,11 @@ def run_batch(
         else {}
     )
     parallel = (
-        workers > 1
-        and engine is run_analysis
+        config.workers > 1
+        and config.engine is None
+        and config.observer is None
+        and config.faults is None
+        and not config.profile
         and sleep is time.sleep
         and clock is time.monotonic
     )
@@ -193,40 +219,31 @@ def run_batch(
         else None
     )
     try:
-        if parallel:
-            _run_parallel(
-                items,
-                done,
-                report,
-                checkpoint,
-                on_item,
-                workers=workers,
-                retries=retries,
-                backoff=backoff,
-                backoff_factor=backoff_factor,
-                deadline=deadline,
-                step_budget=step_budget,
-            )
-        else:
-            for key, thunk in items:
-                prior = done.get(key)
-                if prior is not None:
-                    report.results.append(prior)
-                    continue
-                result = _run_item(
-                    key,
-                    thunk,
-                    retries=retries,
-                    backoff=backoff,
-                    backoff_factor=backoff_factor,
-                    deadline=deadline,
-                    step_budget=step_budget,
-                    engine=engine,
-                    sleep=sleep,
-                    clock=clock,
+        with _obs.observe(config.observer):
+            if parallel:
+                _run_parallel(
+                    items,
+                    done,
+                    report,
+                    checkpoint,
+                    on_item,
+                    config=config,
                 )
-                report.results.append(result)
-                _record(result, checkpoint, on_item)
+            else:
+                for key, thunk in items:
+                    prior = done.get(key)
+                    if prior is not None:
+                        report.results.append(prior)
+                        continue
+                    result = _run_item(
+                        key,
+                        thunk,
+                        config=config,
+                        sleep=sleep,
+                        clock=clock,
+                    )
+                    report.results.append(result)
+                    _record(result, checkpoint, on_item)
     finally:
         if checkpoint is not None:
             checkpoint.close()
@@ -236,6 +253,10 @@ def run_batch(
 
 def _record(result: BatchItemResult, checkpoint, on_item) -> None:
     """Checkpoint and observe one freshly computed result."""
+    o = _obs._CURRENT
+    if o is not None:
+        o.count("batch.items", status=result.status)
+        o.observe_value("batch.item_seconds", result.elapsed)
     if checkpoint is not None:
         checkpoint.write(result.to_json() + "\n")
         checkpoint.flush()
@@ -253,12 +274,7 @@ def _run_parallel(
     checkpoint,
     on_item,
     *,
-    workers: int,
-    retries: int,
-    backoff: float,
-    backoff_factor: float,
-    deadline: Optional[float],
-    step_budget: Optional[int],
+    config: AnalysisConfig,
 ) -> None:
     """Fan engine calls out over a process pool; fill ``report`` in order."""
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -266,13 +282,15 @@ def _run_parallel(
     # Slots keep submission order; each is a BatchItemResult once known.
     slots: List[Optional[BatchItemResult]] = []
     pending = {}  # future -> slot index
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=config.workers) as pool:
         for key, thunk in items:
             prior = done.get(key)
             if prior is not None:
                 slots.append(prior)
                 continue
-            loaded = _load_item(key, thunk, retries, backoff, backoff_factor)
+            loaded = _load_item(
+                key, thunk, config.retries, config.backoff, config.backoff_factor
+            )
             if isinstance(loaded, BatchItemResult):  # thunk never produced a CFG
                 slots.append(loaded)
                 _record(loaded, checkpoint, on_item)
@@ -284,11 +302,7 @@ def _run_parallel(
                 _worker_run_item,
                 key,
                 payload,
-                retries,
-                backoff,
-                backoff_factor,
-                deadline,
-                step_budget,
+                config,
                 load_tries,
                 load_elapsed,
             )
@@ -374,30 +388,23 @@ def _decode_cfg(payload: Tuple[str, Any, Any, Tuple, Tuple]) -> CFG:
 def _worker_run_item(
     key: str,
     payload: Tuple,
-    retries: int,
-    backoff: float,
-    backoff_factor: float,
-    deadline: Optional[float],
-    step_budget: Optional[int],
+    config: AnalysisConfig,
     load_tries: int,
     load_elapsed: float,
 ) -> Dict[str, Any]:
     """Process-pool entry point: decode, run the ladder, return plain data.
 
-    Must stay module-level (pickled by reference).  Returns the fields of a
-    :class:`BatchItemResult` as a dict so the parent never unpickles custom
-    classes from a possibly-wedged worker.
+    Must stay module-level (pickled by reference).  The config is picklable
+    here by construction -- run_batch forces the serial path for configs
+    carrying observers, fault plans, or custom engines.  Returns the fields
+    of a :class:`BatchItemResult` as a dict so the parent never unpickles
+    custom classes from a possibly-wedged worker.
     """
     started = time.monotonic()
     result = _run_item(
         key,
         lambda: _decode_cfg(payload),
-        retries=retries,
-        backoff=backoff,
-        backoff_factor=backoff_factor,
-        deadline=deadline,
-        step_budget=step_budget,
-        engine=run_analysis,
+        config=config,
         sleep=time.sleep,
         clock=time.monotonic,
     )
@@ -415,29 +422,31 @@ def _run_item(
     key: str,
     thunk: Callable[[], CFG],
     *,
-    retries: int,
-    backoff: float,
-    backoff_factor: float,
-    deadline: Optional[float],
-    step_budget: Optional[int],
-    engine: Callable[..., AnalysisResult],
+    config: AnalysisConfig,
     sleep: Callable[[float], None],
     clock: Callable[[], float],
 ) -> BatchItemResult:
+    engine = config.engine
     item_started = clock()
-    pause = backoff
+    pause = config.backoff
     last_error: Optional[str] = None
     status = "error"
     paths: Dict[str, str] = {}
     tries = 0
-    for attempt in range(retries + 1):
+    for attempt in range(config.retries + 1):
         tries = attempt + 1
         if attempt > 0:
             sleep(pause)
-            pause *= backoff_factor
+            pause *= config.backoff_factor
         try:
             cfg = thunk()
-            result = engine(cfg, deadline=deadline, step_budget=step_budget)
+            if engine is None:
+                result = run_analysis(cfg, config=config)
+            else:
+                # Custom engines keep the historical call convention.
+                result = engine(
+                    cfg, deadline=config.deadline, step_budget=config.step_budget
+                )
         except Exception as error:  # isolation: nothing escapes the item
             status = "error"
             last_error = f"{type(error).__name__}: {error}"

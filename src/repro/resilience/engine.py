@@ -49,19 +49,21 @@ from repro.core.pst import ProgramStructureTree, build_pst
 from repro.dominance.iterative import immediate_dominators
 from repro.dominance.tree import DominatorTree
 from repro.kernel.session import AnalysisSession
+from repro.config import (
+    ALL_ANALYSES,
+    DEFAULT_FULL_CHECK_LIMIT,
+    AnalysisConfig,
+    _UNSET,
+    coalesce_config,
+)
 from repro.errors import (
     BudgetExceeded,
     DeadlineExceeded,
     PostconditionError,
 )
+from repro.obs import observer as _obs
+from repro.resilience import faults as faults_mod
 from repro.resilience.guards import Ticker
-
-ALL_ANALYSES: Tuple[str, ...] = ("pst", "dominators", "control-regions")
-
-#: Graphs with at most this many edges get the *full* slow cross-check as a
-#: postcondition (it is microseconds there); larger graphs rely on the
-#: structural and dominance checks, which stay O(E).
-DEFAULT_FULL_CHECK_LIMIT = 256
 
 
 @dataclass
@@ -73,6 +75,9 @@ class Attempt:
     outcome: str  # "ok" | "postcondition" | "crash" | "budget" | "deadline" | "invalid"
     detail: str = ""
     elapsed: float = 0.0
+    #: Per-phase timing marks (see :meth:`~repro.resilience.guards.Ticker.mark`),
+    #: populated only when the config asked for profiling.
+    profile: Optional[List[dict]] = None
 
     def describe(self) -> str:
         text = f"{self.stage}: {self.path} {self.outcome} ({self.elapsed:.4f}s)"
@@ -130,33 +135,51 @@ class AnalysisResult:
 
 def run_analysis(
     cfg: CFG,
-    analyses: Sequence[str] = ALL_ANALYSES,
+    analyses: Optional[Sequence[str]] = None,
     *,
-    deadline: Optional[float] = None,
-    step_budget: Optional[int] = None,
-    fast_retries: int = 1,
-    full_check_limit: int = DEFAULT_FULL_CHECK_LIMIT,
-    check_every: int = 512,
+    config: Optional[AnalysisConfig] = None,
+    deadline: object = _UNSET,
+    step_budget: object = _UNSET,
+    fast_retries: object = _UNSET,
+    full_check_limit: object = _UNSET,
+    check_every: object = _UNSET,
     clock: Callable[[], float] = time.monotonic,
 ) -> AnalysisResult:
     """Run the requested analyses resiliently; never raises.
 
-    ``deadline`` (seconds) is global across all stages and attempts;
-    ``step_budget`` applies per attempt (slow fallbacks get a fresh budget).
-    ``fast_retries`` extra fast attempts run before falling back, which is
-    what recovers *transient* corruption.
+    All tuning lives in ``config`` (an
+    :class:`~repro.config.AnalysisConfig`): ``deadline`` (seconds) is global
+    across all stages and attempts; ``step_budget`` applies per attempt
+    (slow fallbacks get a fresh budget); ``fast_retries`` extra fast
+    attempts run before falling back, which is what recovers *transient*
+    corruption.  ``config.observer`` is installed ambiently for the call so
+    one trace covers fast path, retries, and slow fallback alike;
+    ``config.faults`` is injected for the call's duration;
+    ``config.profile`` arms per-phase timers on every attempt's ticker.
+
+    ``analyses`` overrides ``config.analyses`` when given (default: all
+    stages).  The remaining keywords are deprecated aliases for the
+    corresponding config fields.
     """
+    config = coalesce_config(
+        config,
+        "run_analysis",
+        {
+            "deadline": deadline,
+            "step_budget": step_budget,
+            "fast_retries": fast_retries,
+            "full_check_limit": full_check_limit,
+            "check_every": check_every,
+        },
+    )
+    if analyses is None:
+        analyses = config.analyses if config.analyses is not None else ALL_ANALYSES
     try:
-        return _run_analysis(
-            cfg,
-            analyses,
-            deadline=deadline,
-            step_budget=step_budget,
-            fast_retries=fast_retries,
-            full_check_limit=full_check_limit,
-            check_every=check_every,
-            clock=clock,
-        )
+        with _obs.observe(config.observer):
+            if config.faults is not None:
+                with faults_mod.inject(config.faults):
+                    return _run_analysis(cfg, analyses, config, clock)
+            return _run_analysis(cfg, analyses, config, clock)
     except Exception as error:  # pragma: no cover - last-resort containment
         diagnostic = Diagnostic(
             attempts=[
@@ -178,13 +201,31 @@ def run_analysis(
 def _run_analysis(
     cfg: CFG,
     analyses: Sequence[str],
-    *,
-    deadline: Optional[float],
-    step_budget: Optional[int],
-    fast_retries: int,
-    full_check_limit: int,
-    check_every: int,
+    config: AnalysisConfig,
     clock: Callable[[], float],
+) -> AnalysisResult:
+    o = _obs._CURRENT
+    if o is None:
+        return _run_ladders(cfg, analyses, config, clock, None)
+    with o.span(
+        "run_analysis",
+        cfg=str(cfg.name),
+        nodes=cfg.num_nodes,
+        edges=cfg.num_edges,
+        analyses=",".join(analyses),
+    ) as root:
+        result = _run_ladders(cfg, analyses, config, clock, o)
+        if not result.ok:
+            root.fail(result.error or "analysis failed")
+        return result
+
+
+def _run_ladders(
+    cfg: CFG,
+    analyses: Sequence[str],
+    config: AnalysisConfig,
+    clock: Callable[[], float],
+    o,
 ) -> AnalysisResult:
     unknown = [name for name in analyses if name not in ALL_ANALYSES]
     if unknown:
@@ -195,56 +236,84 @@ def _run_analysis(
         )
 
     started = clock()
-    deadline_at = None if deadline is None else started + deadline
+    deadline_at = None if config.deadline is None else started + config.deadline
     diagnostic = Diagnostic()
     errors: List[str] = []
+
+    def record(attempt: Attempt, span=None) -> None:
+        # One call per Attempt: the engine.* counters and the diagnostic
+        # trail stay in lockstep by construction.
+        diagnostic.attempts.append(attempt)
+        if o is not None:
+            o.count(
+                "engine.attempts",
+                stage=attempt.stage,
+                path=attempt.path,
+                outcome=attempt.outcome,
+            )
+            if attempt.path == "fast-retry":
+                o.count("engine.retries", stage=attempt.stage)
+            elif attempt.path == "slow":
+                o.count("engine.fallbacks", stage=attempt.stage)
+        if span is not None:
+            if attempt.profile is not None:
+                span.set(profile=attempt.profile)
+            if attempt.outcome != "ok":
+                span.fail(attempt.detail or attempt.outcome)
+            span.finish()
 
     # ------------------------------------------------------------------
     # Stage 0: input validation.  An invalid CFG is a *rejected input*,
     # not a degradation -- the slow references need Definition 1 too.
     # ------------------------------------------------------------------
     validate_started = clock()
+    vspan = None if o is None else o.span("validate")
     try:
         problems = check_cfg(cfg)
     except Exception as error:
         problems = [f"validation crashed: {type(error).__name__}: {error}"]
     if problems:
         detail = "; ".join(problems)
-        diagnostic.attempts.append(
+        record(
             Attempt(
                 stage="validate",
                 path="validate",
                 outcome="invalid",
                 detail=detail,
                 elapsed=clock() - validate_started,
-            )
+            ),
+            vspan,
         )
         diagnostic.elapsed = clock() - started
         return AnalysisResult(
             ok=False, diagnostic=diagnostic, error=f"invalid CFG: {detail}"
         )
+    if vspan is not None:
+        vspan.finish()
 
     # One private session per engine call: fast paths share the frozen
     # snapshot and each artifact is computed once across stages, but the
     # ladder invalidates it before every retry/fallback so a corrupted
     # artifact is never reused (fault injection sees fresh runs).
     session = AnalysisSession(cfg)
-    stages = _build_stages(cfg, session, full_check_limit)
+    stages = _build_stages(cfg, session, config.full_check_limit)
     results: Dict[str, object] = {}
     aborted = False
+    # Profiling is armed by the config, or by an ambient observer that asked
+    # for it (Observer(profile=True)) without threading a config through.
+    profile_on = config.profile or (o is not None and o.profile)
 
     for name in analyses:
         if aborted:
-            diagnostic.attempts.append(
-                Attempt(stage=name, path="-", outcome="deadline", detail="skipped")
-            )
+            record(Attempt(stage=name, path="-", outcome="deadline", detail="skipped"))
             errors.append(f"{name}: skipped after deadline")
             continue
         fast, slow, checker = stages[name]
         ladder: List[Tuple[str, Callable, bool]] = [("fast", fast, True)]
-        ladder.extend(("fast-retry", fast, True) for _ in range(fast_retries))
+        ladder.extend(("fast-retry", fast, True) for _ in range(config.fast_retries))
         ladder.append(("slow", slow, False))
 
+        stage_span = None if o is None else o.span(f"stage:{name}")
         stage_ok = False
         for path, compute, cross_check in ladder:
             if path != "fast":
@@ -252,7 +321,7 @@ def _run_analysis(
             attempt_started = clock()
             remaining = None if deadline_at is None else deadline_at - attempt_started
             if remaining is not None and remaining <= 0:
-                diagnostic.attempts.append(
+                record(
                     Attempt(stage=name, path=path, outcome="deadline",
                             detail="deadline passed before attempt")
                 )
@@ -260,46 +329,59 @@ def _run_analysis(
                 break
             ticker = (
                 None
-                if remaining is None and step_budget is None
+                if remaining is None and config.step_budget is None and not profile_on
                 else Ticker(
                     deadline=remaining,
-                    step_budget=step_budget,
-                    check_every=check_every,
+                    step_budget=config.step_budget,
+                    check_every=config.check_every,
                     clock=clock,
                 )
             )
+            if ticker is not None and profile_on:
+                ticker.profile = []
+            aspan = None if o is None else o.span(f"attempt:{path}", stage=name)
             try:
                 value = compute(ticker)
                 checker(value, cross_check, ticker)
             except DeadlineExceeded as error:
-                diagnostic.attempts.append(
+                record(
                     Attempt(stage=name, path=path, outcome="deadline",
-                            detail=str(error), elapsed=clock() - attempt_started)
+                            detail=str(error), elapsed=clock() - attempt_started,
+                            profile=None if ticker is None else ticker.profile),
+                    aspan,
                 )
                 aborted = True
                 break
             except BudgetExceeded as error:
-                diagnostic.attempts.append(
+                record(
                     Attempt(stage=name, path=path, outcome="budget",
-                            detail=str(error), elapsed=clock() - attempt_started)
+                            detail=str(error), elapsed=clock() - attempt_started,
+                            profile=None if ticker is None else ticker.profile),
+                    aspan,
                 )
                 continue
             except PostconditionError as error:
-                diagnostic.attempts.append(
+                record(
                     Attempt(stage=name, path=path, outcome="postcondition",
-                            detail=str(error), elapsed=clock() - attempt_started)
+                            detail=str(error), elapsed=clock() - attempt_started,
+                            profile=None if ticker is None else ticker.profile),
+                    aspan,
                 )
                 continue
             except Exception as error:
-                diagnostic.attempts.append(
+                record(
                     Attempt(stage=name, path=path, outcome="crash",
                             detail=f"{type(error).__name__}: {error}",
-                            elapsed=clock() - attempt_started)
+                            elapsed=clock() - attempt_started,
+                            profile=None if ticker is None else ticker.profile),
+                    aspan,
                 )
                 continue
-            diagnostic.attempts.append(
+            record(
                 Attempt(stage=name, path=path, outcome="ok",
-                        elapsed=clock() - attempt_started)
+                        elapsed=clock() - attempt_started,
+                        profile=None if ticker is None else ticker.profile),
+                aspan,
             )
             results[name] = value
             stage_ok = True
@@ -309,6 +391,10 @@ def _run_analysis(
             errors.append(f"{name}: deadline exceeded")
         elif not stage_ok:
             errors.append(f"{name}: all attempts failed (fallback ladder exhausted)")
+        if stage_span is not None:
+            if not stage_ok:
+                stage_span.fail(errors[-1])
+            stage_span.finish()
 
     diagnostic.elapsed = clock() - started
     pst = results.get("pst")

@@ -41,6 +41,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.obs import observer as _obs
+
 # Resolved via importlib: the packages re-export same-named *functions*
 # (e.g. repro.dominance.lengauer_tarjan), which would shadow the submodule
 # attribute under a plain `from ... import ...`.
@@ -145,6 +147,9 @@ class FaultPlan:
         if self.rate < 1.0 and self._rngs[site].random() >= self.rate:
             return False
         self.fires[site] += 1
+        o = _obs._CURRENT
+        if o is not None:
+            o.count("faults.fired", site=site)
         return True
 
     def total_fires(self) -> int:

@@ -66,6 +66,7 @@ class Ticker:
         "check_every",
         "steps",
         "started",
+        "profile",
         "_clock",
         "_deadline_at",
         "_next_check",
@@ -86,6 +87,7 @@ class Ticker:
         self.step_budget = step_budget
         self.check_every = check_every
         self.steps = 0
+        self.profile: Optional[list] = None
         self._clock = clock
         self.started = clock()
         self._deadline_at = _UNBOUNDED if deadline is None else self.started + deadline
@@ -118,6 +120,27 @@ class Ticker:
     def check(self) -> None:
         """Force a bound check now, regardless of ``check_every``."""
         self._checkpoint(self.steps)
+
+    def mark(self, name: str) -> None:
+        """Profiling hook at a phase boundary (the bulk-``tick`` points).
+
+        A no-op unless a profile collector has been armed (``ticker.profile
+        = []``, done by the resilience engine when
+        :class:`~repro.config.AnalysisConfig` asks for profiling): then the
+        phase name, cumulative step count, and elapsed seconds are
+        appended.  Consumers diff consecutive entries to get per-phase
+        costs.  The disabled cost is one attribute load and a ``None``
+        test, well inside the guard budget.
+        """
+        profile = self.profile
+        if profile is not None:
+            profile.append(
+                {
+                    "phase": name,
+                    "steps": self.steps,
+                    "elapsed": round(self._clock() - self.started, 9),
+                }
+            )
 
     # ------------------------------------------------------------------
     def _checkpoint(self, steps: int) -> None:

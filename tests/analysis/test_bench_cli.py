@@ -1,0 +1,49 @@
+"""`repro bench --check`: exit codes, including 3 on a ratio regression."""
+
+import io
+import json
+
+from repro.analysis.bench import bench_main
+from repro.errors import EXIT_BUDGET_EXCEEDED
+
+
+def run(argv):
+    out = io.StringIO()
+    code = bench_main(argv, out)
+    return code, out.getvalue()
+
+
+def write_baseline(tmp_path, ratio):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "components": {
+            name: [{"statements": 40, "ratio": ratio}]
+            for name in ("cycle_equiv", "lengauer_tarjan",
+                         "build_pst", "control_regions")
+        }
+    }))
+    return str(path)
+
+
+def test_check_within_tolerance_exits_zero(tmp_path):
+    baseline = write_baseline(tmp_path, ratio=1000.0)
+    code, text = run(["--sizes", "40", "--repeats", "1",
+                      "--out", str(tmp_path), "--check", baseline])
+    assert code == 0
+    assert "all ratios within tolerance" in text
+
+
+def test_check_regression_exits_budget_exceeded(tmp_path):
+    baseline = write_baseline(tmp_path, ratio=1e-6)
+    code, text = run(["--sizes", "40", "--repeats", "1",
+                      "--out", str(tmp_path), "--check", baseline])
+    assert code == EXIT_BUDGET_EXCEEDED == 3
+    assert "perf regression" in text
+    assert "REGRESSED" in text
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path):
+    code, _ = run(["--sizes", "40", "--repeats", "1",
+                   "--out", str(tmp_path),
+                   "--check", str(tmp_path / "missing.json")])
+    assert code == 2

@@ -1,0 +1,93 @@
+"""MetricsRegistry: counters, gauges, histograms, and their rendering."""
+
+import pytest
+
+from repro.obs.metrics import RESERVOIR_SIZE, MetricsRegistry
+
+
+def test_counter_increments_and_reads_back():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.counter("hits").inc(2.0)
+    assert registry.count_of("hits") == 3.0
+    assert registry.count_of("never-touched") == 0.0
+
+
+def test_counter_labels_are_order_insensitive():
+    registry = MetricsRegistry()
+    registry.counter("dispatch", impl="kernel", component="pst").inc()
+    registry.counter("dispatch", component="pst", impl="kernel").inc()
+    assert registry.count_of("dispatch", component="pst", impl="kernel") == 2.0
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("hits").inc(-1.0)
+
+
+def test_counts_matching_renders_sorted_labels():
+    registry = MetricsRegistry()
+    registry.counter("dispatch", impl="kernel", component="pst").inc()
+    registry.counter("dispatch", impl="reference", component="pst").inc(2)
+    assert registry.counts_matching("dispatch") == {
+        "dispatch{component=pst,impl=kernel}": 1.0,
+        "dispatch{component=pst,impl=reference}": 2.0,
+    }
+
+
+def test_gauge_sets_and_adds():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("live", pool="frozen")
+    gauge.set(5)
+    gauge.add(-2)
+    assert registry.gauge("live", pool="frozen").value == 3.0
+
+
+def test_histogram_summary_statistics():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == 10.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["mean"] == 2.5
+    assert 1.0 <= summary["p50"] <= 3.0
+
+
+def test_histogram_reservoir_is_bounded():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for i in range(RESERVOIR_SIZE + 500):
+        histogram.observe(float(i))
+    assert histogram.count == RESERVOIR_SIZE + 500
+    assert len(histogram._samples) == RESERVOIR_SIZE
+    assert histogram.max == float(RESERVOIR_SIZE + 499)
+
+
+def test_snapshot_is_json_shaped():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("hits", kind="a").inc()
+    registry.gauge("live").set(7)
+    registry.histogram("latency").observe(0.5)
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap["counters"] == {"hits{kind=a}": 1.0}
+    assert snap["gauges"] == {"live": 7.0}
+    assert snap["histograms"]["latency"]["count"] == 1
+
+
+def test_render_mentions_every_instrument():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.gauge("live").set(2)
+    registry.histogram("latency").observe(1.5)
+    text = registry.render()
+    assert "counter hits = 1" in text
+    assert "gauge live = 2" in text
+    assert "histogram latency:" in text

@@ -1,0 +1,126 @@
+"""TraceRecorder/Span: nesting, error handling, and the JSONL wire format."""
+
+import io
+
+import pytest
+
+from repro.obs.observer import NOOP_SPAN, Observer, install, observe
+from repro.obs.schema import validate_trace
+from repro.obs.trace import TraceRecorder, read_jsonl, render_trace
+
+
+def span_records(recorder):
+    return [r for r in recorder.records if r["type"] == "span"]
+
+
+def test_spans_nest_through_the_stack():
+    recorder = TraceRecorder(trace_id="t")
+    outer = recorder.start("outer")
+    inner = recorder.start("inner")
+    inner.finish()
+    outer.finish()
+    inner_rec, outer_rec = span_records(recorder)
+    assert inner_rec["name"] == "inner"
+    assert inner_rec["parent"] == outer_rec["span"]
+    assert outer_rec["parent"] is None
+
+
+def test_finish_order_is_children_before_parents():
+    recorder = TraceRecorder(trace_id="t")
+    with recorder.start("a"):
+        with recorder.start("b"):
+            pass
+    assert [r["name"] for r in span_records(recorder)] == ["b", "a"]
+
+
+def test_context_manager_marks_error_and_reraises():
+    recorder = TraceRecorder(trace_id="t")
+    with pytest.raises(RuntimeError):
+        with recorder.start("work"):
+            raise RuntimeError("boom")
+    (record,) = span_records(recorder)
+    assert record["status"] == "error"
+    assert "boom" in record["error"]
+
+
+def test_explicit_fail_survives_finish():
+    recorder = TraceRecorder(trace_id="t")
+    recorder.start("work").fail("postcondition").finish()
+    (record,) = span_records(recorder)
+    assert record["status"] == "error"
+    assert record["error"] == "postcondition"
+
+
+def test_finish_is_idempotent():
+    recorder = TraceRecorder(trace_id="t")
+    span = recorder.start("once")
+    span.finish()
+    span.finish(error="late")
+    (record,) = span_records(recorder)
+    assert record["status"] == "ok"
+
+
+def test_out_of_order_finish_closes_orphans():
+    recorder = TraceRecorder(trace_id="t")
+    outer = recorder.start("outer")
+    recorder.start("leaked")
+    outer.finish()  # finishes the leaked child too, stack never wedges
+    assert recorder.open_spans() == 0
+    names = [r["name"] for r in span_records(recorder)]
+    assert names == ["leaked", "outer"]
+
+
+def test_jsonl_round_trip_and_schema():
+    recorder = TraceRecorder(trace_id="t")
+    with recorder.start("outer", nodes=3):
+        with recorder.start("inner"):
+            pass
+    lines = list(recorder.jsonl_lines({"counters": {}, "gauges": {}, "histograms": {}}))
+    records = read_jsonl(lines)
+    assert [r["type"] for r in records] == ["trace", "span", "span", "metrics"]
+    assert records[0]["spans"] == 2
+    assert validate_trace(records) == []
+
+
+def test_write_jsonl_counts_lines():
+    recorder = TraceRecorder(trace_id="t")
+    recorder.start("only").finish()
+    buffer = io.StringIO()
+    assert recorder.write_jsonl(buffer) == 2  # header + one span
+    assert len(buffer.getvalue().splitlines()) == 2
+
+
+def test_read_jsonl_rejects_garbage():
+    with pytest.raises(ValueError):
+        read_jsonl(["not json"])
+    with pytest.raises(ValueError):
+        read_jsonl(['["a", "list"]'])
+
+
+def test_render_trace_shows_tree_attrs_and_errors():
+    recorder = TraceRecorder(trace_id="t")
+    outer = recorder.start("outer", impl="kernel")
+    recorder.start("inner").fail("bad").finish()
+    outer.finish()
+    text = render_trace(read_jsonl(recorder.jsonl_lines()))
+    lines = text.splitlines()
+    assert lines[0] == "trace t"
+    assert "- outer" in lines[1] and "[impl=kernel]" in lines[1]
+    assert lines[2].startswith("    - inner") and "!! bad" in lines[2]
+
+
+def test_observer_trace_off_hands_out_noop_span():
+    observer = Observer(trace=False)
+    assert observer.span("anything", k=1) is NOOP_SPAN
+    with pytest.raises(ValueError):
+        observer.write_jsonl(io.StringIO())
+
+
+def test_observe_none_keeps_outer_observer():
+    outer = Observer()
+    previous = install(outer)
+    try:
+        with observe(None) as seen:
+            assert seen is outer
+    finally:
+        install(previous)

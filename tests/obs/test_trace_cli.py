@@ -1,0 +1,98 @@
+"""`repro trace`: record, validate (--check), and render traces."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+proc f(n) {
+    s = 0;
+    while (s < n) {
+        if (n > 10) { s = s + 2; } else { s = s + 1; }
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_record_synth_to_file_then_check(tmp_path):
+    trace_path = str(tmp_path / "trace.jsonl")
+    code, _ = run(["trace", "--synth-seed", "7", "--synth-size", "60",
+                   "--out", trace_path])
+    assert code == 0
+    records = [json.loads(line) for line in open(trace_path)]
+    assert records[0]["type"] == "trace"
+    assert any(r["type"] == "span" and r["name"] == "run_analysis" for r in records)
+
+    code, text = run(["trace", "--check", trace_path])
+    assert code == 0
+    assert "valid" in text
+
+
+def test_record_source_file_to_stdout(source_file):
+    code, text = run(["trace", source_file])
+    assert code == 0
+    records = [json.loads(line) for line in text.splitlines()]
+    assert {r["type"] for r in records} >= {"trace", "span", "metrics"}
+
+
+def test_render_shows_the_span_tree(source_file):
+    code, text = run(["trace", source_file, "--render"])
+    assert code == 0
+    assert "run_analysis" in text
+    assert "stage:pst" in text
+    assert "counter dispatch{" in text
+
+
+def test_profile_attaches_phase_timers(tmp_path):
+    trace_path = str(tmp_path / "trace.jsonl")
+    code, _ = run(["trace", "--synth-seed", "3", "--synth-size", "80",
+                   "--profile", "--out", trace_path])
+    assert code == 0
+    records = [json.loads(line) for line in open(trace_path)]
+    profiles = [
+        r["attrs"]["profile"] for r in records
+        if r["type"] == "span" and r["name"].startswith("attempt:")
+    ]
+    assert profiles and all(p for p in profiles)
+    phases = {entry["phase"] for profile in profiles for entry in profile}
+    assert "dfs" in phases
+
+
+def test_check_flags_schema_violations(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        json.dumps({"type": "trace", "trace": "t", "spans": 1}) + "\n"
+        + json.dumps({"type": "span", "trace": "t", "span": 1}) + "\n"
+    )
+    code, text = run(["trace", "--check", str(bad)])
+    assert code == 1
+    assert "schema violation" in text
+
+
+def test_check_unreadable_file_is_usage_error(tmp_path):
+    code, _ = run(["trace", "--check", str(tmp_path / "missing.jsonl")])
+    assert code == 2
+
+
+def test_source_and_synth_seed_are_mutually_exclusive(source_file):
+    code, _ = run(["trace", source_file, "--synth-seed", "1"])
+    assert code == 2
+    code, _ = run(["trace"])
+    assert code == 2
