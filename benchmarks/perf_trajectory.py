@@ -1,0 +1,125 @@
+"""Measure and append one generation entry to ``results/BENCH_perf.json``.
+
+The perf trajectory pins, per implementation generation, the wall-clock of
+the four hot analyses on the canonical synthetic procedures (seeds
+99/21/13, sizes 4000/8000/8000 statements; see the ``description`` field
+in the JSON).  PR 3 seeded it with the object-graph vs frozen-CSR pair;
+this script re-derives a fresh entry for the *current* tree so later
+generations keep the trajectory non-empty without hand-editing timings::
+
+    PYTHONPATH=../src python perf_trajectory.py --label "my generation"      # print
+    PYTHONPATH=../src python perf_trajectory.py --label "my generation" --append
+
+Methodology matches the existing entries: best/median of 9 GC-paused
+repeats after a warmup call, all four workloads measured in one sitting.
+``speedup_median_vs_previous`` is computed against the last recorded
+entry; treat it as a weak signal unless both entries came from the same
+sitting on the same host (the JSON's ``cpu_count`` plus each entry's
+``measured_in_sitting_with_previous`` flag say which comparisons are
+strong).  Not a pytest benchmark on purpose: the trajectory should only
+gain entries when a generation lands, not on every bench-suite run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import git_rev, sample, stats_of  # noqa: E402
+
+RESULTS = os.path.join(os.path.dirname(__file__), "results", "BENCH_perf.json")
+REPEATS = 9
+
+
+def measurements():
+    """The four canonical trajectory workloads, measured in one sitting."""
+    from repro.controldep.regions_fast import control_regions
+    from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+    from repro.core.pst import build_pst
+    from repro.dominance.lengauer_tarjan import lengauer_tarjan
+    from repro.synth.structured import random_lowered_procedure
+
+    big_4000 = random_lowered_procedure(99, target_statements=4000).cfg
+    pst_8000 = random_lowered_procedure(21, target_statements=8000).cfg
+    regions_8000 = random_lowered_procedure(13, target_statements=8000).cfg
+
+    workloads = {
+        "cycle_equiv_4000": lambda: cycle_equivalence_of_cfg(
+            big_4000, validate=False
+        ),
+        "lengauer_tarjan_4000": lambda: lengauer_tarjan(big_4000),
+        "build_pst_8000": lambda: build_pst(pst_8000),
+        "control_regions_8000": lambda: control_regions(
+            regions_8000, validate=False
+        ),
+    }
+    out = {}
+    for name, fn in workloads.items():
+        times, _ = sample(fn, repeats=REPEATS)
+        stats = stats_of(times)
+        out[name] = {
+            "median_s": stats["median_s"],
+            "min_s": stats["min_s"],
+            "repeats": stats["repeats"],
+        }
+        print(
+            f"{name}: median {1000 * stats['median_s']:.3f} ms, "
+            f"min {1000 * stats['min_s']:.3f} ms",
+            file=sys.stderr,
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", required=True, help="generation label")
+    parser.add_argument(
+        "--git-rev", default=None,
+        help="revision to record (default: current short rev)",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="write the entry into results/BENCH_perf.json "
+        "(default: print it to stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(RESULTS) as handle:
+        trajectory_file = json.load(handle)
+    previous = trajectory_file["trajectory"][-1] if trajectory_file["trajectory"] else None
+
+    measured = measurements()
+    entry = {
+        "git_rev": args.git_rev or git_rev(),
+        "label": args.label,
+        "cpu_count": os.cpu_count(),
+        "measured_in_sitting_with_previous": False,
+        "measurements": measured,
+    }
+    if previous is not None:
+        entry["speedup_median_vs_previous"] = {
+            name: round(
+                previous["measurements"][name]["median_s"] / stats["median_s"], 2
+            )
+            for name, stats in measured.items()
+            if name in previous.get("measurements", {})
+        }
+
+    if args.append:
+        trajectory_file["trajectory"].append(entry)
+        with open(RESULTS, "w") as handle:
+            json.dump(trajectory_file, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"appended {entry['label']!r} to {RESULTS}", file=sys.stderr)
+    else:
+        json.dump(entry, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

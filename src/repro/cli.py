@@ -40,17 +40,34 @@ The ``trace`` subcommand runs the guarded engine with a full
     python -m repro trace program.mini --out run.jsonl
     python -m repro trace --synth-seed 0 --synth-size 40 --render
     python -m repro trace --check run.jsonl     # validate against the schema
+    python -m repro trace --aggregate run.jsonl other.jsonl --render
+    python -m repro trace --check-linearity a.jsonl b.jsonl c.jsonl
+
+``--aggregate`` computes per-span-name latency statistics and critical
+paths over one or many recorded traces; ``--check-linearity`` fits a
+log-log duration-vs-size exponent per analysis phase (spans carry
+``n_nodes``/``n_edges`` attributes) and fails with exit 3 when any phase
+scales worse than ``--max-exponent`` (default 1.3) -- the paper's O(E)
+claim as a continuously enforceable gate.
+
+The ``metrics`` subcommand turns the metric dumps embedded in trace files
+into Prometheus text exposition (format 0.0.4)::
+
+    python -m repro metrics render run.jsonl          # print exposition
+    python -m repro metrics lint exposition.txt       # format lint
+    python -m repro metrics serve run.jsonl --port 0  # stdlib HTTP exporter
 
 Exit codes (all commands; a multi-procedure run reports the worst):
 
 ====  ==============================================================
 0     success
 1     parse/lowering diagnostics, no such procedure, fuzz divergence,
-      trace schema violations
+      trace schema violations, exposition lint problems
 2     usage or I/O errors (unreadable file, bad flag value)
 3     a declared budget was exceeded: a procedure's CFG violates
-      Definition 1 (invalid CFG), or ``bench --check`` measured a
-      perf ratio over its regression budget
+      Definition 1 (invalid CFG), ``bench --check`` measured a perf
+      ratio over its regression budget, or ``trace --check-linearity``
+      fitted a scaling exponent over --max-exponent
 4     analysis failure: internal error, guard trip, or divergence
       detected while analyzing a valid CFG; batch items failed
 ====  ==============================================================
@@ -175,6 +192,12 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="analyze items on N worker processes (default 1: serial)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the batch under an observer and write the merged "
+        "trace (spans + metrics footers) as JSONL here; with --workers, "
+        "worker shards are stitched under the batch span",
+    )
     return parser
 
 
@@ -216,6 +239,22 @@ def build_trace_arg_parser() -> argparse.ArgumentParser:
         help="schema to validate against (default: docs/trace_schema.json)",
     )
     parser.add_argument(
+        "--aggregate", nargs="+", metavar="PATH", default=None,
+        help="aggregate one or more recorded trace files: per-span-name "
+        "latency stats and critical paths, as JSONL (or a table with "
+        "--render)",
+    )
+    parser.add_argument(
+        "--check-linearity", nargs="+", metavar="PATH", default=None,
+        dest="check_linearity",
+        help="fit duration-vs-size exponents per analysis phase over the "
+        "given trace files; exit 3 if any exceeds --max-exponent",
+    )
+    parser.add_argument(
+        "--max-exponent", type=float, default=None, metavar="X",
+        help="scaling-exponent budget for --check-linearity (default 1.3)",
+    )
+    parser.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-procedure engine deadline",
     )
@@ -238,6 +277,55 @@ def trace_main(argv: List[str], out) -> int:
     from repro.resilience.engine import run_analysis
 
     args = build_trace_arg_parser().parse_args(argv)
+
+    # --- aggregate / linearity modes: analytics over recorded traces ------
+    if args.aggregate is not None or args.check_linearity is not None:
+        import json as _json
+
+        from repro.obs.aggregate import (
+            MAX_EXPONENT,
+            aggregate_spans,
+            critical_paths,
+            fit_linearity,
+            linearity_violations,
+            render_aggregate,
+            render_linearity,
+        )
+
+        paths = args.aggregate if args.aggregate is not None else args.check_linearity
+        record_lists = []
+        try:
+            for path in paths:
+                with open(path) as handle:
+                    record_lists.append(read_jsonl(handle))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE_IO
+        if args.check_linearity is not None:
+            budget = args.max_exponent if args.max_exponent is not None else MAX_EXPONENT
+            fits = fit_linearity(record_lists)
+            if args.render:
+                print(render_linearity(fits, budget), file=out)
+            else:
+                for fit in fits:
+                    print(_json.dumps(fit, sort_keys=True), file=out)
+            violations = linearity_violations(fits, budget)
+            if violations:
+                names = ", ".join(str(v["name"]) for v in violations)
+                print(
+                    f"linearity budget exceeded (> {budget:g}): {names}",
+                    file=sys.stderr,
+                )
+                return EXIT_BUDGET_EXCEEDED
+            return EXIT_OK
+        aggregates = aggregate_spans(record_lists)
+        chains = critical_paths(record_lists)
+        if args.render:
+            print(render_aggregate(aggregates, chains), file=out)
+        else:
+            for record in aggregates + chains:
+                print(_json.dumps(record, sort_keys=True), file=out)
+        return EXIT_OK
 
     # --- check mode: validate an existing trace file ----------------------
     if args.check is not None:
@@ -330,6 +418,8 @@ def trace_main(argv: List[str], out) -> int:
 
 
 def batch_main(argv: List[str], out) -> int:
+    from repro.config import AnalysisConfig
+    from repro.obs.observer import Observer
     from repro.resilience.batch import run_batch
 
     args = build_batch_arg_parser().parse_args(argv)
@@ -354,20 +444,32 @@ def batch_main(argv: List[str], out) -> int:
             for proc in procedures:
                 yield f"{path}::{proc.name}", (lambda p=proc: p.cfg)
 
+    observer = Observer() if args.trace is not None else None
+    config = AnalysisConfig(
+        retries=args.retries,
+        backoff=args.backoff,
+        deadline=args.deadline,
+        step_budget=args.step_budget,
+        workers=args.workers,
+        observer=observer,
+    )
     try:
         report = run_batch(
             items(),
             checkpoint_path=args.checkpoint,
             resume=not args.no_resume,
-            retries=args.retries,
-            backoff=args.backoff,
-            deadline=args.deadline,
-            step_budget=args.step_budget,
-            workers=args.workers,
+            config=config,
         )
     except OSError as error:  # checkpoint file unusable
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE_IO
+    if observer is not None:
+        try:
+            with open(args.trace, "w") as handle:
+                observer.write_jsonl(handle)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE_IO
     print(report.render(), file=out)
     return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
 
@@ -377,6 +479,88 @@ def _raiser(error: Exception):
         raise error
 
     return thunk
+
+
+def build_metrics_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Prometheus text exposition (format 0.0.4) from the "
+        "metric dumps embedded in recorded trace files",
+    )
+    parser.add_argument(
+        "action", choices=("render", "serve", "lint"),
+        help="render: print the exposition; serve: stdlib HTTP exporter "
+        "(/metrics, /healthz); lint: check an exposition file's format",
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="trace JSONL files (render/serve; metric dumps are merged), "
+        "or one exposition text file, '-' for stdin (lint)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for serve"
+    )
+    parser.add_argument(
+        "--port", type=int, default=9464,
+        help="bind port for serve (0 picks an ephemeral port; default 9464)",
+    )
+    return parser
+
+
+def metrics_main(argv: List[str], out) -> int:
+    from repro.obs.export import (
+        dumps_from_trace_records,
+        lint_exposition,
+        registry_from_dumps,
+        serve_metrics,
+    )
+    from repro.obs.trace import read_jsonl
+
+    args = build_metrics_arg_parser().parse_args(argv)
+
+    if args.action == "lint":
+        if len(args.paths) != 1:
+            print("error: lint takes exactly one exposition file", file=sys.stderr)
+            return EXIT_USAGE_IO
+        try:
+            if args.paths[0] == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.paths[0]) as handle:
+                    text = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE_IO
+        problems = lint_exposition(text)
+        for problem in problems:
+            print(f"exposition lint: {problem}", file=out)
+        if problems:
+            print(f"{args.paths[0]}: {len(problems)} problem(s)", file=out)
+            return EXIT_DIAGNOSTICS
+        print(f"{args.paths[0]}: valid exposition", file=out)
+        return EXIT_OK
+
+    dumps = []
+    try:
+        for path in args.paths:
+            with open(path) as handle:
+                dumps.extend(dumps_from_trace_records(read_jsonl(handle)))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE_IO
+    if not dumps:
+        print(
+            "error: no metrics_dump records found (record traces with "
+            "`repro trace` or `repro batch --trace`)",
+            file=sys.stderr,
+        )
+        return EXIT_DIAGNOSTICS
+    registry = registry_from_dumps(dumps)
+    if args.action == "render":
+        out.write(registry.render_prometheus())
+        return EXIT_OK
+    serve_metrics(registry, host=args.host, port=args.port, announce=out)
+    return EXIT_OK
 
 
 def fuzz_main(argv: List[str], out) -> int:
@@ -427,6 +611,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return bench_main(argv[1:], out)
         if argv and argv[0] == "trace":
             return trace_main(argv[1:], out)
+        if argv and argv[0] == "metrics":
+            return metrics_main(argv[1:], out)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: the Unix
         # convention is a silent exit, not a traceback.

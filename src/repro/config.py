@@ -59,7 +59,11 @@ class AnalysisConfig:
         ``observer`` -- a :class:`~repro.obs.observer.Observer` installed
         ambiently for the duration of each call; ``profile`` arms
         per-phase :meth:`~repro.resilience.guards.Ticker.mark` timers on
-        every ticker the engine creates.
+        every ticker the engine creates.  An observer is compatible with
+        ``workers > 1``: :func:`~repro.resilience.batch.run_batch` gives
+        each worker process a fresh shard built from the observer's
+        switches and merges the shards (spans re-parented, metrics
+        summed) back into this observer as items complete.
     Batch
         ``workers``, ``retries``, ``backoff``, ``backoff_factor``.
     """

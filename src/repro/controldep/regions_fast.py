@@ -76,7 +76,7 @@ def control_regions(
         return _control_regions(cfg, validate, ticker)
     o.count("dispatch", component="control_regions", impl="kernel")
     with o.span(
-        "control_regions", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "control_regions", impl="kernel", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _control_regions(cfg, validate, ticker)
 
@@ -111,7 +111,7 @@ def control_regions_reference(cfg: CFG, validate: bool = True) -> List[List[Node
         return _control_regions_reference(cfg, validate)
     o.count("dispatch", component="control_regions", impl="reference")
     with o.span(
-        "control_regions", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "control_regions", impl="reference", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _control_regions_reference(cfg, validate)
 

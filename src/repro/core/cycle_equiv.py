@@ -387,7 +387,7 @@ def cycle_equivalence_of_cfg(
     if o is None:
         return _cycle_equivalence_of_cfg(cfg, validate, ticker)
     o.count("dispatch", component="cycle_equiv", impl="kernel")
-    with o.span("cycle_equiv", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges):
+    with o.span("cycle_equiv", impl="kernel", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges):
         return _cycle_equivalence_of_cfg(cfg, validate, ticker)
 
 
@@ -429,7 +429,7 @@ def cycle_equivalence_of_cfg_reference(
         )
     o.count("dispatch", component="cycle_equiv", impl="reference")
     with o.span(
-        "cycle_equiv", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "cycle_equiv", impl="reference", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return cycle_equivalence_scc(
             cfg, root=cfg.start, virtual_edges=((cfg.end, cfg.start),), ticker=ticker

@@ -208,7 +208,7 @@ def build_pst(
     if o is None:
         return _build_pst(cfg, equiv, ticker)
     o.count("dispatch", component="build_pst", impl="kernel")
-    with o.span("build_pst", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges):
+    with o.span("build_pst", impl="kernel", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges):
         return _build_pst(cfg, equiv, ticker)
 
 
@@ -234,7 +234,7 @@ def build_pst_reference(
         return _build_pst_reference(cfg, equiv, ticker)
     o.count("dispatch", component="build_pst", impl="reference")
     with o.span(
-        "build_pst", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "build_pst", impl="reference", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _build_pst_reference(cfg, equiv, ticker)
 

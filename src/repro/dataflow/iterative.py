@@ -46,8 +46,8 @@ def solve_iterative(
         with o.span(
             "solve_iterative",
             impl="kernel",
-            nodes=cfg.num_nodes,
-            edges=cfg.num_edges,
+            n_nodes=cfg.num_nodes,
+            n_edges=cfg.num_edges,
         ):
             return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
     return solve_iterative_reference(cfg, problem, ticker)
@@ -62,7 +62,7 @@ def solve_iterative_reference(
         return _solve_iterative_reference(cfg, problem, ticker)
     o.count("dispatch", component="solve_iterative", impl="reference")
     with o.span(
-        "solve_iterative", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "solve_iterative", impl="reference", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _solve_iterative_reference(cfg, problem, ticker)
 

@@ -42,8 +42,8 @@ def immediate_dominators(
     with o.span(
         "immediate_dominators",
         impl="reference",
-        nodes=cfg.num_nodes,
-        edges=cfg.num_edges,
+        n_nodes=cfg.num_nodes,
+        n_edges=cfg.num_edges,
     ):
         return _immediate_dominators(cfg, root, ticker)
 

@@ -52,7 +52,7 @@ def lengauer_tarjan(
         return _lengauer_tarjan(cfg, root, ticker)
     o.count("dispatch", component="lengauer_tarjan", impl="kernel")
     with o.span(
-        "lengauer_tarjan", impl="kernel", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "lengauer_tarjan", impl="kernel", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _lengauer_tarjan(cfg, root, ticker)
 
@@ -84,7 +84,7 @@ def lengauer_tarjan_reference(
         return _lengauer_tarjan_reference(cfg, root, ticker)
     o.count("dispatch", component="lengauer_tarjan", impl="reference")
     with o.span(
-        "lengauer_tarjan", impl="reference", nodes=cfg.num_nodes, edges=cfg.num_edges
+        "lengauer_tarjan", impl="reference", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges
     ):
         return _lengauer_tarjan_reference(cfg, root, ticker)
 

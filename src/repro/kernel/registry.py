@@ -36,7 +36,7 @@ def shared_frozen(cfg: CFG) -> FrozenCFG:
     if frozen is None or frozen.version != cfg.version:
         if o is not None:
             o.count("frozen.cache", result="miss")
-            with o.span("freeze", nodes=cfg.num_nodes, edges=cfg.num_edges):
+            with o.span("freeze", n_nodes=cfg.num_nodes, n_edges=cfg.num_edges):
                 frozen = freeze(cfg)
         else:
             frozen = freeze(cfg)

@@ -21,11 +21,30 @@ show *where* time, cache hits, retries, and fault recoveries actually go.
   inside the <5% guard budget (``benchmarks/bench_guard_overhead.py``).
 * :mod:`repro.obs.schema` -- dependency-free validation of emitted JSONL
   against the checked-in schema (the CI trace-schema job).
+* :mod:`repro.obs.aggregate` -- trace analytics: per-span-name latency
+  statistics, critical paths, and the empirical-linearity watchdog
+  (``repro trace --aggregate`` / ``--check-linearity``).
+* :mod:`repro.obs.export` -- Prometheus text exposition: registry rebuild
+  from trace metric dumps, a format lint, and the stdlib ``/metrics``
+  HTTP exporter (``repro metrics``).
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.aggregate import (
+    aggregate_spans,
+    critical_paths,
+    fit_linearity,
+    linearity_violations,
+)
+from repro.obs.export import lint_exposition, registry_from_dumps
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_of,
+)
 from repro.obs.observer import NOOP_SPAN, Observer, current, install, observe
 from repro.obs.trace import Span, TraceRecorder, read_jsonl, render_trace
 from repro.obs.schema import load_schema, validate_trace
@@ -39,11 +58,18 @@ __all__ = [
     "Observer",
     "Span",
     "TraceRecorder",
+    "aggregate_spans",
+    "critical_paths",
     "current",
+    "fit_linearity",
     "install",
+    "linearity_violations",
+    "lint_exposition",
     "load_schema",
     "observe",
+    "percentile_of",
     "read_jsonl",
+    "registry_from_dumps",
     "render_trace",
     "validate_trace",
 ]

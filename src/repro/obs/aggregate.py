@@ -1,0 +1,317 @@
+"""Trace analytics: turn recorded JSONL traces into answers.
+
+PR 4 made traces recordable; this module makes them *legible*.  Three
+consumers, all fed by parsed record lists (:func:`repro.obs.trace.read_jsonl`,
+one list per trace file):
+
+* :func:`aggregate_spans` -- per-span-name latency statistics
+  (count/mean/p50/p99/max) plus the self-time vs. child-time split, the
+  flame-graph numbers without the flame graph.  Emitted by
+  ``repro trace --aggregate`` as ``{"type": "aggregate"}`` JSONL records
+  (``docs/trace_schema.json`` describes the format).
+* :func:`critical_paths` -- the heaviest root-to-leaf chain of each trace
+  (``{"type": "critical_path"}`` records): where an optimization would
+  actually shorten the run.
+* :func:`fit_linearity` + :func:`linearity_violations` -- the empirical
+  watchdog for the paper's central O(E) claim.  Dispatch-wrapper spans
+  carry ``n_nodes``/``n_edges`` attributes, so span duration vs.
+  ``|N| + |E|`` is a measurable scaling curve; a log-log least-squares fit
+  per span name turns it into one exponent, and ``repro trace
+  --check-linearity`` exits with the budget-exceeded code when any phase's
+  exponent drifts past the threshold (default :data:`MAX_EXPONENT`).
+  This is ``benchmarks/bench_scaling_linearity.py``'s per-edge-band check
+  promoted to a continuously enforceable gate over production traces.
+
+Everything here is arithmetic over parsed dicts -- no clocks, no I/O -- so
+the CLI and tests drive it with synthetic records directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import percentile_of
+
+#: Default ceiling for a fitted duration-vs-size exponent.  A truly linear
+#: phase fits below 1.0 on small sizes (constant per-call overhead damps
+#: the slope); 1.3 tolerates allocator/cache superlinearity while still
+#: catching an accidentally quadratic phase long before it fits 2.0.
+MAX_EXPONENT = 1.3
+
+#: A phase needs this many distinct sizes, spanning at least this ratio
+#: between largest and smallest, before an exponent is fit at all.
+MIN_SIZES = 3
+MIN_SPREAD = 4.0
+
+#: Floor for measured durations before taking logs: perf_counter deltas
+#: are rounded to nanoseconds on emission, so zero is representable.
+_MIN_DURATION = 1e-9
+
+
+def _spans(records: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _self_times(spans: Sequence[Dict[str, object]]) -> Dict[int, float]:
+    """span id -> elapsed minus the sum of direct children's elapsed."""
+    child_sum: Dict[Optional[int], float] = {}
+    for span in spans:
+        child_sum[span.get("parent")] = child_sum.get(span.get("parent"), 0.0) + float(
+            span.get("elapsed", 0.0)
+        )
+    return {
+        span["span"]: max(
+            0.0, float(span.get("elapsed", 0.0)) - child_sum.get(span["span"], 0.0)
+        )
+        for span in spans
+    }
+
+
+def aggregate_spans(
+    record_lists: Iterable[List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Per-span-name latency stats across one or many parsed traces.
+
+    Returns ``{"type": "aggregate"}`` records sorted by total time
+    (descending): ``count``, ``total_s``, ``mean_s``, ``p50_s``, ``p99_s``,
+    ``max_s`` over individual span durations, plus ``self_s`` (time spent
+    in spans of this name *outside* their children) and ``child_s`` (the
+    complement) -- the two numbers that distinguish "this phase is slow"
+    from "this phase contains the slow phase".
+    """
+    durations: Dict[str, List[float]] = {}
+    self_totals: Dict[str, float] = {}
+    errors: Dict[str, int] = {}
+    for records in record_lists:
+        spans = _spans(records)
+        selfs = _self_times(spans)
+        for span in spans:
+            name = str(span.get("name"))
+            durations.setdefault(name, []).append(float(span.get("elapsed", 0.0)))
+            self_totals[name] = self_totals.get(name, 0.0) + selfs[span["span"]]
+            if span.get("status") != "ok":
+                errors[name] = errors.get(name, 0) + 1
+    out: List[Dict[str, object]] = []
+    for name, series in durations.items():
+        ordered = sorted(series)
+        total = sum(series)
+        self_s = self_totals.get(name, 0.0)
+        out.append(
+            {
+                "type": "aggregate",
+                "name": name,
+                "count": len(series),
+                "errors": errors.get(name, 0),
+                "total_s": round(total, 9),
+                "mean_s": round(total / len(series), 9),
+                "p50_s": round(percentile_of(ordered, 50), 9),
+                "p99_s": round(percentile_of(ordered, 99), 9),
+                "max_s": round(ordered[-1], 9),
+                "self_s": round(self_s, 9),
+                "child_s": round(max(0.0, total - self_s), 9),
+            }
+        )
+    out.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return out
+
+
+def critical_paths(
+    record_lists: Iterable[List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """The heaviest root-to-leaf span chain of each trace.
+
+    One ``{"type": "critical_path"}`` record per input trace: starting from
+    the longest root span, repeatedly descend into the longest child.
+    ``steps`` carry each span's name, elapsed, and self time, so the record
+    reads as "where the time would go if everything else were free".
+    """
+    out: List[Dict[str, object]] = []
+    for records in record_lists:
+        spans = _spans(records)
+        if not spans:
+            continue
+        selfs = _self_times(spans)
+        children: Dict[Optional[int], List[Dict[str, object]]] = {}
+        for span in spans:
+            children.setdefault(span.get("parent"), []).append(span)
+        roots = children.get(None, [])
+        if not roots:
+            continue
+        current = max(roots, key=lambda s: float(s.get("elapsed", 0.0)))
+        steps = []
+        while current is not None:
+            steps.append(
+                {
+                    "name": current.get("name"),
+                    "elapsed_s": float(current.get("elapsed", 0.0)),
+                    "self_s": round(selfs[current["span"]], 9),
+                }
+            )
+            below = children.get(current["span"])
+            current = (
+                max(below, key=lambda s: float(s.get("elapsed", 0.0)))
+                if below
+                else None
+            )
+        headers = [r for r in records if r.get("type") == "trace"]
+        out.append(
+            {
+                "type": "critical_path",
+                "trace": headers[0].get("trace") if headers else None,
+                "elapsed_s": steps[0]["elapsed_s"],
+                "steps": steps,
+            }
+        )
+    return out
+
+
+def render_aggregate(
+    aggregates: Sequence[Dict[str, object]],
+    paths: Sequence[Dict[str, object]] = (),
+) -> str:
+    """A human-readable table of :func:`aggregate_spans` output."""
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [
+            str(a["name"]),
+            str(a["count"]),
+            f"{1000 * a['mean_s']:.3f}",
+            f"{1000 * a['p50_s']:.3f}",
+            f"{1000 * a['p99_s']:.3f}",
+            f"{1000 * a['max_s']:.3f}",
+            f"{1000 * a['self_s']:.3f}",
+            f"{1000 * a['child_s']:.3f}",
+        ]
+        for a in aggregates
+    ]
+    text = format_table(
+        ["span", "count", "mean ms", "p50 ms", "p99 ms", "max ms", "self ms", "child ms"],
+        rows,
+    )
+    for path in paths:
+        chain = " > ".join(str(step["name"]) for step in path["steps"])
+        text += (
+            f"\ncritical path [{path.get('trace')}]: "
+            f"{1000 * path['elapsed_s']:.3f} ms: {chain}"
+        )
+    return text
+
+
+# ----------------------------------------------------------------------
+# the empirical-linearity watchdog
+# ----------------------------------------------------------------------
+
+def _size_of(span: Dict[str, object]) -> Optional[int]:
+    """|N| + |E| from a span's attributes, or None when it carries no size."""
+    attrs = span.get("attrs") or {}
+    nodes = attrs.get("n_nodes", attrs.get("nodes"))
+    edges = attrs.get("n_edges", attrs.get("edges"))
+    if isinstance(nodes, bool) or isinstance(edges, bool):
+        return None
+    if not isinstance(nodes, int) or not isinstance(edges, int):
+        return None
+    size = nodes + edges
+    return size if size > 0 else None
+
+
+def fit_linearity(
+    record_lists: Iterable[List[Dict[str, object]]],
+    *,
+    min_sizes: int = MIN_SIZES,
+    min_spread: float = MIN_SPREAD,
+) -> List[Dict[str, object]]:
+    """Fit duration ~ size^exponent per span name across traces.
+
+    Only spans carrying ``n_nodes``/``n_edges`` attributes participate (the
+    dispatch wrappers and the engine root).  Per name, the *minimum*
+    duration observed at each distinct size forms the scaling curve --
+    minima shed scheduler noise the way the benchmarks' best-of sampling
+    does -- and a least-squares line through the log-log points yields the
+    exponent.  Names with fewer than ``min_sizes`` distinct sizes, or whose
+    sizes span less than ``min_spread``x, are reported with exponent None:
+    a fit over a narrow size band would be noise, not evidence.
+
+    Returns ``{"type": "linearity"}`` records sorted by name: ``points``
+    (spans measured), ``sizes`` (distinct sizes), ``spread`` (max/min
+    size), and ``exponent`` (float, or None when not fittable).
+    """
+    by_name: Dict[str, Dict[int, float]] = {}
+    points: Dict[str, int] = {}
+    for records in record_lists:
+        for span in _spans(records):
+            size = _size_of(span)
+            if size is None:
+                continue
+            name = str(span.get("name"))
+            elapsed = max(_MIN_DURATION, float(span.get("elapsed", 0.0)))
+            best = by_name.setdefault(name, {})
+            points[name] = points.get(name, 0) + 1
+            if size not in best or elapsed < best[size]:
+                best[size] = elapsed
+    out: List[Dict[str, object]] = []
+    for name in sorted(by_name):
+        best = by_name[name]
+        sizes = sorted(best)
+        spread = sizes[-1] / sizes[0] if sizes else 0.0
+        record: Dict[str, object] = {
+            "type": "linearity",
+            "name": name,
+            "points": points[name],
+            "sizes": len(sizes),
+            "spread": round(spread, 3),
+            "exponent": None,
+        }
+        if len(sizes) >= min_sizes and spread >= min_spread:
+            xs = [math.log(size) for size in sizes]
+            ys = [math.log(best[size]) for size in sizes]
+            record["exponent"] = round(_slope(xs, ys), 4)
+        out.append(record)
+    return out
+
+
+def _slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``ys`` against ``xs``."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0.0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return cov / var_x
+
+
+def linearity_violations(
+    fits: Sequence[Dict[str, object]], max_exponent: float = MAX_EXPONENT
+) -> List[Dict[str, object]]:
+    """The fitted records whose exponent exceeds ``max_exponent``."""
+    return [
+        fit
+        for fit in fits
+        if fit.get("exponent") is not None and fit["exponent"] > max_exponent
+    ]
+
+
+def render_linearity(
+    fits: Sequence[Dict[str, object]], max_exponent: float = MAX_EXPONENT
+) -> str:
+    """One line per phase: fitted exponent and its verdict."""
+    lines = []
+    for fit in fits:
+        exponent = fit.get("exponent")
+        if exponent is None:
+            verdict = (
+                f"not fitted ({fit['sizes']} size(s), spread {fit['spread']:g}x)"
+            )
+        elif exponent > max_exponent:
+            verdict = f"SUPERLINEAR (budget {max_exponent:g})"
+        else:
+            verdict = "ok"
+        shown = "-" if exponent is None else f"{exponent:.3f}"
+        lines.append(
+            f"linearity {fit['name']}: exponent={shown} "
+            f"over {fit['sizes']} size(s) [{verdict}]"
+        )
+    return "\n".join(lines)

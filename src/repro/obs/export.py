@@ -1,0 +1,223 @@
+"""Prometheus exposition: rebuild, lint, and serve metric registries.
+
+The first brick of the ROADMAP's analysis service: anything that holds a
+:class:`~repro.obs.metrics.MetricsRegistry` can expose it in the Prometheus
+text format (version 0.0.4) via
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`, and this
+module supplies the surrounding plumbing, all stdlib-only:
+
+* :func:`registry_from_dumps` -- fold worker/trace metric dumps back into
+  one registry (the ``repro metrics render`` path);
+* :func:`lint_exposition` -- a dependency-free format lint for the text
+  exposition, used by the CI observatory job in place of ``promtool``;
+* :func:`make_metrics_server` / :func:`serve_metrics` -- an
+  ``http.server``-based ``/metrics`` + ``/healthz`` endpoint
+  (``repro metrics serve``).
+
+Traces carry metrics in two shapes: the human-facing ``snapshot()`` footer
+(``{"type": "metrics"}`` records) and, since the cross-process observatory,
+the full-fidelity ``{"type": "metrics_dump"}`` records ``repro trace``
+writes alongside.  Only dumps can be merged exactly; snapshots are summary
+data, so :func:`registry_from_dumps` consumes dumps.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE = re.compile(
+    rf"^({_NAME})(\{{[^{{}}]*\}})? (?:[-+]?(?:\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)|[-+]?Inf|NaN)$"
+)
+_LABELS = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def registry_from_dumps(dumps: Iterable[Dict[str, object]]) -> MetricsRegistry:
+    """One registry holding the merged contents of every dump."""
+    registry = MetricsRegistry()
+    for dump in dumps:
+        registry.merge(dump)
+    return registry
+
+
+def dumps_from_trace_records(
+    records: Iterable[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Extract mergeable metric dumps from parsed trace JSONL records."""
+    return [
+        r["metrics"]
+        for r in records
+        if r.get("type") == "metrics_dump" and isinstance(r.get("metrics"), dict)
+    ]
+
+
+def lint_exposition(text: str) -> List[str]:
+    """All format violations of a Prometheus text exposition (empty = ok).
+
+    Checks the subset of the format a scraper actually depends on: comment
+    lines are well-formed ``# HELP``/``# TYPE`` with a declared name and a
+    known type; every sample line parses as ``name{labels} value``; every
+    sample's family name was declared by a preceding ``# TYPE`` (allowing
+    the ``_total``/``_sum``/``_count``/``_bucket`` suffixes the types
+    imply); histogram ``_bucket`` samples carry an ``le`` label and each
+    histogram family ends its buckets with ``le="+Inf"``; and the
+    exposition ends with a newline.
+    """
+    problems: List[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    declared: Dict[str, str] = {}
+    inf_seen: Dict[str, bool] = {}
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {number}: malformed comment {line!r}")
+                continue
+            if not re.fullmatch(_NAME, parts[2]):
+                problems.append(f"line {number}: bad metric name {parts[2]!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    problems.append(f"line {number}: bad TYPE line {line!r}")
+                else:
+                    declared[parts[2]] = parts[3]
+                    if parts[3] == "histogram":
+                        inf_seen[parts[2]] = False
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparsable sample {line!r}")
+            continue
+        name, labels = match.group(1), match.group(2)
+        if labels is not None:
+            body = labels[1:-1]
+            for part in _split_labels(body):
+                if part and not _LABELS.match(part):
+                    problems.append(f"line {number}: malformed label {part!r}")
+        family = _family_of(name, declared)
+        if family is None:
+            problems.append(f"line {number}: sample {name!r} has no # TYPE declaration")
+            continue
+        if declared[family] == "histogram" and name == family + "_bucket":
+            if labels is None or 'le="' not in labels:
+                problems.append(f"line {number}: histogram bucket without le label")
+            elif 'le="+Inf"' in labels:
+                inf_seen[family] = True
+    for family, seen in inf_seen.items():
+        if not seen:
+            problems.append(f"histogram {family!r} has no le=\"+Inf\" bucket")
+    return problems
+
+
+def _split_labels(body: str) -> List[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _family_of(name: str, declared: Dict[str, str]) -> Optional[str]:
+    if name in declared:
+        return name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return None
+
+
+# ----------------------------------------------------------------------
+# the HTTP exporter
+# ----------------------------------------------------------------------
+
+#: The content type Prometheus scrapers expect for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def make_metrics_server(
+    exposition: Callable[[], str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+):
+    """An ``http.server`` serving ``/metrics`` (and ``/healthz``).
+
+    ``exposition`` is called per scrape, so a live registry re-renders on
+    every request.  ``port=0`` binds an ephemeral port; read it back from
+    ``server.server_address``.  The caller owns the lifecycle:
+    ``serve_forever()`` to block, ``shutdown()``/``server_close()`` to stop
+    (what the tests do from a thread).
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler's convention
+            if self.path.split("?", 1)[0] == "/metrics":
+                body = exposition().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+            elif self.path.split("?", 1)[0] == "/healthz":
+                body = b"ok\n"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; charset=utf-8")
+            else:
+                body = b"try /metrics\n"
+                self.send_response(404)
+                self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # silence per-request stderr spam
+            pass
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_metrics(
+    registry: MetricsRegistry,
+    host: str = "127.0.0.1",
+    port: int = 9464,
+    announce=None,
+) -> None:
+    """Serve ``registry`` until interrupted (the ``repro metrics serve`` loop)."""
+    server = make_metrics_server(registry.render_prometheus, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    if announce is not None:
+        print(
+            f"serving Prometheus metrics on http://{bound_host}:{bound_port}/metrics",
+            file=announce,
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -3,8 +3,9 @@
 A :class:`MetricsRegistry` is a plain in-process store -- no background
 threads, no sockets, no sampling.  Instruments are identified by a name
 plus an optional set of string labels (``counter("engine.attempts",
-stage="pst", path="fast")``), mirroring the Prometheus data model so a
-future exporter only needs to walk :meth:`MetricsRegistry.snapshot`.
+stage="pst", path="fast")``), mirroring the Prometheus data model so the
+exporter (:mod:`repro.obs.export`) only needs to walk
+:meth:`MetricsRegistry.render_prometheus`.
 
 The registry is deliberately *not* global: it lives on an
 :class:`~repro.obs.observer.Observer`, and code paths consult the ambient
@@ -12,17 +13,35 @@ observer (one module-global load plus a ``None`` check) so the disabled
 cost stays within the guard-overhead budget measured by
 ``benchmarks/bench_guard_overhead.py``.
 
-Histograms keep exact count/sum/min/max plus a bounded reservoir of recent
-samples (for percentiles in reports); the reservoir cap keeps a pathological
-million-item batch from holding a million floats.
+Histograms keep exact count/sum/min/max, exact Prometheus-style bucket
+counts (fixed latency-oriented boundaries, so shards merge by summing),
+plus a bounded reservoir of recent samples (for percentiles in reports);
+the reservoir cap keeps a pathological million-item batch from holding a
+million floats.
+
+Registries are *mergeable*: :meth:`MetricsRegistry.dump` produces a
+full-fidelity, JSON/pickle-safe serialization and
+:meth:`MetricsRegistry.merge` folds such a dump into the receiver --
+counters sum, histograms combine (counts, sums, buckets, reservoirs),
+gauges take the last write.  This is how ``run_batch --workers N`` stitches
+per-worker observer shards back into one parent registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: How many raw samples a histogram retains for percentile estimates.
 RESERVOIR_SIZE = 1024
+
+#: Fixed histogram bucket upper bounds (seconds; Prometheus's default
+#: latency ladder).  Fixed boundaries are what make cross-process merge a
+#: plain elementwise sum.
+BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -36,6 +55,28 @@ def _render_key(name: str, key: LabelKey) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in key)
     return f"{name}{{{inner}}}"
+
+
+def percentile_of(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of an already-sorted sequence.
+
+    Linear interpolation between closest ranks (NumPy's default method):
+    ``q=0`` is the minimum, ``q=100`` the maximum, a single sample answers
+    every ``q``, and out-of-range ``q`` clamps to the boundaries instead of
+    indexing out of the sequence.
+    """
+    if not ordered:
+        return 0.0
+    if q <= 0.0:
+        return ordered[0]
+    if q >= 100.0:
+        return ordered[-1]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lower = int(rank)
+    frac = rank - lower
+    if frac == 0.0 or lower + 1 >= len(ordered):
+        return ordered[lower]
+    return ordered[lower] + frac * (ordered[lower + 1] - ordered[lower])
 
 
 class Counter:
@@ -68,9 +109,9 @@ class Gauge:
 
 
 class Histogram:
-    """Exact count/sum/min/max plus a bounded sample reservoir."""
+    """Exact count/sum/min/max/buckets plus a bounded sample reservoir."""
 
-    __slots__ = ("count", "total", "min", "max", "_samples")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
@@ -78,6 +119,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: List[float] = []
+        # One slot per boundary plus the +Inf overflow slot; per-bucket
+        # (non-cumulative) counts, cumulated only at render time.
+        self._buckets: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -87,6 +131,7 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._buckets[bisect.bisect_left(BUCKET_BOUNDS, value)] += 1
         samples = self._samples
         if len(samples) < RESERVOIR_SIZE:
             samples.append(value)
@@ -98,23 +143,73 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (0..100) from the reservoir."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[index]
+        """Approximate ``q``-th percentile (0..100) from the reservoir.
+
+        Exact when fewer than :data:`RESERVOIR_SIZE` values were observed;
+        a recent-window estimate beyond that.  ``q`` outside [0, 100]
+        clamps to the min/max sample rather than mis-indexing.
+        """
+        return percentile_of(sorted(self._samples), q)
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``(upper-bound, cumulative count)`` pairs, ending with +Inf."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(BUCKET_BOUNDS, self._buckets):
+            running += n
+            out.append((format(bound, "g"), running))
+        out.append(("+Inf", running + self._buckets[-1]))
+        return out
 
     def summary(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
+            "p50": percentile_of(ordered, 50),
+            "p95": percentile_of(ordered, 95),
+            "p99": percentile_of(ordered, 99),
         }
+
+    # ------------------------------------------------------------------
+    # merge support
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Full-fidelity serialization (everything merge needs)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+            "buckets": list(self._buckets),
+        }
+
+    def absorb(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        self.count += int(state.get("count", 0))
+        self.total += float(state.get("total", 0.0))
+        for bound in ("min", "max"):
+            theirs = state.get(bound)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound)
+            if ours is None:
+                setattr(self, bound, float(theirs))
+            elif bound == "min":
+                self.min = min(ours, float(theirs))
+            else:
+                self.max = max(ours, float(theirs))
+        buckets = state.get("buckets") or []
+        for i, n in enumerate(buckets):
+            if i < len(self._buckets):
+                self._buckets[i] += int(n)
+        room = RESERVOIR_SIZE - len(self._samples)
+        if room > 0:
+            self._samples.extend(float(v) for v in (state.get("samples") or [])[:room])
 
 
 class MetricsRegistry:
@@ -184,6 +279,52 @@ class MetricsRegistry:
             },
         }
 
+    # ------------------------------------------------------------------
+    # cross-process merge (the run_batch --workers N shard protocol)
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, List]:
+        """A full-fidelity, JSON/pickle-safe serialization for merging.
+
+        Unlike :meth:`snapshot` (a human-facing summary), a dump carries
+        everything :meth:`merge` needs to reconstruct the registry's
+        contribution exactly: raw label pairs, histogram reservoirs, and
+        per-bucket counts.
+        """
+        # Label pairs as lists (not tuples) so a dump is *canonical* JSON:
+        # json.loads(json.dumps(dump)) == dump, wire-format friendly.
+        return {
+            "counters": [
+                [name, [list(pair) for pair in key], counter.value]
+                for (name, key), counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, [list(pair) for pair in key], gauge.value]
+                for (name, key), gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [name, [list(pair) for pair in key], histogram.state()]
+                for (name, key), histogram in sorted(self._histograms.items())
+            ],
+        }
+
+    def merge(self, dump: Dict[str, List]) -> None:
+        """Fold a :meth:`dump` into this registry.
+
+        Counters sum, histograms combine exactly (counts, sums, min/max,
+        buckets; reservoirs concatenate up to the cap), and gauges take the
+        incoming value -- last write wins, matching what a sequential run
+        would have left behind.
+        """
+        for name, key, value in dump.get("counters", []):
+            self.counter(name, **dict(key)).inc(float(value))
+        for name, key, value in dump.get("gauges", []):
+            self.gauge(name, **dict(key)).set(float(value))
+        for name, key, state in dump.get("histograms", []):
+            self.histogram(name, **dict(key)).absorb(state)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
     def render(self) -> str:
         """Human-readable one-line-per-instrument dump."""
         snap = self.snapshot()
@@ -199,3 +340,83 @@ class MetricsRegistry:
                 f"max={summary['max']:.6g}"
             )
         return "\n".join(lines)
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Counters get the conventional ``_total`` suffix, histograms emit
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``, and
+        each metric family is announced once with ``# HELP``/``# TYPE``.
+        Instrument names are sanitized to the Prometheus grammar (dots
+        become underscores) and prefixed with ``<prefix>_``.
+        """
+        lines: List[str] = []
+
+        def family(name: str, kind: str, original: str) -> None:
+            lines.append(f"# HELP {name} repro {kind} {original!r}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        by_name: Dict[str, List[Tuple[LabelKey, Counter]]] = {}
+        for (name, key), counter in sorted(self._counters.items()):
+            by_name.setdefault(name, []).append((key, counter))
+        for name, instruments in by_name.items():
+            prom = _prom_name(prefix, name) + "_total"
+            family(prom, "counter", name)
+            for key, counter in instruments:
+                lines.append(f"{prom}{_prom_labels(key)} {counter.value:g}")
+
+        gauges_by_name: Dict[str, List[Tuple[LabelKey, Gauge]]] = {}
+        for (name, key), gauge in sorted(self._gauges.items()):
+            gauges_by_name.setdefault(name, []).append((key, gauge))
+        for name, instruments in gauges_by_name.items():
+            prom = _prom_name(prefix, name)
+            family(prom, "gauge", name)
+            for key, gauge in instruments:
+                lines.append(f"{prom}{_prom_labels(key)} {gauge.value:g}")
+
+        hists_by_name: Dict[str, List[Tuple[LabelKey, Histogram]]] = {}
+        for (name, key), histogram in sorted(self._histograms.items()):
+            hists_by_name.setdefault(name, []).append((key, histogram))
+        for name, instruments in hists_by_name.items():
+            prom = _prom_name(prefix, name)
+            family(prom, "histogram", name)
+            for key, histogram in instruments:
+                for le, cumulative in histogram.cumulative_buckets():
+                    bucket_key = key + (("le", le),)
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(bucket_key)} {cumulative}"
+                    )
+                lines.append(f"{prom}_sum{_prom_labels(key)} {histogram.total:g}")
+                lines.append(f"{prom}_count{_prom_labels(key)} {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Sanitize to the metric-name grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = "".join(
+        c if c.isascii() and (c.isalnum() or c in "_:") else "_" for c in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _prom_label_name(name: str) -> str:
+    cleaned = "".join(
+        c if c.isascii() and (c.isalnum() or c == "_") else "_" for c in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _prom_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    parts = []
+    for name, value in key:
+        escaped = (
+            str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        )
+        parts.append(f'{_prom_label_name(name)}="{escaped}"')
+    return "{" + ",".join(parts) + "}"

@@ -7,7 +7,7 @@ for the *ambient* observer::
 
     o = _obs._CURRENT
     if o is not None:
-        with o.span("cycle_equiv", edges=cfg.num_edges):
+        with o.span("cycle_equiv", n_edges=cfg.num_edges):
             ...
 
 The module-global ``_CURRENT`` is ``None`` by default -- the "no-op
@@ -123,10 +123,76 @@ class Observer:
         return self.metrics.snapshot() if self.metrics is not None else None
 
     def write_jsonl(self, handle) -> int:
-        """Dump the trace (and metrics footer) as JSONL; returns lines."""
+        """Dump the trace (and metrics footers) as JSONL; returns lines.
+
+        Both metric footers travel: the human ``{"type": "metrics"}``
+        snapshot and the mergeable ``{"type": "metrics_dump"}`` record
+        that ``repro metrics render`` feeds back into a registry.
+        """
         if self.recorder is None:
             raise ValueError("this observer has tracing disabled")
-        return self.recorder.write_jsonl(handle, self.metrics_snapshot())
+        dump = self.metrics.dump() if self.metrics is not None else None
+        return self.recorder.write_jsonl(handle, self.metrics_snapshot(), dump)
+
+    # ------------------------------------------------------------------
+    # cross-process shards (the run_batch --workers N protocol)
+    # ------------------------------------------------------------------
+    def spec(self) -> Dict[str, bool]:
+        """The picklable switch set a worker needs to build a shard.
+
+        Observers themselves never cross the process boundary -- a worker
+        constructs a fresh shard from this spec, records into it, and ships
+        a :meth:`shard_snapshot` back for the parent to :meth:`absorb`.
+        """
+        return {
+            "trace": self.recorder is not None,
+            "metrics": self.metrics is not None,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, bool]) -> "Observer":
+        return cls(
+            trace=bool(spec.get("trace")),
+            metrics=bool(spec.get("metrics")),
+            profile=bool(spec.get("profile")),
+        )
+
+    def shard_snapshot(self) -> Dict[str, object]:
+        """Serialize this shard for the trip back through the pool.
+
+        Spans travel in their JSONL wire form (the same bytes
+        ``write_jsonl`` would emit), metrics as the registry's
+        full-fidelity :meth:`~repro.obs.metrics.MetricsRegistry.dump`.
+        """
+        import os
+
+        return {
+            "pid": os.getpid(),
+            "spans": (
+                list(self.recorder.jsonl_lines()) if self.recorder is not None else []
+            ),
+            "metrics": self.metrics.dump() if self.metrics is not None else None,
+        }
+
+    def absorb(self, snapshot: Dict[str, object], **root_attrs: object) -> None:
+        """Merge a worker shard's :meth:`shard_snapshot` into this observer.
+
+        Span records are re-parented under the currently open span (see
+        :meth:`~repro.obs.trace.TraceRecorder.absorb`) with ``root_attrs``
+        plus the worker's pid stamped on the shard's root spans; metric
+        instruments merge per :meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+        """
+        from repro.obs.trace import read_jsonl
+
+        lines = snapshot.get("spans") or []
+        if self.recorder is not None and lines:
+            self.recorder.absorb(
+                read_jsonl(lines), worker_pid=snapshot.get("pid"), **root_attrs
+            )
+        dump = snapshot.get("metrics")
+        if self.metrics is not None and dump is not None:
+            self.metrics.merge(dump)
 
 
 # ----------------------------------------------------------------------

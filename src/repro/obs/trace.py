@@ -173,13 +173,63 @@ class TraceRecorder:
         return len(self._stack)
 
     # ------------------------------------------------------------------
+    # cross-process stitching (the run_batch --workers N shard protocol)
+    # ------------------------------------------------------------------
+    def absorb(
+        self,
+        spans: Iterable[Dict[str, object]],
+        **root_attrs: object,
+    ) -> int:
+        """Stitch finished span records from another recorder into this one.
+
+        ``spans`` are parsed ``{"type": "span"}`` records as emitted by a
+        worker shard's :meth:`jsonl_lines`.  Each gets a fresh span id from
+        this recorder's counter, parent references are remapped alongside,
+        and the shard's root spans (``parent: null``) are re-parented under
+        this recorder's innermost *open* span -- the batch span -- with
+        ``root_attrs`` (worker pid, item key) merged into their attributes.
+
+        Timestamps are rebased so the shard's last finish lands at this
+        recorder's *now*: relative ordering and every duration inside the
+        shard are preserved exactly, and because the worker ran within the
+        batch span's open interval, containment holds for the validator.
+        Returns the number of spans absorbed.
+        """
+        spans = [s for s in spans if s.get("type") == "span"]
+        if not spans:
+            return 0
+        now = self._clock() - self._origin
+        parent = self._stack[-1].span_id if self._stack else None
+        offset = now - max(float(s["end"]) for s in spans)
+        mapping = {s["span"]: next(self._ids) for s in spans}
+        for span in spans:
+            record = dict(span)
+            record["trace"] = self.trace_id
+            record["span"] = mapping[span["span"]]
+            old_parent = span.get("parent")
+            if old_parent is None:
+                record["parent"] = parent
+                if root_attrs:
+                    attrs = dict(record.get("attrs") or {})
+                    attrs.update(root_attrs)
+                    record["attrs"] = attrs
+            else:
+                record["parent"] = mapping.get(old_parent)
+            record["start"] = round(float(span["start"]) + offset, 9)
+            record["end"] = round(float(span["end"]) + offset, 9)
+            self.records.append(record)
+        return len(spans)
+
+    # ------------------------------------------------------------------
     # wire format
     # ------------------------------------------------------------------
     def header(self) -> Dict[str, object]:
         return {"type": "trace", "trace": self.trace_id, "spans": len(self.records)}
 
     def jsonl_lines(
-        self, metrics_snapshot: Optional[Dict[str, object]] = None
+        self,
+        metrics_snapshot: Optional[Dict[str, object]] = None,
+        metrics_dump: Optional[Dict[str, object]] = None,
     ) -> Iterator[str]:
         yield json.dumps(self.header(), sort_keys=True)
         for record in self.records:
@@ -190,13 +240,28 @@ class TraceRecorder:
                 sort_keys=True,
                 default=str,
             )
+        if metrics_dump is not None:
+            # The mergeable twin of the human-facing snapshot footer:
+            # `repro metrics render` rebuilds a registry from these.
+            yield json.dumps(
+                {
+                    "type": "metrics_dump",
+                    "trace": self.trace_id,
+                    "metrics": metrics_dump,
+                },
+                sort_keys=True,
+                default=str,
+            )
 
     def write_jsonl(
-        self, handle, metrics_snapshot: Optional[Dict[str, object]] = None
+        self,
+        handle,
+        metrics_snapshot: Optional[Dict[str, object]] = None,
+        metrics_dump: Optional[Dict[str, object]] = None,
     ) -> int:
         """Write the trace to a file object; returns the line count."""
         count = 0
-        for line in self.jsonl_lines(metrics_snapshot):
+        for line in self.jsonl_lines(metrics_snapshot, metrics_dump):
             handle.write(line + "\n")
             count += 1
         return count

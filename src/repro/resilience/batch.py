@@ -25,16 +25,62 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cfg.graph import CFG
 from repro.config import AnalysisConfig, _UNSET, coalesce_config
 from repro.obs import observer as _obs
+from repro.obs.observer import Observer
 from repro.resilience.engine import AnalysisResult, run_analysis
 
 #: statuses that count as a successfully analyzed item
 SUCCESS_STATUSES = ("ok", "degraded")
+
+
+class BatchSerialFallback(UserWarning):
+    """``run_batch`` ran serially despite ``workers > 1``.
+
+    Carries the machine-readable ``reasons`` tuple so callers can branch on
+    *why* (custom engine, fault plan, custom sleep/clock) instead of
+    parsing the message.  Observers are deliberately absent from the list:
+    since the cross-process shard protocol they parallelize fine.
+    """
+
+    def __init__(self, workers: int, reasons: Iterable[str]):
+        self.workers = workers
+        self.reasons = tuple(reasons)
+        super().__init__(
+            f"run_batch: workers={workers} requested but running serially: "
+            + ", ".join(self.reasons)
+        )
+
+
+def serial_fallback_reasons(
+    config: AnalysisConfig,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> List[str]:
+    """Why this batch cannot use the process pool (empty = it can).
+
+    Custom engines and sleep/clock callables are arbitrary closures and a
+    fault plan's injected state must stay observable in-process; none of
+    them survive pickling to a worker.  Observers and profiling are *not*
+    reasons: workers record into fresh shards rebuilt from
+    :meth:`~repro.obs.observer.Observer.spec` and the parent merges the
+    snapshots back.
+    """
+    reasons: List[str] = []
+    if config.engine is not None:
+        reasons.append("custom engine callable")
+    if config.faults is not None:
+        reasons.append("fault injection plan")
+    if sleep is not time.sleep:
+        reasons.append("custom sleep callable")
+    if clock is not time.monotonic:
+        reasons.append("custom clock callable")
+    return reasons
 
 
 @dataclass
@@ -179,10 +225,24 @@ def run_batch(
     backoff and all -- in a worker, so one item's crash cannot take down
     the batch or its siblings.  Results keep the submission order of
     ``items`` and the checkpoint is appended as futures complete, exactly
-    as in serial mode.  Custom ``engine``/``sleep``/``clock`` callables and
-    configs carrying an observer, a fault plan, or profiling are a
-    serial-only feature (they cannot cross a process boundary); supplying
-    any of them forces the serial path regardless of ``workers``.
+    as in serial mode.
+
+    Observation survives the fan-out: the active observer never crosses
+    the process boundary; instead each worker call rebuilds a fresh shard
+    from :meth:`Observer.spec() <repro.obs.observer.Observer.spec>`,
+    records the item's full span tree and metrics into it, and ships a
+    :meth:`shard_snapshot <repro.obs.observer.Observer.shard_snapshot>`
+    back with the result.  The parent absorbs each snapshot as its future
+    completes -- spans re-parent under the batch's ``run_batch`` span
+    (stamped with the worker pid and item key), counters sum, histograms
+    merge bucket-by-bucket -- so a parallel run yields the same merged
+    trace and totals a serial run would.
+
+    Custom ``engine``/``sleep``/``clock`` callables and fault plans remain
+    serial-only (arbitrary closures and in-process fault state cannot
+    cross to a worker); supplying any of them with ``workers > 1`` emits a
+    :class:`BatchSerialFallback` warning naming the reasons and runs the
+    batch serially.
     """
     config = coalesce_config(
         config,
@@ -203,15 +263,10 @@ def run_batch(
         if checkpoint_path is not None and resume
         else {}
     )
-    parallel = (
-        config.workers > 1
-        and config.engine is None
-        and config.observer is None
-        and config.faults is None
-        and not config.profile
-        and sleep is time.sleep
-        and clock is time.monotonic
-    )
+    reasons = serial_fallback_reasons(config, sleep, clock)
+    parallel = config.workers > 1 and not reasons
+    if config.workers > 1 and reasons:
+        warnings.warn(BatchSerialFallback(config.workers, reasons), stacklevel=2)
     report = BatchReport()
     checkpoint = (
         open(checkpoint_path, "a" if resume else "w")
@@ -219,31 +274,44 @@ def run_batch(
         else None
     )
     try:
-        with _obs.observe(config.observer):
-            if parallel:
-                _run_parallel(
-                    items,
-                    done,
-                    report,
-                    checkpoint,
-                    on_item,
-                    config=config,
-                )
-            else:
-                for key, thunk in items:
-                    prior = done.get(key)
-                    if prior is not None:
-                        report.results.append(prior)
-                        continue
-                    result = _run_item(
-                        key,
-                        thunk,
+        with _obs.observe(config.observer) as o:
+            if o is not None and config.workers > 1:
+                for reason in reasons:
+                    o.count("batch.serial_fallback", reason=reason)
+            batch_span = (
+                o.span("run_batch", workers=config.workers, parallel=parallel)
+                if o is not None
+                else None
+            )
+            try:
+                if parallel:
+                    _run_parallel(
+                        items,
+                        done,
+                        report,
+                        checkpoint,
+                        on_item,
                         config=config,
-                        sleep=sleep,
-                        clock=clock,
+                        observer=o,
                     )
-                    report.results.append(result)
-                    _record(result, checkpoint, on_item)
+                else:
+                    for key, thunk in items:
+                        prior = done.get(key)
+                        if prior is not None:
+                            report.results.append(prior)
+                            continue
+                        result = _run_item(
+                            key,
+                            thunk,
+                            config=config,
+                            sleep=sleep,
+                            clock=clock,
+                        )
+                        report.results.append(result)
+                        _record(result, checkpoint, on_item)
+            finally:
+                if batch_span is not None:
+                    batch_span.set(items=len(report.results)).finish()
     finally:
         if checkpoint is not None:
             checkpoint.close()
@@ -275,10 +343,23 @@ def _run_parallel(
     on_item,
     *,
     config: AnalysisConfig,
+    observer: Optional[Observer] = None,
 ) -> None:
-    """Fan engine calls out over a process pool; fill ``report`` in order."""
+    """Fan engine calls out over a process pool; fill ``report`` in order.
+
+    When an observer is active, each submission carries its picklable
+    :meth:`~repro.obs.observer.Observer.spec`; the worker records into a
+    fresh shard and returns its snapshot, which is absorbed here -- in the
+    completion loop, while the batch span is still open -- so the merged
+    trace and metrics land in the parent observer incrementally.
+    """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+    spec = observer.spec() if observer is not None else None
+    # config.observer cannot (and need not) cross the pool: the spec does.
+    worker_config = (
+        replace(config, observer=None) if config.observer is not None else config
+    )
     # Slots keep submission order; each is a BatchItemResult once known.
     slots: List[Optional[BatchItemResult]] = []
     pending = {}  # future -> slot index
@@ -302,9 +383,10 @@ def _run_parallel(
                 _worker_run_item,
                 key,
                 payload,
-                config,
+                worker_config,
                 load_tries,
                 load_elapsed,
+                spec,
             )
             pending[future] = (index, key)
         while pending:
@@ -320,7 +402,11 @@ def _run_parallel(
                         error=f"worker crashed: {type(error).__name__}: {error}",
                     )
                 else:
-                    result = BatchItemResult(**future.result())
+                    data = future.result()
+                    shard = data.pop("observer", None)
+                    result = BatchItemResult(**data)
+                    if observer is not None and shard is not None:
+                        observer.absorb(shard, item=item_key)
                 slots[index] = result
                 _record(result, checkpoint, on_item)
     report.results.extend(r for r in slots if r is not None)
@@ -391,24 +477,29 @@ def _worker_run_item(
     config: AnalysisConfig,
     load_tries: int,
     load_elapsed: float,
+    observer_spec: Optional[Dict[str, bool]] = None,
 ) -> Dict[str, Any]:
     """Process-pool entry point: decode, run the ladder, return plain data.
 
     Must stay module-level (pickled by reference).  The config is picklable
-    here by construction -- run_batch forces the serial path for configs
-    carrying observers, fault plans, or custom engines.  Returns the fields
-    of a :class:`BatchItemResult` as a dict so the parent never unpickles
+    here by construction -- _run_parallel strips the observer (the spec
+    travels instead) and run_batch forces the serial path for fault plans
+    and custom engines.  Returns the fields of a :class:`BatchItemResult`
+    as a dict -- plus, when a spec was supplied, the ``"observer"`` shard
+    snapshot recorded around this one item -- so the parent never unpickles
     custom classes from a possibly-wedged worker.
     """
     started = time.monotonic()
-    result = _run_item(
-        key,
-        lambda: _decode_cfg(payload),
-        config=config,
-        sleep=time.sleep,
-        clock=time.monotonic,
-    )
-    return {
+    shard = Observer.from_spec(observer_spec) if observer_spec is not None else None
+    with _obs.observe(shard):
+        result = _run_item(
+            key,
+            lambda: _decode_cfg(payload),
+            config=config,
+            sleep=time.sleep,
+            clock=time.monotonic,
+        )
+    data: Dict[str, Any] = {
         "key": result.key,
         "status": result.status,
         "elapsed": load_elapsed + (time.monotonic() - started),
@@ -416,6 +507,9 @@ def _worker_run_item(
         "paths": result.paths,
         "error": result.error,
     }
+    if shard is not None:
+        data["observer"] = shard.shard_snapshot()
+    return data
 
 
 def _run_item(

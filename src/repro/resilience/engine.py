@@ -207,16 +207,21 @@ def _run_analysis(
     o = _obs._CURRENT
     if o is None:
         return _run_ladders(cfg, analyses, config, clock, None)
+    started = clock()
     with o.span(
         "run_analysis",
         cfg=str(cfg.name),
-        nodes=cfg.num_nodes,
-        edges=cfg.num_edges,
+        n_nodes=cfg.num_nodes,
+        n_edges=cfg.num_edges,
         analyses=",".join(analyses),
     ) as root:
         result = _run_ladders(cfg, analyses, config, clock, o)
         if not result.ok:
             root.fail(result.error or "analysis failed")
+        # Engine-side latency histogram: recorded inside the worker shard
+        # on parallel batches, so cross-process merges carry real per-run
+        # timings, not just the parent's batch.item_seconds.
+        o.observe_value("engine.run_seconds", clock() - started)
         return result
 
 

@@ -8,13 +8,20 @@ the host actually has cores to parallelize over.
 
 from __future__ import annotations
 
+import io
 import os
+import warnings
 
 import pytest
 
 from repro.cfg.builder import cfg_from_edges
 from repro.cfg.graph import CFG
+from repro.config import AnalysisConfig
+from repro.obs.observer import Observer
+from repro.obs.schema import validate_trace
+from repro.obs.trace import read_jsonl
 from repro.resilience.batch import (
+    BatchSerialFallback,
     _decode_cfg,
     _encode_cfg,
     load_checkpoint,
@@ -93,12 +100,101 @@ def test_parallel_on_item_sees_every_fresh_result():
 def test_custom_sleep_forces_serial_path_despite_workers():
     # A crasher with retries>0 sleeps between attempts; the recorder only
     # observes those pauses when the serial path runs them in-process.
+    # The downgrade is no longer silent: a BatchSerialFallback names why.
     recorder = RecordingSleep()
-    report = run_batch(
-        [("crash", crasher)], retries=2, backoff=0.5, workers=4, sleep=recorder
-    )
+    with pytest.warns(BatchSerialFallback) as caught:
+        report = run_batch(
+            [("crash", crasher)], retries=2, backoff=0.5, workers=4, sleep=recorder
+        )
     assert report.results[0].status == "error"
     assert recorder.calls == [0.5, 1.0]
+    fallback = [w.message for w in caught if isinstance(w.message, BatchSerialFallback)]
+    assert len(fallback) == 1
+    assert fallback[0].workers == 4
+    assert fallback[0].reasons == ("custom sleep callable",)
+
+
+def diamond_cfg() -> CFG:
+    return cfg_from_edges(
+        [("start", "l"), ("start", "r"), ("l", "join"), ("r", "join"), ("join", "end")]
+    )
+
+
+def merge_corpus():
+    """Structurally *distinct* good CFGs plus one engine failure.
+
+    Distinct shapes matter: identical structures hit the in-process frozen
+    session cache on a serial run (fewer freeze spans) but not across
+    worker processes, which would make span-for-span parity unfair.
+    """
+    return [
+        ("good.loop", good_cfg),
+        ("good.diamond", diamond_cfg),
+        ("bad.orphan", bad_cfg),
+    ]
+
+
+def _batch_trace(workers: int):
+    """Run merge_corpus under a full observer; return (report, records, observer)."""
+    observer = Observer()
+    report = run_batch(
+        merge_corpus(),
+        config=AnalysisConfig(retries=0, workers=workers, observer=observer),
+    )
+    buffer = io.StringIO()
+    observer.write_jsonl(buffer)
+    return report, read_jsonl(buffer.getvalue().splitlines()), observer
+
+
+def spans_named(records, name):
+    return [r for r in records if r["type"] == "span" and r["name"] == name]
+
+
+def test_observer_no_longer_forces_serial_and_merge_matches_serial():
+    serial_report, serial_records, serial_obs = _batch_trace(workers=1)
+    with warnings.catch_warnings():
+        # An observer-carrying config must take the parallel path silently.
+        warnings.simplefilter("error", BatchSerialFallback)
+        parallel_report, parallel_records, parallel_obs = _batch_trace(workers=2)
+    assert strip(parallel_report) == strip(serial_report)
+    # The merged trace passes the schema + structural validator...
+    assert validate_trace(parallel_records) == []
+    # ...with one item span per corpus entry that reached the engine, same
+    # as serial.  (Full span-multiset parity would be cache-dependent: cold
+    # worker processes re-freeze structures a warm serial process reuses.)
+    assert len(spans_named(parallel_records, "run_analysis")) == len(
+        spans_named(serial_records, "run_analysis")
+    ) == len(merge_corpus())
+    # And the engine-ladder and batch counters merge to the same totals
+    # the serial registry accumulates in-process.
+    for family in ("engine.attempts", "engine.retries", "batch.items"):
+        assert parallel_obs.metrics.counts_matching(
+            family
+        ) == serial_obs.metrics.counts_matching(family)
+
+
+def test_parallel_worker_spans_stitch_under_the_batch_span():
+    _, records, _ = _batch_trace(workers=2)
+    spans = [r for r in records if r["type"] == "span"]
+    batch_spans = [s for s in spans if s["name"] == "run_batch"]
+    assert len(batch_spans) == 1
+    assert batch_spans[0]["attrs"]["parallel"] is True
+    roots = [s for s in spans if s["name"] == "run_analysis"]
+    assert roots  # the engine ran in workers, yet its spans are here
+    for root in roots:
+        assert root["parent"] == batch_spans[0]["span"]
+        assert root["attrs"]["item"] in {k for k, _ in merge_corpus()}
+        assert isinstance(root["attrs"]["worker_pid"], int)
+    # Worker shards really were recorded out-of-process.
+    assert any(s["attrs"]["worker_pid"] != os.getpid() for s in roots)
+
+
+def test_parallel_histograms_merge_counts_across_shards():
+    _, _, observer = _batch_trace(workers=2)
+    histograms = observer.metrics.snapshot()["histograms"]
+    # All three items (the two good CFGs and the invalid one) reach
+    # run_analysis, each timed inside its worker's shard.
+    assert histograms["engine.run_seconds"]["count"] == len(merge_corpus())
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs real cores")

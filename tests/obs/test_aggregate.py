@@ -1,0 +1,224 @@
+"""Trace analytics: aggregation, critical paths, the linearity watchdog."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.aggregate import (
+    MAX_EXPONENT,
+    aggregate_spans,
+    critical_paths,
+    fit_linearity,
+    linearity_violations,
+    render_linearity,
+)
+
+
+def span(span_id, parent, name, start, end, status="ok", **attrs):
+    return {
+        "type": "span",
+        "trace": "t",
+        "span": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "elapsed": round(end - start, 9),
+        "status": status,
+        "error": None if status == "ok" else "boom",
+        "attrs": attrs,
+    }
+
+
+def trace(*spans):
+    return [{"type": "trace", "trace": "t", "spans": len(spans)}, *spans]
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+
+def test_aggregate_counts_and_percentiles_per_name():
+    records = trace(
+        span(1, None, "root", 0.0, 10.0),
+        span(2, 1, "work", 1.0, 3.0),
+        span(3, 1, "work", 4.0, 8.0),
+    )
+    by_name = {a["name"]: a for a in aggregate_spans([records])}
+    work = by_name["work"]
+    assert work["count"] == 2
+    assert work["total_s"] == pytest.approx(6.0)
+    assert work["mean_s"] == pytest.approx(3.0)
+    assert work["p50_s"] == pytest.approx(3.0)
+    assert work["max_s"] == pytest.approx(4.0)
+
+
+def test_aggregate_splits_self_time_from_child_time():
+    records = trace(
+        span(1, None, "root", 0.0, 10.0),
+        span(2, 1, "work", 1.0, 7.0),
+    )
+    by_name = {a["name"]: a for a in aggregate_spans([records])}
+    assert by_name["root"]["self_s"] == pytest.approx(4.0)
+    assert by_name["root"]["child_s"] == pytest.approx(6.0)
+    assert by_name["work"]["self_s"] == pytest.approx(6.0)
+    assert by_name["work"]["child_s"] == pytest.approx(0.0)
+
+
+def test_aggregate_counts_errors_and_spans_multiple_traces():
+    one = trace(span(1, None, "work", 0.0, 1.0))
+    two = trace(span(1, None, "work", 0.0, 2.0, status="error"))
+    (work,) = aggregate_spans([one, two])
+    assert work["count"] == 2
+    assert work["errors"] == 1
+
+
+def test_aggregate_sorted_by_total_time_descending():
+    records = trace(
+        span(1, None, "root", 0.0, 10.0),
+        span(2, 1, "small", 0.0, 1.0),
+    )
+    names = [a["name"] for a in aggregate_spans([records])]
+    assert names == ["root", "small"]
+
+
+def test_critical_path_descends_into_heaviest_child():
+    records = trace(
+        span(1, None, "root", 0.0, 10.0),
+        span(2, 1, "light", 0.0, 2.0),
+        span(3, 1, "heavy", 2.0, 9.0),
+        span(4, 3, "leaf", 3.0, 8.0),
+    )
+    (path,) = critical_paths([records])
+    assert path["trace"] == "t"
+    assert [s["name"] for s in path["steps"]] == ["root", "heavy", "leaf"]
+    assert path["elapsed_s"] == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# the empirical-linearity watchdog
+# ----------------------------------------------------------------------
+
+def sized_trace(name, size, elapsed):
+    # Half the size as nodes, half as edges: _size_of sums them back.
+    return trace(
+        span(
+            1, None, name, 0.0, elapsed,
+            n_nodes=size // 2, n_edges=size - size // 2,
+        )
+    )
+
+
+def linear_corpus(name="linear_phase"):
+    return [sized_trace(name, n, n * 1e-6) for n in (100, 400, 1600, 6400)]
+
+
+def quadratic_corpus(name="quadratic_phase"):
+    # The injected superlinear fixture: duration ~ size^2.
+    return [sized_trace(name, n, (n ** 2) * 1e-9) for n in (100, 400, 1600, 6400)]
+
+
+def test_linear_phase_fits_exponent_near_one():
+    (fit,) = fit_linearity(linear_corpus())
+    assert fit["sizes"] == 4
+    assert fit["exponent"] == pytest.approx(1.0, abs=0.01)
+    assert linearity_violations([fit]) == []
+
+
+def test_quadratic_phase_fits_exponent_near_two_and_violates():
+    (fit,) = fit_linearity(quadratic_corpus())
+    assert fit["exponent"] == pytest.approx(2.0, abs=0.01)
+    assert linearity_violations([fit], MAX_EXPONENT) == [fit]
+    assert "SUPERLINEAR" in render_linearity([fit])
+
+
+def test_too_few_sizes_or_spread_yields_no_exponent():
+    narrow = [sized_trace("p", n, n * 1e-6) for n in (100, 110, 120)]
+    (fit,) = fit_linearity(narrow)
+    assert fit["exponent"] is None  # spread 1.2x < MIN_SPREAD
+    two_sizes = [sized_trace("p", n, n * 1e-6) for n in (100, 1000)]
+    (fit,) = fit_linearity(two_sizes)
+    assert fit["exponent"] is None
+    assert linearity_violations([fit]) == []
+
+
+def test_minimum_duration_per_size_sheds_noise():
+    noisy = linear_corpus() + [sized_trace("linear_phase", 400, 1.0)]  # one outlier
+    (fit,) = fit_linearity(noisy)
+    assert fit["exponent"] == pytest.approx(1.0, abs=0.01)
+    assert fit["points"] == 5
+
+
+def test_spans_without_size_attrs_are_ignored():
+    records = trace(span(1, None, "unsized", 0.0, 1.0))
+    assert fit_linearity([records]) == []
+
+
+# ----------------------------------------------------------------------
+# the CLI surface: trace --aggregate / --check-linearity
+# ----------------------------------------------------------------------
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def write_traces(tmp_path, record_lists):
+    paths = []
+    for i, records in enumerate(record_lists):
+        path = tmp_path / f"trace{i}.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        paths.append(str(path))
+    return paths
+
+
+def test_cli_aggregate_emits_schema_valid_jsonl(tmp_path):
+    from repro.obs.schema import validate_trace
+    from repro.obs.trace import read_jsonl
+
+    paths = write_traces(
+        tmp_path,
+        [trace(span(1, None, "root", 0.0, 2.0), span(2, 1, "work", 0.0, 1.0))],
+    )
+    code, text = run(["trace", "--aggregate", *paths])
+    assert code == 0
+    records = read_jsonl(text.splitlines())
+    assert {r["type"] for r in records} == {"aggregate", "critical_path"}
+    assert validate_trace(records) == []
+
+
+def test_cli_aggregate_render_prints_table(tmp_path):
+    paths = write_traces(
+        tmp_path, [trace(span(1, None, "root", 0.0, 2.0))]
+    )
+    code, text = run(["trace", "--aggregate", *paths, "--render"])
+    assert code == 0
+    assert "span" in text and "p99 ms" in text and "critical path" in text
+
+
+def test_cli_check_linearity_passes_linear_corpus(tmp_path):
+    paths = write_traces(tmp_path, linear_corpus())
+    code, text = run(["trace", "--check-linearity", *paths])
+    assert code == 0
+    records = [json.loads(line) for line in text.splitlines()]
+    assert all(r["type"] == "linearity" for r in records)
+
+
+def test_cli_check_linearity_exits_3_on_quadratic_fixture(tmp_path):
+    paths = write_traces(tmp_path, quadratic_corpus())
+    code, _ = run(["trace", "--check-linearity", *paths])
+    assert code == 3
+
+
+def test_cli_max_exponent_loosens_the_budget(tmp_path):
+    paths = write_traces(tmp_path, quadratic_corpus())
+    code, _ = run(["trace", "--check-linearity", *paths, "--max-exponent", "2.5"])
+    assert code == 0
+
+
+def test_cli_linearity_unreadable_file_is_usage_error(tmp_path):
+    code, _ = run(["trace", "--check-linearity", str(tmp_path / "missing.jsonl")])
+    assert code == 2

@@ -1,0 +1,192 @@
+"""Prometheus exposition: the format lint and the stdlib HTTP exporter."""
+
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    dumps_from_trace_records,
+    lint_exposition,
+    make_metrics_server,
+    registry_from_dumps,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def full_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.attempts", outcome="ok", stage="pst").inc(3)
+    registry.gauge("cache.live").set(7)
+    registry.histogram("batch.item_seconds").observe(0.002)
+    registry.histogram("batch.item_seconds").observe(4.0)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# the lint
+# ----------------------------------------------------------------------
+
+def test_rendered_exposition_lints_clean():
+    assert lint_exposition(full_registry().render_prometheus()) == []
+
+
+def test_empty_exposition_lints_clean():
+    assert lint_exposition("") == []
+    assert lint_exposition(MetricsRegistry().render_prometheus()) == []
+
+
+def test_lint_catches_missing_trailing_newline():
+    problems = lint_exposition("# TYPE x counter\nx_total 1")
+    assert any("newline" in p for p in problems)
+
+
+def test_lint_catches_undeclared_sample():
+    problems = lint_exposition("mystery_metric 1\n")
+    assert any("no # TYPE" in p for p in problems)
+
+
+def test_lint_catches_bad_type_and_malformed_comment():
+    problems = lint_exposition("# TYPE x flavor\n# NOPE x\n")
+    assert any("bad TYPE" in p for p in problems)
+    assert any("malformed comment" in p for p in problems)
+
+
+def test_lint_catches_unparsable_sample_line():
+    problems = lint_exposition("# TYPE x counter\nx_total one\n")
+    assert any("unparsable" in p for p in problems)
+
+
+def test_lint_requires_inf_bucket_for_histograms():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 1\n'
+        "h_sum 0.5\n"
+        "h_count 1\n"
+    )
+    problems = lint_exposition(text)
+    assert any("+Inf" in p for p in problems)
+
+
+def test_lint_requires_le_label_on_buckets():
+    text = '# TYPE h histogram\nh_bucket{x="1"} 1\nh_bucket{le="+Inf"} 1\n'
+    problems = lint_exposition(text)
+    assert any("without le" in p for p in problems)
+
+
+def test_lint_allows_escaped_quotes_and_commas_in_label_values():
+    text = '# TYPE c counter\nc_total{a="x,y",b="q\\"z"} 1\n'
+    assert lint_exposition(text) == []
+
+
+# ----------------------------------------------------------------------
+# registry rebuild from trace records
+# ----------------------------------------------------------------------
+
+def test_registry_rebuilds_and_merges_from_trace_dumps():
+    records = [
+        {"type": "trace", "trace": "t", "spans": 0},
+        {"type": "metrics_dump", "trace": "t", "metrics": full_registry().dump()},
+        {"type": "metrics_dump", "trace": "t", "metrics": full_registry().dump()},
+        {"type": "metrics", "trace": "t", "metrics": {}},  # summary footer: ignored
+    ]
+    dumps = dumps_from_trace_records(records)
+    assert len(dumps) == 2
+    registry = registry_from_dumps(dumps)
+    assert registry.count_of("engine.attempts", outcome="ok", stage="pst") == 6.0
+    assert registry.histogram("batch.item_seconds").count == 4
+
+
+# ----------------------------------------------------------------------
+# the HTTP exporter
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def live_server():
+    registry = full_registry()
+    server = make_metrics_server(registry.render_prometheus, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_metrics_endpoint_serves_lintable_exposition(live_server):
+    with urllib.request.urlopen(live_server + "/metrics") as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        body = response.read().decode("utf-8")
+    assert lint_exposition(body) == []
+    assert "repro_engine_attempts_total" in body
+
+
+def test_healthz_and_unknown_paths(live_server):
+    with urllib.request.urlopen(live_server + "/healthz") as response:
+        assert response.status == 200
+        assert response.read() == b"ok\n"
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(live_server + "/nope")
+    assert info.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# the CLI surface: repro metrics render / lint
+# ----------------------------------------------------------------------
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_cli_metrics_render_then_lint_roundtrip(tmp_path):
+    trace_path = tmp_path / "run.jsonl"
+    trace_path.write_text(
+        json.dumps({"type": "trace", "trace": "t", "spans": 0}) + "\n"
+        + json.dumps(
+            {"type": "metrics_dump", "trace": "t", "metrics": full_registry().dump()}
+        )
+        + "\n"
+    )
+    code, exposition = run(["metrics", "render", str(trace_path)])
+    assert code == 0
+    assert "repro_engine_attempts_total" in exposition
+
+    lint_path = tmp_path / "expo.txt"
+    lint_path.write_text(exposition)
+    code, text = run(["metrics", "lint", str(lint_path)])
+    assert code == 0
+    assert "valid exposition" in text
+
+
+def test_cli_metrics_lint_flags_problems(tmp_path):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("mystery 1\n")
+    code, text = run(["metrics", "lint", str(bad)])
+    assert code == 1
+    assert "exposition lint" in text
+
+
+def test_cli_metrics_render_without_dumps_is_diagnostic(tmp_path):
+    trace_path = tmp_path / "empty.jsonl"
+    trace_path.write_text(json.dumps({"type": "trace", "trace": "t", "spans": 0}) + "\n")
+    code, _ = run(["metrics", "render", str(trace_path)])
+    assert code == 1
+
+
+def test_cli_trace_recording_embeds_a_renderable_dump(tmp_path):
+    trace_path = str(tmp_path / "synth.jsonl")
+    code, _ = run(["trace", "--synth-seed", "5", "--synth-size", "40",
+                   "--out", trace_path])
+    assert code == 0
+    code, exposition = run(["metrics", "render", trace_path])
+    assert code == 0
+    assert lint_exposition(exposition) == []
+    assert "repro_dispatch_total" in exposition

@@ -1,8 +1,16 @@
 """MetricsRegistry: counters, gauges, histograms, and their rendering."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.obs.metrics import RESERVOIR_SIZE, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    RESERVOIR_SIZE,
+    Histogram,
+    MetricsRegistry,
+    percentile_of,
+)
 
 
 def test_counter_increments_and_reads_back():
@@ -91,3 +99,152 @@ def test_render_mentions_every_instrument():
     assert "counter hits = 1" in text
     assert "gauge live = 2" in text
     assert "histogram latency:" in text
+
+
+# ----------------------------------------------------------------------
+# percentiles: boundary behavior and a sorted-list reference
+# ----------------------------------------------------------------------
+
+def test_percentile_boundaries_pin_min_and_max():
+    histogram = Histogram()
+    for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+        histogram.observe(value)
+    assert histogram.percentile(0.0) == 1.0
+    assert histogram.percentile(100.0) == 5.0
+    # Out-of-range quantiles clamp instead of indexing off the ends.
+    assert histogram.percentile(-10.0) == 1.0
+    assert histogram.percentile(250.0) == 5.0
+
+
+def test_percentile_single_sample_answers_every_quantile():
+    histogram = Histogram()
+    histogram.observe(7.5)
+    for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+        assert histogram.percentile(q) == 7.5
+
+
+def test_percentile_empty_histogram_is_zero():
+    assert Histogram().percentile(50.0) == 0.0
+
+
+def test_percentile_interpolates_between_ranks():
+    histogram = Histogram()
+    histogram.observe(10.0)
+    histogram.observe(20.0)
+    assert histogram.percentile(50.0) == 15.0
+    assert histogram.percentile(25.0) == 12.5
+
+
+def test_summary_reports_p50_p95_p99():
+    histogram = Histogram()
+    for i in range(1, 101):
+        histogram.observe(float(i))
+    summary = histogram.summary()
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] == pytest.approx(95.05)
+    assert summary["p99"] == pytest.approx(99.01)
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_matches_sorted_list_reference(values, q):
+    # Independent reference: linear interpolation over the sorted sample
+    # at rank q/100 * (n-1), computed from scratch.
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    expected = ordered[lower] + (rank - lower) * (ordered[upper] - ordered[lower])
+    assert percentile_of(ordered, q) == pytest.approx(expected, abs=1e-9)
+    # Monotone and clamped to the observed range.
+    assert ordered[0] <= percentile_of(ordered, q) <= ordered[-1]
+
+
+# ----------------------------------------------------------------------
+# dump / merge: the cross-process shard protocol's metric half
+# ----------------------------------------------------------------------
+
+def shard(counter_n: int, values) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.attempts", outcome="ok").inc(counter_n)
+    registry.gauge("live").set(float(counter_n))
+    for value in values:
+        registry.histogram("latency", stage="pst").observe(value)
+    return registry
+
+
+def test_dump_is_json_serializable():
+    import json
+
+    dump = shard(2, [0.001, 0.2]).dump()
+    assert json.loads(json.dumps(dump)) == dump
+
+
+def test_merge_sums_counters_and_keeps_last_gauge():
+    parent = shard(1, [])
+    parent.merge(shard(2, []).dump())
+    parent.merge(shard(4, []).dump())
+    assert parent.count_of("engine.attempts", outcome="ok") == 7.0
+    assert parent.gauge("live").value == 4.0
+
+
+def test_merge_combines_histograms_exactly():
+    parent = shard(0, [0.001, 0.004])
+    parent.merge(shard(0, [0.3, 2.0, 0.002]).dump())
+    merged = parent.histogram("latency", stage="pst")
+    reference = Histogram()
+    for value in (0.001, 0.004, 0.3, 2.0, 0.002):
+        reference.observe(value)
+    assert merged.count == reference.count == 5
+    assert merged.total == pytest.approx(reference.total)
+    assert merged.min == reference.min and merged.max == reference.max
+    # Fixed bucket bounds make cross-shard bucket sums exact.
+    assert merged.cumulative_buckets() == reference.cumulative_buckets()
+
+
+def test_merge_into_empty_registry_recreates_the_shard():
+    parent = MetricsRegistry()
+    parent.merge(shard(3, [0.1]).dump())
+    assert parent.count_of("engine.attempts", outcome="ok") == 3.0
+    assert parent.histogram("latency", stage="pst").count == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def test_prometheus_counter_rendering():
+    registry = MetricsRegistry()
+    registry.counter("engine.attempts", outcome="ok", stage="pst").inc(3)
+    text = registry.render_prometheus()
+    assert "# TYPE repro_engine_attempts_total counter" in text
+    assert 'repro_engine_attempts_total{outcome="ok",stage="pst"} 3' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_has_cumulative_buckets_and_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    histogram.observe(0.0007)  # second bucket (le=0.001)
+    histogram.observe(50.0)    # beyond the last bound: only +Inf
+    text = registry.render_prometheus()
+    assert "# TYPE repro_latency histogram" in text
+    assert 'repro_latency_bucket{le="0.001"} 1' in text
+    assert f'repro_latency_bucket{{le="{format(BUCKET_BOUNDS[-1], "g")}"}} 1' in text
+    assert 'repro_latency_bucket{le="+Inf"} 2' in text
+    assert "repro_latency_count 2" in text
+
+
+def test_prometheus_sanitizes_names_and_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("batch.items", status='o"k\\x', kind="a\nb").inc()
+    text = registry.render_prometheus()
+    assert "repro_batch_items_total" in text
+    assert '\\"' in text and "\\n" in text and "\\\\" in text

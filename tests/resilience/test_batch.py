@@ -85,6 +85,48 @@ def test_degraded_item_counted_as_success_with_paths():
     assert "degraded x" in report.render()
 
 
+def test_serial_fallback_warning_names_every_reason():
+    from repro.config import AnalysisConfig
+    from repro.resilience.batch import BatchSerialFallback, serial_fallback_reasons
+
+    def engine(cfg, deadline=None, step_budget=None):
+        from repro.resilience.engine import run_analysis
+
+        return run_analysis(cfg)
+
+    config = AnalysisConfig(
+        workers=2, engine=engine, faults=FaultPlan(sites=[])
+    )
+    sleep = RecordingSleep()
+    assert serial_fallback_reasons(config, sleep=sleep) == [
+        "custom engine callable",
+        "fault injection plan",
+        "custom sleep callable",
+    ]
+    with pytest.warns(BatchSerialFallback) as caught:
+        run_batch(items(("x", good_cfg)), config=config, sleep=sleep)
+    (warning,) = [
+        w.message for w in caught if isinstance(w.message, BatchSerialFallback)
+    ]
+    assert warning.reasons == (
+        "custom engine callable",
+        "fault injection plan",
+        "custom sleep callable",
+    )
+    assert "workers=2" in str(warning)
+
+
+def test_serial_run_never_warns_about_fallback():
+    import warnings
+
+    from repro.resilience.batch import BatchSerialFallback
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BatchSerialFallback)
+        report = run_batch(items(("x", good_cfg)), sleep=RecordingSleep())
+    assert report.ok
+
+
 def test_retry_succeeds_after_transient_environment_failure():
     attempts = []
 

@@ -143,6 +143,22 @@ def test_batch_checkpoint_resume(tmp_path, source_file):
     assert len(open(ck).readlines()) == 2  # nothing recomputed or re-appended
 
 
+def test_batch_trace_records_merged_parallel_trace(tmp_path, source_file):
+    trace_path = str(tmp_path / "batch.jsonl")
+    code, _ = run(
+        ["batch", source_file, "--workers", "2", "--trace", trace_path]
+    )
+    assert code == 0
+    code, text = run(["trace", "--check", trace_path])
+    assert code == 0 and "valid" in text
+    records = [json.loads(line) for line in open(trace_path)]
+    spans = [r for r in records if r["type"] == "span"]
+    assert any(s["name"] == "run_batch" for s in spans)
+    # The per-item engine spans recorded in the workers are stitched in.
+    assert sum(1 for s in spans if s["name"] == "run_analysis") == 2
+    assert any(r["type"] == "metrics_dump" for r in records)
+
+
 def test_batch_rejects_negative_retries(source_file, capsys):
     assert run(["batch", source_file, "--retries", "-1"])[0] == 2
     assert "--retries" in capsys.readouterr().err
