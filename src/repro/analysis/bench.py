@@ -231,7 +231,46 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.25,
         help="allowed relative ratio growth under --check (default 0.25)",
     )
+    parser.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="also gate service SLO rows from this JSON (a `repro soak "
+        "--out` report, or a BENCH_perf.json carrying service_slo) and "
+        "exit 3 when any band's p99 exceeds its budget",
+    )
     return parser
+
+
+def check_slo_rows(data: dict, out) -> List[str]:
+    """SLO violations in a soak report / BENCH_perf ``service_slo`` block.
+
+    Each row carries ``band``, ``n``, ``p99_s``, and ``budget_s`` (see
+    :mod:`repro.service.soak`); a row violates when its p99 exceeds its
+    budget.  Bands with no samples are reported but do not fail -- an SLO
+    over zero requests is vacuous, and the soak harness separately fails
+    runs that made no requests at all.
+    """
+    rows = data.get("slo")
+    if rows is None:
+        rows = (data.get("service_slo") or {}).get("rows")
+    if not rows:
+        return ["no SLO rows found (expected 'slo' or 'service_slo.rows')"]
+    failures: List[str] = []
+    for row in rows:
+        band = row.get("band", "?")
+        n = int(row.get("n", 0))
+        p99 = float(row.get("p99_s", 0.0))
+        budget = float(row.get("budget_s", 0.0))
+        if n == 0:
+            print(f"  slo {band}: no samples (skipped)", file=out)
+            continue
+        verdict = "ok" if p99 <= budget else "OVER BUDGET"
+        print(
+            f"  slo {band}: n={n} p99={p99:.4f}s budget={budget:.2f}s {verdict}",
+            file=out,
+        )
+        if p99 > budget:
+            failures.append(f"{band} p99 {p99:.3f}s > {budget:.2f}s")
+    return failures
 
 
 def bench_main(argv: List[str], out) -> int:
@@ -301,4 +340,18 @@ def bench_main(argv: List[str], out) -> int:
             # the generic diagnostics exit 1 (see repro.errors).
             return EXIT_BUDGET_EXCEEDED
         print("perf smoke: all ratios within tolerance", file=out)
+
+    if args.slo:
+        try:
+            with open(args.slo) as handle:
+                slo_data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read SLO file {args.slo}: {error}", file=sys.stderr)
+            return 2
+        print(f"checking service SLO rows from {args.slo}", file=out)
+        slo_failures = check_slo_rows(slo_data, out)
+        if slo_failures:
+            print(f"service SLO exceeded: {', '.join(slo_failures)}", file=out)
+            return EXIT_BUDGET_EXCEEDED
+        print("service SLO: all bands within budget", file=out)
     return 0

@@ -57,19 +57,33 @@ into Prometheus text exposition (format 0.0.4)::
     python -m repro metrics lint exposition.txt       # format lint
     python -m repro metrics serve run.jsonl --port 0  # stdlib HTTP exporter
 
+The ``serve`` subcommand runs the admission-controlled analysis service
+(JSON over HTTP, stdlib only; see :mod:`repro.service` and
+``docs/ROBUSTNESS.md``), and ``soak`` its deterministic chaos harness::
+
+    python -m repro serve --port 8014 --rate 200 --max-inflight 16
+    python -m repro soak --duration 60 --clients 8 --seed 0 \
+        --out soak.json --update-bench benchmarks/results/BENCH_perf.json
+
 Exit codes (all commands; a multi-procedure run reports the worst):
 
 ====  ==============================================================
 0     success
 1     parse/lowering diagnostics, no such procedure, fuzz divergence,
       trace schema violations, exposition lint problems
-2     usage or I/O errors (unreadable file, bad flag value)
+2     usage or I/O errors (unreadable file, bad flag value, a batch
+      checkpoint written by a newer format version)
 3     a declared budget was exceeded: a procedure's CFG violates
       Definition 1 (invalid CFG), ``bench --check`` measured a perf
-      ratio over its regression budget, or ``trace --check-linearity``
-      fitted a scaling exponent over --max-exponent
+      ratio over its regression budget, ``bench --slo`` found a p99
+      over its band budget, or ``trace --check-linearity`` fitted a
+      scaling exponent over --max-exponent
 4     analysis failure: internal error, guard trip, or divergence
-      detected while analyzing a valid CFG; batch items failed
+      detected while analyzing a valid CFG; batch items failed; a
+      chaos soak's assertions failed
+5     request shed by admission control (HTTP 429/503; the
+      ``service.shed`` taxonomy)
+6     request refused because the server is draining (HTTP 503)
 ====  ==============================================================
 
 Analysis errors never surface as raw tracebacks: each procedure is
@@ -96,6 +110,7 @@ from repro.errors import (
     AnalysisError,
     ReproError,
     ResourceExhausted,
+    exit_code_for,
 )
 from repro.ir import LoweredProcedure
 from repro.lang import lower_program, parse_program
@@ -463,6 +478,9 @@ def batch_main(argv: List[str], out) -> int:
     except OSError as error:  # checkpoint file unusable
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE_IO
+    except ReproError as error:  # e.g. a newer-version checkpoint
+        print(f"error[{type(error).__name__}]: {error}", file=sys.stderr)
+        return exit_code_for(error)
     if observer is not None:
         try:
             with open(args.trace, "w") as handle:
@@ -563,6 +581,178 @@ def metrics_main(argv: List[str], out) -> int:
     return EXIT_OK
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived analysis service: JSON over HTTP with "
+        "bounded caches, admission control, load shedding, and graceful "
+        "drain on SIGINT/SIGTERM (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8014,
+        help="bind port (0 picks an ephemeral port; default 8014)",
+    )
+    parser.add_argument(
+        "--max-cache-bytes", type=int, default=32 * 1024 * 1024, metavar="N",
+        help="total byte budget for session caches and the frozen-CSR "
+        "registry (default 32MiB)",
+    )
+    parser.add_argument(
+        "--max-clients", type=int, default=64, metavar="N",
+        help="client session shards kept before LRU eviction (default 64)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="sustained requests/second before 429s (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=None, metavar="N",
+        help="token-bucket burst size (default: ~1s of --rate)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent requests before 503s (default 8)",
+    )
+    parser.add_argument(
+        "--soft-inflight", type=int, default=None, metavar="N",
+        help="concurrent requests past which work degrades "
+        "(default: half of --max-inflight)",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=5.0, metavar="SECONDS",
+        help="engine deadline when the request names none (default 5)",
+    )
+    parser.add_argument(
+        "--max-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="cap on request-supplied deadlines (default 30)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="flush per-request spans + metrics dump here on drain",
+    )
+    return parser
+
+
+def serve_main(argv: List[str], out) -> int:
+    from repro.service.server import AnalysisServer, ServiceConfig
+
+    args = build_serve_arg_parser().parse_args(argv)
+    if args.max_inflight < 1:
+        print("error: --max-inflight must be >= 1", file=sys.stderr)
+        return EXIT_USAGE_IO
+    if args.max_cache_bytes < 0:
+        print("error: --max-cache-bytes must be >= 0", file=sys.stderr)
+        return EXIT_USAGE_IO
+    try:
+        server = AnalysisServer(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                max_cache_bytes=args.max_cache_bytes,
+                max_clients=args.max_clients,
+                rate=args.rate,
+                burst=args.burst,
+                max_inflight=args.max_inflight,
+                soft_inflight=args.soft_inflight,
+                default_deadline=args.default_deadline,
+                max_deadline=args.max_deadline,
+                trace_path=args.trace,
+            )
+        )
+        server.serve_forever(announce=out)
+    except (OSError, ValueError) as error:  # bad bind address, bad knobs
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE_IO
+    print("drained cleanly", file=out)
+    return EXIT_OK
+
+
+def build_soak_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro soak",
+        description="Deterministic chaos soak of the analysis service: "
+        "concurrent seeded clients, fault injection, shed/drain probes, "
+        "and per-size-band p99 SLO rows (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="workload duration (default 10)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="concurrent client threads (default 8)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload + fault seed")
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.02, metavar="P",
+        help="per-execution fault firing probability (default 0.02)",
+    )
+    parser.add_argument(
+        "--max-cache-bytes", type=int, default=8 * 1024 * 1024, metavar="N",
+        help="service cache budget under test (default 8MiB)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=12, metavar="N",
+        help="service inflight cap under test (default 12)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=400.0, metavar="RPS",
+        help="service rate limit under test (default 400)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=100, metavar="N",
+        help="token-bucket burst under test (default 100)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the full JSON report here",
+    )
+    parser.add_argument(
+        "--update-bench", metavar="PATH", default=None,
+        help="write the SLO rows into this BENCH_perf.json (key service_slo)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="flush the service's request trace here on drain",
+    )
+    return parser
+
+
+def soak_main(argv: List[str], out) -> int:
+    import json as _json
+
+    from repro.service.soak import SoakConfig, run_soak, update_bench_perf
+
+    args = build_soak_arg_parser().parse_args(argv)
+    if args.clients < 1 or args.duration <= 0:
+        print("error: --clients must be >= 1 and --duration > 0", file=sys.stderr)
+        return EXIT_USAGE_IO
+    config = SoakConfig(
+        duration=args.duration,
+        clients=args.clients,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        max_cache_bytes=args.max_cache_bytes,
+        max_inflight=args.max_inflight,
+        rate=args.rate,
+        burst=args.burst,
+        trace_path=args.trace,
+    )
+    report = run_soak(config, out=out)
+    try:
+        if args.out is not None:
+            with open(args.out, "w") as handle:
+                _json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.update_bench is not None:
+            update_bench_perf(report, args.update_bench)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE_IO
+    return EXIT_OK if report.passed else EXIT_ANALYSIS_FAILED
+
+
 def fuzz_main(argv: List[str], out) -> int:
     from repro.fuzz.oracles import ALL_ORACLES, ORACLES_BY_NAME
     from repro.fuzz.runner import run_fuzz
@@ -613,6 +803,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return trace_main(argv[1:], out)
         if argv and argv[0] == "metrics":
             return metrics_main(argv[1:], out)
+        if argv and argv[0] == "serve":
+            return serve_main(argv[1:], out)
+        if argv and argv[0] == "soak":
+            return soak_main(argv[1:], out)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: the Unix
         # convention is a silent exit, not a traceback.
@@ -666,7 +860,7 @@ def _report_one(proc: LoweredProcedure, args, out) -> int:
         return EXIT_ANALYSIS_FAILED
     except ReproError as error:
         print(f"error[analysis]: proc {proc.name}: {error}", file=sys.stderr)
-        return EXIT_ANALYSIS_FAILED
+        return exit_code_for(error)
     except Exception as error:  # internal invariant violations etc.
         print(
             f"error[internal]: proc {proc.name}: {type(error).__name__}: {error}",

@@ -82,6 +82,13 @@ class AnalysisConfig:
     retries: int = 1
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    #: Byte bound for analysis caches (``None`` = unbounded, the historical
+    #: behaviour).  When set, the engine's per-call :class:`AnalysisSession`
+    #: memoization, :func:`~repro.kernel.session.session_for` sessions, and
+    #: the process-wide frozen-CSR registry all evict least-recently-used
+    #: entries once their size-accounted cost (CSR array bytes, see
+    #: :func:`repro.service.cache.frozen_cost_bytes`) exceeds the bound.
+    max_cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.fast_retries < 0:
@@ -98,6 +105,8 @@ class AnalysisConfig:
             raise ValueError("backoff and backoff_factor must be >= 0")
         if self.step_budget is not None and self.step_budget < 0:
             raise ValueError("step_budget must be >= 0")
+        if self.max_cache_bytes is not None and self.max_cache_bytes < 0:
+            raise ValueError("max_cache_bytes must be >= 0")
         if self.analyses is not None:
             # Normalize any iterable to a tuple so the config stays hashable.
             object.__setattr__(self, "analyses", tuple(self.analyses))

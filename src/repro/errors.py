@@ -11,8 +11,18 @@ so callers (the CLI, the resilience engine, the batch runner) can distinguish
     │   ├── DeadlineExceeded   wall-clock deadline passed
     │   └── BudgetExceeded     step budget consumed
     ├── PostconditionError     a fast-path result failed a validity check
-    └── AnalysisError          an analysis failed or diverged from its
-                               reference (fallback ladder exhausted)
+    ├── AnalysisError          an analysis failed or diverged from its
+    │                          reference (fallback ladder exhausted)
+    ├── CheckpointError        a batch checkpoint file cannot be used
+    │                          (e.g. written by a newer format version)
+    └── ServiceUnavailable     the analysis service refused the request
+        ├── ServiceShed        admission control shed it (rate / queue depth)
+        └── ServiceDraining    the server is draining after SIGTERM
+
+Every concrete class maps to a *documented* process exit code through
+:func:`exit_code_for` -- the single source of truth the CLI consults, with
+a test walking ``ReproError``'s subclass tree so a newly added diagnostic
+can never silently fall through to the generic exit 1.
 
 :class:`InvalidCFGError` keeps its historical ``ValueError`` base (and its
 home in :mod:`repro.cfg.graph`) so existing ``except ValueError`` call sites
@@ -75,6 +85,61 @@ class AnalysisError(ReproError):
     """An analysis failed outright or diverged from its reference."""
 
 
+class CheckpointError(ReproError):
+    """A batch checkpoint file cannot be used as-is.
+
+    Raised when a checkpoint declares a format ``version`` newer than this
+    library understands: resuming would risk silently double-running (or
+    skipping) items, so the run refuses with a structured diagnostic
+    instead.  ``version`` carries the offending number when known.
+    """
+
+    def __init__(self, message: str, *, version: Optional[int] = None):
+        super().__init__(message)
+        self.version = version
+
+
+class ServiceUnavailable(ReproError):
+    """The analysis service refused a request (admission or lifecycle).
+
+    ``retry_after`` is the server's hint, in seconds, for when a retry is
+    worth attempting (``None`` when there is no meaningful estimate).
+    """
+
+    #: HTTP status the service maps this refusal to.
+    http_status = 503
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceShed(ServiceUnavailable):
+    """Admission control shed the request (token bucket or queue depth).
+
+    ``reason`` distinguishes ``"rate"`` (token bucket empty -- HTTP 429)
+    from ``"depth"`` (too many requests in flight -- HTTP 503).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "rate",
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message, retry_after=retry_after)
+        self.reason = reason
+
+    @property
+    def http_status(self) -> int:  # type: ignore[override]
+        return 429 if self.reason == "rate" else 503
+
+
+class ServiceDraining(ServiceUnavailable):
+    """The server received SIGTERM and is finishing in-flight work only."""
+
+
 # ----------------------------------------------------------------------
 # process exit codes (shared by the CLI and the benchmark harness)
 # ----------------------------------------------------------------------
@@ -90,3 +155,64 @@ EXIT_USAGE_IO = 2
 EXIT_BUDGET_EXCEEDED = 3
 #: An analysis failed outright (fallback ladder exhausted, engine error).
 EXIT_ANALYSIS_FAILED = 4
+#: The analysis service shed the request (admission control: rate or
+#: queue depth).  Retryable -- the service said "not now", not "never".
+EXIT_SHED = 5
+#: The analysis service is draining (SIGTERM received): it finishes
+#: in-flight work but refuses new requests.  Retry against another replica.
+EXIT_DRAINING = 6
+
+#: Every exit code a repro process documents.  ``repro serve``/``repro
+#: soak`` map refusals onto 5/6 so scripted clients can branch without
+#: parsing messages.
+DOCUMENTED_EXIT_CODES = (
+    EXIT_OK,
+    EXIT_DIAGNOSTICS,
+    EXIT_USAGE_IO,
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_ANALYSIS_FAILED,
+    EXIT_SHED,
+    EXIT_DRAINING,
+)
+
+#: Explicit error-class -> exit-code registry.  :func:`exit_code_for`
+#: resolves through the MRO, so registering a base class covers its
+#: subclasses -- but the root ``ReproError`` itself is deliberately absent:
+#: a diagnostic class reachable only through the root is a taxonomy bug
+#: (it would silently exit 1), and ``tests/test_exit_codes.py`` walks the
+#: subclass tree to keep that invariant.
+EXIT_CODE_BY_ERROR = {
+    ResourceExhausted: EXIT_ANALYSIS_FAILED,
+    PostconditionError: EXIT_ANALYSIS_FAILED,
+    AnalysisError: EXIT_ANALYSIS_FAILED,
+    CheckpointError: EXIT_USAGE_IO,
+    ServiceShed: EXIT_SHED,
+    ServiceDraining: EXIT_DRAINING,
+    ServiceUnavailable: EXIT_SHED,
+}
+
+
+def _register_invalid_cfg() -> None:
+    # InvalidCFGError lives in repro.cfg.graph (it must keep its ValueError
+    # base there); registering lazily avoids a module cycle at import time.
+    from repro.cfg.graph import InvalidCFGError
+
+    EXIT_CODE_BY_ERROR.setdefault(InvalidCFGError, EXIT_BUDGET_EXCEEDED)
+
+
+def exit_code_for(error) -> int:
+    """The documented exit code for a :class:`ReproError` (class or instance).
+
+    Resolution walks the exception's MRO and returns the code of the
+    nearest registered ancestor.  An unregistered diagnostic falls back to
+    :data:`EXIT_DIAGNOSTICS` -- the historical behaviour -- but the exit-code
+    test treats that fallback as a failure, so the gap is closed at
+    development time rather than in production.
+    """
+    _register_invalid_cfg()
+    cls = error if isinstance(error, type) else type(error)
+    for base in cls.__mro__:
+        code = EXIT_CODE_BY_ERROR.get(base)
+        if code is not None:
+            return code
+    return EXIT_DIAGNOSTICS

@@ -21,6 +21,7 @@ distinct edge indices with equal endpoints).
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.cfg.graph import CFG, Edge, NodeId
@@ -35,7 +36,7 @@ class FrozenCFG:
     """
 
     __slots__ = (
-        "cfg",
+        "_cfg_ref",
         "version",
         "num_nodes",
         "num_edges",
@@ -74,7 +75,12 @@ class FrozenCFG:
         pred_src: List[int],
         self_loops: List[int],
     ):
-        self.cfg = cfg
+        # Weak, not strong: the shared-snapshot registry maps CFG -> frozen
+        # in a WeakKeyDictionary, and a value that strongly referenced its
+        # key would pin the entry forever -- in a long-lived server, a
+        # per-request memory leak.  Snapshots are pure derived data; every
+        # consumer that walks back to the object graph holds the CFG itself.
+        self._cfg_ref = weakref.ref(cfg)
         self.version = version
         self.num_nodes = len(node_ids)
         self.num_edges = len(edge_src)
@@ -100,6 +106,16 @@ class FrozenCFG:
         # equivalence kernel and keyed by the virtual-edge tuple.  Like the
         # snapshot itself these are structural and read-only.
         self.undirected: Dict[tuple, tuple] = {}
+
+    @property
+    def cfg(self) -> CFG:
+        """The source CFG (held weakly; raises once the graph is dead)."""
+        cfg = self._cfg_ref()
+        if cfg is None:
+            raise ReferenceError(
+                "the CFG behind this FrozenCFG has been garbage collected"
+            )
+        return cfg
 
     def is_stale(self) -> bool:
         """True iff the source CFG has been mutated since the freeze."""

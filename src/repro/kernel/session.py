@@ -32,6 +32,9 @@ from repro.kernel.registry import shared_frozen
 from repro.obs import observer as _obs
 from repro.obs.observer import Observer
 
+#: Distinct default for bounded-cache lookups (None is a legal artifact).
+_MISS = object()
+
 
 class AnalysisSession:
     """Per-CFG cache of derived analysis artifacts.
@@ -49,18 +52,35 @@ class AnalysisSession:
     __slots__ = (
         "cfg",
         "observer",
+        "max_cache_bytes",
         "_version",
         "_cache",
+        "_lru",
         "hits",
         "misses",
         "__weakref__",
     )
 
-    def __init__(self, cfg: CFG, observer: Optional[Observer] = None):
+    def __init__(
+        self,
+        cfg: CFG,
+        observer: Optional[Observer] = None,
+        max_cache_bytes: Optional[int] = None,
+    ):
         self.cfg = cfg
         self.observer = observer
+        #: Optional byte bound on the artifact memo (``None`` = unbounded).
+        #: Artifacts are all O(V + E) structures, so each is charged the
+        #: CSR byte estimate of its CFG -- cheap, monotone in graph size,
+        #: and consistent with the frozen-registry accounting.
+        self.max_cache_bytes = max_cache_bytes
         self._version = cfg.version
         self._cache: Dict[str, Any] = {}
+        self._lru = None
+        if max_cache_bytes is not None:
+            from repro.service.cache import SizedLRU
+
+            self._lru = SizedLRU(max_cache_bytes, name="kernel.session")
         self.hits = 0
         self.misses = 0
 
@@ -76,11 +96,46 @@ class AnalysisSession:
     def invalidate(self) -> None:
         """Drop every cached artifact (the snapshot refreshes on demand)."""
         self._cache.clear()
+        if self._lru is not None:
+            self._lru.clear()
         self._version = self.cfg.version
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and the number of artifacts currently held."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+        lru = self._lru
+        size = len(self._cache) if lru is None else len(lru)
+        info = {"hits": self.hits, "misses": self.misses, "size": size}
+        if lru is not None:
+            info["bytes"] = lru.total_bytes
+            info["evictions"] = lru.evictions
+        return info
+
+    def set_max_cache_bytes(self, max_cache_bytes: Optional[int]) -> None:
+        """Arm, resize, or (with ``None``) disarm the artifact byte bound.
+
+        Used by :func:`session_for` so a long-lived shared session can be
+        (re)bounded by a later config without being torn down.  Disarming
+        keeps currently held artifacts; shrinking evicts immediately.
+        """
+        if max_cache_bytes == self.max_cache_bytes:
+            return
+        self.max_cache_bytes = max_cache_bytes
+        if max_cache_bytes is None:
+            if self._lru is not None:
+                for key in self._lru.keys():
+                    self._cache[key] = self._lru.get(key)
+                self._lru = None
+            return
+        if self._lru is None:
+            from repro.service.cache import SizedLRU, cfg_cost_bytes
+
+            self._lru = SizedLRU(max_cache_bytes, name="kernel.session")
+            cost = cfg_cost_bytes(self.cfg)
+            for key, value in self._cache.items():
+                self._lru.put(key, value, cost)
+            self._cache.clear()
+        else:
+            self._lru.resize(max_cache_bytes)
 
     def _refresh(self) -> None:
         if self._version != self.cfg.version:
@@ -88,8 +143,25 @@ class AnalysisSession:
 
     def _memo(self, key: str, compute: Callable[[], Any]) -> Any:
         self._refresh()
-        cache = self._cache
         o = self.observer if self.observer is not None else _obs._CURRENT
+        lru = self._lru
+        if lru is not None:
+            sentinel = _MISS
+            value = lru.get(key, sentinel)
+            if value is not sentinel:
+                self.hits += 1
+                if o is not None:
+                    o.count("session.cache", artifact=key, result="hit")
+                return value
+            self.misses += 1
+            if o is not None:
+                o.count("session.cache", artifact=key, result="miss")
+            value = compute()
+            from repro.service.cache import cfg_cost_bytes
+
+            lru.put(key, value, cfg_cost_bytes(self.cfg))
+            return value
+        cache = self._cache
         if key in cache:
             self.hits += 1
             if o is not None:
@@ -195,15 +267,24 @@ def session_for(cfg: CFG, config: Optional["AnalysisConfig"] = None) -> Analysis
     need isolation (the resilience engine) construct their own
     :class:`AnalysisSession` instead.
 
-    ``config`` (an :class:`~repro.config.AnalysisConfig`) currently
-    contributes its ``observer``: passing one (re)binds the session's
-    metrics sink, so long-lived driver sessions can be pointed at a fresh
-    registry without being torn down.
+    ``config`` (an :class:`~repro.config.AnalysisConfig`) contributes its
+    ``observer`` -- passing one (re)binds the session's metrics sink, so
+    long-lived driver sessions can be pointed at a fresh registry without
+    being torn down -- and its ``max_cache_bytes``, which arms (or resizes)
+    the session's artifact byte bound via
+    :meth:`AnalysisSession.set_max_cache_bytes`.
     """
     session = _SESSIONS.get(cfg)
     if session is None:
-        session = AnalysisSession(cfg)
+        session = AnalysisSession(
+            cfg,
+            max_cache_bytes=(
+                config.max_cache_bytes if config is not None else None
+            ),
+        )
         _SESSIONS[cfg] = session
+    elif config is not None and config.max_cache_bytes is not None:
+        session.set_max_cache_bytes(config.max_cache_bytes)
     if config is not None and config.observer is not None:
         session.observer = config.observer
     return session

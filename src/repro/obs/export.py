@@ -205,8 +205,20 @@ def serve_metrics(
     host: str = "127.0.0.1",
     port: int = 9464,
     announce=None,
+    drain=None,
 ) -> None:
-    """Serve ``registry`` until interrupted (the ``repro metrics serve`` loop)."""
+    """Serve ``registry`` until signalled (the ``repro metrics serve`` loop).
+
+    Shutdown goes through :func:`repro.service.drain.serve_until_shutdown`:
+    SIGINT *and* SIGTERM both stop the accept loop, let in-flight scrapes
+    complete, and close the socket -- the historical loop only caught
+    ``KeyboardInterrupt``, so a SIGTERM (what a supervisor actually sends)
+    killed scrapes mid-response and leaked the listening socket.  Passing a
+    :class:`~repro.service.drain.DrainController` lets callers (tests, the
+    analysis server embedding an exporter) trigger the drain explicitly.
+    """
+    from repro.service.drain import serve_until_shutdown
+
     server = make_metrics_server(registry.render_prometheus, host, port)
     bound_host, bound_port = server.server_address[:2]
     if announce is not None:
@@ -215,9 +227,4 @@ def serve_metrics(
             file=announce,
             flush=True,
         )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+    serve_until_shutdown(server, drain, announce=announce)

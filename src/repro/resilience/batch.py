@@ -19,6 +19,16 @@ reported an error: invalid input, exhausted ladder, deadline), or ``error``
 (the item itself could not be produced/run -- isolation caught a crash).
 A resumed run skips every key already present in the checkpoint, whatever
 its status; delete the line (or the file) to force recomputation.
+
+Fresh checkpoints start with a ``{"type": "checkpoint", "version": 1}``
+header line.  Resuming tolerates anything this reader understands --
+headerless legacy files and same-or-older versions -- and raises
+:class:`~repro.errors.CheckpointError` (exit code 2, usage/IO) on a
+*newer* version, because silently skipping records a future writer meant
+differently could re-run (and double-bill) completed work.  Torn final
+lines (an interrupted append) and duplicate keys (an append after a torn
+resume) are expected states, not errors: bad lines are skipped, later
+duplicates win.
 """
 
 from __future__ import annotations
@@ -166,14 +176,53 @@ class BatchReport:
         return "\n".join(lines)
 
 
+#: Version this reader writes (and the newest it will resume from).
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_header() -> str:
+    """The header line new checkpoint files start with."""
+    return json.dumps(
+        {"type": "checkpoint", "version": CHECKPOINT_VERSION}, sort_keys=True
+    )
+
+
 def load_checkpoint(path: str) -> Dict[str, BatchItemResult]:
-    """Parse a JSONL checkpoint; later lines win; bad lines are skipped."""
+    """Parse a JSONL checkpoint; later lines win; bad lines are skipped.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file declares a
+    checkpoint version newer than :data:`CHECKPOINT_VERSION` -- a future
+    format must refuse loudly, not resume wrongly.  Headerless files (the
+    pre-versioning format) load as version 1.
+    """
+    from repro.errors import CheckpointError
+
     done: Dict[str, BatchItemResult] = {}
     try:
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn write from an interrupted run
+                if isinstance(record, dict) and record.get("type") == "checkpoint":
+                    try:
+                        version = int(record.get("version", 1))
+                    except (TypeError, ValueError):
+                        raise CheckpointError(
+                            f"{path}: unreadable checkpoint version "
+                            f"{record.get('version')!r}"
+                        ) from None
+                    if version > CHECKPOINT_VERSION:
+                        raise CheckpointError(
+                            f"{path}: checkpoint version {version} is newer "
+                            f"than this reader (max {CHECKPOINT_VERSION}); "
+                            "refusing to resume",
+                            version=version,
+                        )
                     continue
                 try:
                     result = BatchItemResult.from_json(line)
@@ -273,6 +322,10 @@ def run_batch(
         if checkpoint_path is not None
         else None
     )
+    if checkpoint is not None and checkpoint.tell() == 0:
+        # Fresh (or truncated) file: stamp the format version first.
+        checkpoint.write(checkpoint_header() + "\n")
+        checkpoint.flush()
     try:
         with _obs.observe(config.observer) as o:
             if o is not None and config.workers > 1:

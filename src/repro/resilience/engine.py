@@ -299,8 +299,14 @@ def _run_ladders(
     # One private session per engine call: fast paths share the frozen
     # snapshot and each artifact is computed once across stages, but the
     # ladder invalidates it before every retry/fallback so a corrupted
-    # artifact is never reused (fault injection sees fresh runs).
-    session = AnalysisSession(cfg)
+    # artifact is never reused (fault injection sees fresh runs).  A
+    # configured byte bound also arms the process-wide frozen registry,
+    # so long-lived callers get one knob for every analysis cache.
+    if config.max_cache_bytes is not None:
+        from repro.kernel import registry as _registry
+
+        _registry.configure(config.max_cache_bytes)
+    session = AnalysisSession(cfg, max_cache_bytes=config.max_cache_bytes)
     stages = _build_stages(cfg, session, config.full_check_limit)
     results: Dict[str, object] = {}
     aborted = False

@@ -1,0 +1,204 @@
+"""Graceful shutdown shared by every long-running server in the repo.
+
+``repro serve`` and ``repro metrics serve`` have the same lifecycle
+problem: a SIGTERM (or Ctrl-C) must stop *accepting* work immediately,
+let requests already in flight finish, flush whatever observability state
+the process holds, and only then exit -- killing the socket mid-request
+turns every deploy into a client-visible error.
+
+:class:`DrainController` is the state machine: a ``draining`` flag, an
+inflight counter with a condition variable, and a list of flush hooks run
+exactly once after the last in-flight request completes.
+:func:`serve_until_shutdown` is the loop both CLI commands share -- it
+installs SIGINT/SIGTERM handlers (restoring the previous ones on exit),
+serves until a signal or an explicit :meth:`DrainController.request_drain`,
+then drains and closes the server.
+
+Signal handlers only set the drain event (the handler itself must stay
+async-signal-safe); all real work happens on the serving thread.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, List, Optional
+
+from repro.obs import observer as _obs
+
+
+class DrainController:
+    """Tracks draining state and in-flight work for one server process."""
+
+    def __init__(self):
+        self._draining = threading.Event()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._flush_hooks: List[Callable[[], None]] = []
+        self._flushed = False
+        self.reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def request_drain(self, reason: str = "requested") -> None:
+        """Begin draining: refuse new work, let in-flight work finish."""
+        if not self._draining.is_set():
+            self.reason = reason
+            self._draining.set()
+            o = _obs._CURRENT
+            if o is not None:
+                o.count("service.drain", reason=reason)
+
+    def wait_for_drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until draining begins (the serve loop's parking spot)."""
+        return self._draining.wait(timeout)
+
+    # ------------------------------------------------------------------
+    def enter(self) -> None:
+        """Claim an in-flight slot; raises if the server is draining.
+
+        Callers catch :class:`~repro.errors.ServiceDraining` and turn it
+        into a structured 503, mirroring the admission controller's
+        :class:`~repro.errors.ServiceShed`.
+        """
+        from repro.errors import ServiceDraining
+
+        with self._lock:
+            if self._draining.is_set():
+                raise ServiceDraining("server is draining; no new work accepted")
+            self._inflight += 1
+
+    def exit(self) -> None:
+        with self._idle:
+            self._inflight = max(0, self._inflight - 1)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def track(self) -> "_TrackScope":
+        """Context manager form of :meth:`enter`/:meth:`exit`."""
+        return _TrackScope(self)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no requests are in flight; True when idle."""
+        with self._idle:
+            if self._inflight == 0:
+                return True
+            return self._idle.wait_for(lambda: self._inflight == 0, timeout)
+
+    # ------------------------------------------------------------------
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register a once-only hook run after the drain completes."""
+        with self._lock:
+            self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Run every flush hook exactly once (hook errors are swallowed --
+        a failed trace flush must not abort the remaining hooks or turn a
+        clean drain into a crash)."""
+        with self._lock:
+            if self._flushed:
+                return
+            self._flushed = True
+            hooks = list(self._flush_hooks)
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:
+                pass
+
+
+class _TrackScope:
+    def __init__(self, controller: DrainController):
+        self._controller = controller
+
+    def __enter__(self) -> DrainController:
+        self._controller.enter()
+        return self._controller
+
+    def __exit__(self, *exc) -> None:
+        self._controller.exit()
+
+
+def install_signal_handlers(
+    drain: DrainController,
+    signals=(signal.SIGINT, signal.SIGTERM),
+) -> Callable[[], None]:
+    """Point ``signals`` at ``drain.request_drain``; returns a restorer.
+
+    Only the main thread may install signal handlers in Python; callers on
+    other threads (tests driving an in-process server) get a no-op
+    restorer back and rely on explicit :meth:`request_drain` instead.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = {}
+    for sig in signals:
+        def _handler(signum, frame, _drain=drain):
+            _drain.request_drain(reason=signal.Signals(signum).name)
+        previous[sig] = signal.signal(sig, _handler)
+
+    def restore() -> None:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+    return restore
+
+
+def serve_until_shutdown(
+    server,
+    drain: Optional[DrainController] = None,
+    *,
+    announce=None,
+    drain_timeout: float = 30.0,
+) -> DrainController:
+    """Serve an ``http.server`` instance until signalled, then drain it.
+
+    The shared serve loop of ``repro serve`` and ``repro metrics serve``:
+
+    1. install SIGINT/SIGTERM handlers that flip the drain flag;
+    2. ``serve_forever`` on a worker thread, park on the drain event;
+    3. on drain: stop accepting connections, wait (bounded by
+       ``drain_timeout``) for in-flight requests, run flush hooks, close.
+
+    Returns the :class:`DrainController` so callers can inspect why and
+    how cleanly the server stopped.
+    """
+    if drain is None:
+        drain = DrainController()
+    restore = install_signal_handlers(drain)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-serve",
+        daemon=True,
+    )
+    thread.start()
+    try:
+        # Poll rather than block indefinitely: a bounded wait guarantees the
+        # main thread keeps taking signal handlers on every platform.
+        while not drain.wait_for_drain(timeout=0.2):
+            pass
+        if announce is not None:
+            print(
+                f"draining ({drain.reason}): waiting for "
+                f"{drain.inflight} in-flight request(s)",
+                file=announce,
+                flush=True,
+            )
+        server.shutdown()  # stop accepting; in-flight handlers keep running
+        thread.join(timeout=drain_timeout)
+        drain.wait_idle(timeout=drain_timeout)
+        drain.flush()
+    finally:
+        restore()
+        server.server_close()
+    return drain

@@ -155,9 +155,11 @@ def test_checkpoint_written_one_json_line_per_item(tmp_path):
         sleep=RecordingSleep(),
     )
     lines = [json.loads(line) for line in open(path)]
-    assert [entry["key"] for entry in lines] == ["a", "b"]
-    assert lines[0]["status"] == "ok"
-    assert lines[1]["status"] == "failed"
+    assert lines[0] == {"type": "checkpoint", "version": 1}
+    items_written = lines[1:]
+    assert [entry["key"] for entry in items_written] == ["a", "b"]
+    assert items_written[0]["status"] == "ok"
+    assert items_written[1]["status"] == "failed"
 
 
 def test_resume_skips_completed_items(tmp_path):
@@ -183,8 +185,13 @@ def test_resume_skips_completed_items(tmp_path):
     a, b = report.results
     assert a.resumed and not b.resumed
     assert "1 resumed from checkpoint" in report.render()
-    # the new item was appended to the same checkpoint
-    assert [entry["key"] for entry in map(json.loads, open(path))] == ["a", "b"]
+    # the new item was appended to the same checkpoint (after the header)
+    keys = [
+        entry["key"]
+        for entry in map(json.loads, open(path))
+        if entry.get("type") != "checkpoint"
+    ]
+    assert keys == ["a", "b"]
 
 
 def test_no_resume_truncates_and_recomputes(tmp_path):
@@ -198,7 +205,8 @@ def test_no_resume_truncates_and_recomputes(tmp_path):
     )
     (result,) = report.results
     assert not result.resumed
-    assert len(open(path).readlines()) == 1
+    # truncated file holds the version header plus the one recomputed item
+    assert len(open(path).readlines()) == 2
 
 
 def test_torn_checkpoint_lines_are_skipped(tmp_path):

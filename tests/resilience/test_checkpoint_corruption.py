@@ -1,0 +1,178 @@
+"""Checkpoint corruption: torn lines, duplicate keys, future versions.
+
+The contract: a checkpoint produced by an interrupted, retried, or older
+run must *resume* (skipping bad lines, later duplicates win); a checkpoint
+from a *newer* format must refuse loudly with a structured
+:class:`~repro.errors.CheckpointError` (exit 2) -- silently resuming could
+double-run or skip items.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.cfg.builder import cfg_from_edges
+from repro.errors import EXIT_USAGE_IO, CheckpointError
+from repro.resilience.batch import (
+    CHECKPOINT_VERSION,
+    BatchItemResult,
+    checkpoint_header,
+    load_checkpoint,
+    run_batch,
+)
+from tests.resilience.conftest import RecordingSleep
+
+SOURCE = "proc f(n) { return n; }\nproc g(n) { return n; }\n"
+
+
+def good_cfg():
+    return cfg_from_edges([("start", "a"), ("a", "end")])
+
+
+def tracking(key, computed):
+    def thunk():
+        computed.append(key)
+        return good_cfg()
+    return thunk
+
+
+def item_line(key, status="ok"):
+    return BatchItemResult(key=key, status=status).to_json()
+
+
+# ----------------------------------------------------------------------
+# torn final line
+# ----------------------------------------------------------------------
+
+def test_truncated_final_line_resumes_whole_items_only(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(
+        checkpoint_header() + "\n"
+        + item_line("a") + "\n"
+        + '{"key": "b", "sta'  # process died mid-write
+    )
+    done = load_checkpoint(str(path))
+    assert set(done) == {"a"}
+
+    computed = []
+    report = run_batch(
+        [("a", tracking("a", computed)), ("b", tracking("b", computed))],
+        checkpoint_path=str(path),
+        sleep=RecordingSleep(),
+    )
+    assert report.ok
+    assert computed == ["b"]  # "a" resumed, the torn "b" recomputed once
+    a, b = report.results
+    assert a.resumed and not b.resumed
+
+
+def test_truncated_header_falls_back_to_legacy_parsing(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text('{"type": "checkp' + "\n" + item_line("a") + "\n")
+    assert set(load_checkpoint(str(path))) == {"a"}
+
+
+# ----------------------------------------------------------------------
+# duplicate keys (a retried run appended a second line for the same item)
+# ----------------------------------------------------------------------
+
+def test_duplicate_keys_later_line_wins(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(
+        checkpoint_header() + "\n"
+        + item_line("a", status="error") + "\n"
+        + item_line("a", status="ok") + "\n"
+    )
+    done = load_checkpoint(str(path))
+    assert set(done) == {"a"}
+    assert done["a"].status == "ok"
+    assert done["a"].resumed
+
+
+def test_duplicate_keys_do_not_double_run_on_resume(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(
+        checkpoint_header() + "\n"
+        + item_line("a") + "\n"
+        + item_line("a") + "\n"
+    )
+    computed = []
+    report = run_batch(
+        [("a", tracking("a", computed))],
+        checkpoint_path=str(path),
+        sleep=RecordingSleep(),
+    )
+    assert report.ok and computed == []
+    (result,) = report.results
+    assert result.resumed
+
+
+# ----------------------------------------------------------------------
+# version mismatch
+# ----------------------------------------------------------------------
+
+def future_header():
+    return json.dumps({"type": "checkpoint", "version": CHECKPOINT_VERSION + 1})
+
+
+def test_newer_checkpoint_version_refuses_to_resume(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(future_header() + "\n" + item_line("a") + "\n")
+    with pytest.raises(CheckpointError) as exc:
+        load_checkpoint(str(path))
+    assert exc.value.version == CHECKPOINT_VERSION + 1
+    assert "refusing to resume" in str(exc.value)
+
+
+def test_unreadable_version_is_a_structured_error(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text('{"type": "checkpoint", "version": "vNext"}\n')
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(path))
+
+
+def test_run_batch_surfaces_the_version_error_not_a_crash(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(future_header() + "\n")
+    with pytest.raises(CheckpointError):
+        run_batch(
+            [("a", good_cfg)], checkpoint_path=str(path), sleep=RecordingSleep()
+        )
+
+
+def test_cli_batch_exits_2_on_future_checkpoint(tmp_path, capsys):
+    src = tmp_path / "prog.mini"
+    src.write_text(SOURCE)
+    ck = tmp_path / "ck.jsonl"
+    ck.write_text(future_header() + "\n")
+    out = io.StringIO()
+    code = cli.main(
+        ["batch", str(src), "--checkpoint", str(ck)], out=out
+    )
+    assert code == EXIT_USAGE_IO
+    err = capsys.readouterr().err
+    assert "CheckpointError" in err and "version 2" in err
+    assert "Traceback" not in err
+
+
+def test_legacy_headerless_checkpoint_still_resumes(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(item_line("a") + "\n")  # pre-versioning format
+    assert set(load_checkpoint(str(path))) == {"a"}
+
+
+def test_fresh_checkpoint_gets_one_header_and_appends_never_duplicate_it(
+    tmp_path,
+):
+    path = tmp_path / "ck.jsonl"
+    run_batch([("a", good_cfg)], checkpoint_path=str(path), sleep=RecordingSleep())
+    run_batch(
+        [("a", good_cfg), ("b", good_cfg)],
+        checkpoint_path=str(path),
+        sleep=RecordingSleep(),
+    )
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    headers = [l for l in lines if l.get("type") == "checkpoint"]
+    assert headers == [{"type": "checkpoint", "version": CHECKPOINT_VERSION}]

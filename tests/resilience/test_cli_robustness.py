@@ -136,11 +136,13 @@ def test_batch_checkpoint_resume(tmp_path, source_file):
     code, _ = run(["batch", source_file, "--checkpoint", ck])
     assert code == 0
     entries = [json.loads(line) for line in open(ck)]
-    assert {e["key"].split("::")[1] for e in entries} == {"f", "g"}
+    assert entries[0] == {"type": "checkpoint", "version": 1}
+    assert {e["key"].split("::")[1] for e in entries[1:]} == {"f", "g"}
     code, text = run(["batch", source_file, "--checkpoint", ck])
     assert code == 0
     assert "2 resumed from checkpoint" in text
-    assert len(open(ck).readlines()) == 2  # nothing recomputed or re-appended
+    # header + 2 items; nothing recomputed or re-appended
+    assert len(open(ck).readlines()) == 3
 
 
 def test_batch_trace_records_merged_parallel_trace(tmp_path, source_file):

@@ -1,0 +1,335 @@
+"""SizedLRU / ShardedSessionCache semantics and the bounded kernel caches."""
+
+import gc
+import threading
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.kernel import registry
+from repro.kernel.session import AnalysisSession, session_for
+from repro.obs import observer as _obs
+from repro.obs.observer import Observer
+from repro.service.cache import (
+    BYTES_PER_ENTRY,
+    ShardedSessionCache,
+    SizedLRU,
+    cfg_cost_bytes,
+    frozen_cost_bytes,
+)
+from repro.synth.unstructured import random_cfg
+
+
+def diamond():
+    return cfg_from_edges(
+        [("start", "a"), ("a", "b", "T"), ("a", "c", "F"), ("b", "end"), ("c", "end")]
+    )
+
+
+@pytest.fixture(autouse=True)
+def _unbounded_registry():
+    """Every test starts and ends with the historical unbounded registry."""
+    registry.configure(None)
+    yield
+    registry.configure(None)
+
+
+# ----------------------------------------------------------------------
+# SizedLRU
+# ----------------------------------------------------------------------
+
+def test_lru_orders_eviction_by_recency():
+    lru = SizedLRU(30)
+    lru.put("a", 1, 10)
+    lru.put("b", 2, 10)
+    lru.put("c", 3, 10)
+    assert lru.get("a") == 1  # refresh "a" so "b" is now the LRU tail
+    lru.put("d", 4, 10)
+    assert "b" not in lru and "a" in lru
+    assert lru.total_bytes == 30 and len(lru) == 3
+    assert lru.evictions == 1
+
+
+def test_lru_replacing_a_key_recharges_its_cost():
+    lru = SizedLRU(100)
+    lru.put("a", "small", 10)
+    lru.put("a", "big", 70)
+    assert lru.total_bytes == 70
+    assert lru.get("a") == "big"
+
+
+def test_single_over_budget_entry_is_kept_but_evicted_next():
+    lru = SizedLRU(50)
+    lru.put("huge", "x", 400)
+    assert "huge" in lru  # admitted alone; bound overshoot is visible
+    assert lru.total_bytes == 400
+    lru.put("small", "y", 10)
+    assert "huge" not in lru and "small" in lru
+    assert lru.total_bytes == 10
+
+
+def test_zero_budget_disables_caching_entirely():
+    lru = SizedLRU(0)
+    lru.put("a", 1, 10)
+    assert "a" not in lru and len(lru) == 0
+    assert lru.evictions == 1
+
+
+def test_unbounded_lru_never_evicts():
+    lru = SizedLRU(None)
+    for i in range(100):
+        lru.put(i, i, 10**6)
+    assert len(lru) == 100 and lru.evictions == 0
+
+
+def test_lru_pop_and_clear_release_bytes():
+    lru = SizedLRU(None)
+    lru.put("a", 1, 10)
+    lru.put("b", 2, 20)
+    assert lru.pop("a") == 1
+    assert lru.pop("missing", "default") == "default"
+    assert lru.total_bytes == 20
+    lru.clear()
+    assert lru.total_bytes == 0 and len(lru) == 0
+
+
+def test_lru_stats_track_hits_misses_evictions():
+    lru = SizedLRU(20)
+    lru.put("a", 1, 10)
+    lru.get("a")
+    lru.get("nope")
+    lru.put("b", 2, 10)
+    lru.put("c", 3, 10)
+    assert lru.stats() == {
+        "entries": 2, "bytes": 20, "hits": 1, "misses": 1, "evictions": 1,
+    }
+
+
+def test_lru_rejects_negative_budget_and_cost():
+    with pytest.raises(ValueError):
+        SizedLRU(-1)
+    lru = SizedLRU(10)
+    with pytest.raises(ValueError):
+        lru.put("a", 1, -5)
+
+
+def test_resize_shrink_evicts_immediately_and_grow_does_not():
+    lru = SizedLRU(40)
+    for key in "abcd":
+        lru.put(key, key, 10)
+    lru.resize(20)
+    assert sorted(lru.keys()) == ["c", "d"]
+    lru.resize(None)
+    lru.put("e", "e", 100)
+    assert len(lru) == 3  # unbounded again
+
+
+def test_on_evict_runs_outside_the_lock_and_swallows_errors():
+    evicted = []
+
+    def hook(key, value):
+        evicted.append(key)
+        raise RuntimeError("hook bug must not break the cache")
+
+    lru = SizedLRU(20, on_evict=hook)
+    lru.put("a", 1, 10)
+    lru.put("b", 2, 10)
+    lru.put("c", 3, 10)  # evicts "a"; hook raises, cache survives
+    assert evicted == ["a"]
+    assert sorted(lru.keys()) == ["b", "c"]
+
+
+def test_eviction_and_lookup_metrics_reach_the_ambient_observer():
+    obs = Observer(trace=False, metrics=True)
+    with _obs.observe(obs):
+        lru = SizedLRU(10, name="test.lru")
+        lru.put("a", 1, 10)
+        lru.get("a")
+        lru.get("missing")
+        lru.put("b", 2, 10)  # evicts "a"
+    m = obs.metrics
+    assert m.count_of("cache.evict", cache="test.lru", reason="size") == 1
+    assert m.count_of("cache.lookup", cache="test.lru", result="hit") == 1
+    assert m.count_of("cache.lookup", cache="test.lru", result="miss") == 1
+
+
+def test_lru_is_thread_safe_under_concurrent_churn():
+    lru = SizedLRU(1000)
+    errors = []
+
+    def churn(base):
+        try:
+            for i in range(200):
+                lru.put((base, i % 20), i, 17)
+                lru.get((base, (i + 7) % 20))
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=churn, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    if lru.max_bytes is not None:
+        assert lru.total_bytes <= max(lru.max_bytes, 17)
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+
+def test_cost_estimates_are_monotone_in_graph_size():
+    small = random_cfg(0, num_nodes=10, extra_edges=5)
+    large = random_cfg(0, num_nodes=100, extra_edges=50)
+    assert cfg_cost_bytes(small) < cfg_cost_bytes(large)
+    assert frozen_cost_bytes(registry.shared_frozen(small)) < frozen_cost_bytes(
+        registry.shared_frozen(large)
+    )
+
+
+def test_frozen_and_cfg_cost_agree_up_to_self_loops():
+    cfg = random_cfg(3, num_nodes=30, extra_edges=15)
+    frozen = registry.shared_frozen(cfg)
+    delta = frozen_cost_bytes(frozen) - cfg_cost_bytes(cfg)
+    assert delta == BYTES_PER_ENTRY * len(frozen.self_loops)
+
+
+# ----------------------------------------------------------------------
+# ShardedSessionCache
+# ----------------------------------------------------------------------
+
+def test_shards_split_the_budget_equally():
+    cache = ShardedSessionCache(1000, max_clients=4)
+    assert cache.per_client_bytes == 250
+    shard = cache.shard("alice")
+    assert shard.max_bytes == 250
+    assert cache.shard("alice") is shard  # stable per client
+
+
+def test_one_chatty_client_cannot_evict_another():
+    cache = ShardedSessionCache(200, max_clients=2)
+    cache.shard("quiet").put("g", "artifact", 50)
+    chatty = cache.shard("chatty")
+    for i in range(50):
+        chatty.put(f"g{i}", i, 60)
+    assert cache.shard("quiet").get("g") == "artifact"
+    assert chatty.total_bytes <= 100 + 60  # bounded by its own slice
+
+
+def test_excess_clients_evict_the_least_recent_shard():
+    cache = ShardedSessionCache(300, max_clients=2)
+    a = cache.shard("a")
+    a.put("x", 1, 10)
+    cache.shard("b")
+    cache.shard("a")  # refresh "a" so "b" is the LRU client
+    cache.shard("c")  # pushes "b" out
+    stats = cache.stats()
+    assert set(stats["shards"]) == {"a", "c"}
+    assert cache.shard("a").get("x") == 1  # survivor kept its entries
+
+
+def test_sharded_stats_aggregate_bytes_and_evictions():
+    cache = ShardedSessionCache(400, max_clients=4)
+    cache.shard("a").put("x", 1, 30)
+    cache.shard("b").put("y", 2, 40)
+    stats = cache.stats()
+    assert stats["clients"] == 2
+    assert stats["bytes"] == 70 == cache.total_bytes
+
+
+def test_max_clients_must_be_positive():
+    with pytest.raises(ValueError):
+        ShardedSessionCache(100, max_clients=0)
+
+
+# ----------------------------------------------------------------------
+# bounded kernel registry
+# ----------------------------------------------------------------------
+
+def test_registry_bound_evicts_lru_snapshots_and_refreezes_on_demand():
+    cfgs = [random_cfg(seed, num_nodes=40, extra_edges=20) for seed in range(4)]
+    one_cost = frozen_cost_bytes(registry.shared_frozen(cfgs[0]))
+    registry.configure(2 * one_cost + one_cost // 2)  # room for ~2 snapshots
+    for cfg in cfgs:
+        registry.shared_frozen(cfg)
+    stats = registry.registry_stats()
+    assert stats["bounded"]
+    assert stats["entries"] <= 2
+    assert stats["evictions"] >= 2
+    # An evicted snapshot is simply re-frozen on next demand.
+    frozen = registry.shared_frozen(cfgs[0])
+    assert frozen.num_nodes == cfgs[0].num_nodes
+
+
+def test_registry_configure_is_idempotent_and_disarmable():
+    registry.configure(10**6)
+    registry.configure(10**6)  # no-op
+    assert registry.max_cache_bytes() == 10**6
+    registry.configure(None)
+    assert registry.max_cache_bytes() is None
+    assert registry.registry_stats()["bounded"] is False
+
+
+def test_registry_accounting_never_keeps_dead_graphs():
+    registry.configure(10**9)
+    cfg = random_cfg(9, num_nodes=30, extra_edges=10)
+    registry.shared_frozen(cfg)
+    before = registry.registry_stats()["entries"]
+    del cfg
+    gc.collect()
+    assert registry.registry_stats()["entries"] <= before - 1
+
+
+# ----------------------------------------------------------------------
+# bounded AnalysisSession memoization
+# ----------------------------------------------------------------------
+
+def test_bounded_session_evicts_artifacts_and_reports_bytes():
+    cfg = diamond()
+    session = AnalysisSession(cfg, max_cache_bytes=cfg_cost_bytes(cfg))
+    session.pst()  # computes "equiv" then "pst": only one slot fits
+    info = session.cache_info()
+    assert info["size"] == 1
+    assert info["evictions"] >= 1
+    assert info["bytes"] <= cfg_cost_bytes(cfg)
+
+
+def test_unbounded_session_reports_no_byte_fields():
+    session = AnalysisSession(diamond())
+    session.pst()
+    info = session.cache_info()
+    assert "bytes" not in info and "evictions" not in info
+    assert info["size"] >= 2
+
+
+def test_set_max_cache_bytes_arms_resizes_and_disarms_in_place():
+    cfg = diamond()
+    session = AnalysisSession(cfg)
+    pst = session.pst()
+    session.set_max_cache_bytes(10 * cfg_cost_bytes(cfg))  # arm: migrates
+    assert session.pst() is pst  # artifact survived the migration
+    session.set_max_cache_bytes(None)  # disarm: migrates back
+    assert session.pst() is pst
+    assert "bytes" not in session.cache_info()
+
+
+def test_session_for_forwards_the_config_bound():
+    from repro.config import AnalysisConfig
+
+    cfg = diamond()
+    session = session_for(cfg, AnalysisConfig(max_cache_bytes=123456))
+    assert session.max_cache_bytes == 123456
+    # A later config with a different bound resizes the same session.
+    again = session_for(cfg, AnalysisConfig(max_cache_bytes=654321))
+    assert again is session and session.max_cache_bytes == 654321
+
+
+def test_engine_config_bound_arms_the_registry():
+    from repro.config import AnalysisConfig
+    from repro.resilience.engine import run_analysis
+
+    cfg = diamond()
+    result = run_analysis(cfg, config=AnalysisConfig(max_cache_bytes=10**7))
+    assert result.ok
+    assert registry.registry_stats()["bounded"]

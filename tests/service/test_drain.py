@@ -1,0 +1,182 @@
+"""DrainController lifecycle, signal handling, and the shared serve loop."""
+
+import io
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import EXIT_DRAINING, ServiceDraining, exit_code_for
+from repro.obs import observer as _obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
+from repro.service.drain import (
+    DrainController,
+    install_signal_handlers,
+    serve_until_shutdown,
+)
+
+
+# ----------------------------------------------------------------------
+# DrainController
+# ----------------------------------------------------------------------
+
+def test_track_counts_inflight_and_releases_on_error():
+    drain = DrainController()
+    with drain.track():
+        assert drain.inflight == 1
+    assert drain.inflight == 0
+    with pytest.raises(RuntimeError):
+        with drain.track():
+            raise RuntimeError("handler blew up")
+    assert drain.inflight == 0
+
+
+def test_draining_refuses_new_work_but_lets_inflight_finish():
+    drain = DrainController()
+    scope = drain.track()
+    scope.__enter__()  # a request already in flight
+    drain.request_drain(reason="test")
+    assert drain.draining and drain.reason == "test"
+    with pytest.raises(ServiceDraining) as exc:
+        drain.enter()
+    assert exit_code_for(exc.value) == EXIT_DRAINING
+    # ...but the in-flight request is still tracked and may complete.
+    assert drain.inflight == 1
+    scope.__exit__(None, None, None)
+    assert drain.wait_idle(timeout=1.0)
+
+
+def test_wait_idle_blocks_until_the_last_request_exits():
+    drain = DrainController()
+    release = threading.Event()
+
+    def worker():
+        with drain.track():
+            release.wait(timeout=5.0)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    while drain.inflight == 0:
+        time.sleep(0.005)
+    assert not drain.wait_idle(timeout=0.05)  # still busy
+    release.set()
+    assert drain.wait_idle(timeout=5.0)
+    thread.join()
+
+
+def test_flush_hooks_run_exactly_once_and_swallow_errors():
+    drain = DrainController()
+    calls = []
+    drain.add_flush_hook(lambda: calls.append("first"))
+
+    def broken():
+        calls.append("broken")
+        raise RuntimeError("flush bug")
+
+    drain.add_flush_hook(broken)
+    drain.add_flush_hook(lambda: calls.append("last"))
+    drain.flush()
+    drain.flush()  # once-only
+    assert calls == ["first", "broken", "last"]
+
+
+def test_request_drain_is_idempotent_and_counted():
+    obs = Observer(trace=False, metrics=True)
+    with _obs.observe(obs):
+        drain = DrainController()
+        drain.request_drain(reason="SIGTERM")
+        drain.request_drain(reason="later")  # first reason wins
+    assert drain.reason == "SIGTERM"
+    assert obs.metrics.count_of("service.drain", reason="SIGTERM") == 1
+
+
+# ----------------------------------------------------------------------
+# signal handling
+# ----------------------------------------------------------------------
+
+def test_sigterm_flips_the_drain_flag_and_restore_undoes_it():
+    drain = DrainController()
+    before = signal.getsignal(signal.SIGTERM)
+    restore = install_signal_handlers(drain)
+    try:
+        signal.raise_signal(signal.SIGTERM)
+        assert drain.draining and drain.reason == "SIGTERM"
+    finally:
+        restore()
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_install_off_main_thread_is_a_safe_noop():
+    drain = DrainController()
+    result = {}
+
+    def worker():
+        result["restore"] = install_signal_handlers(drain)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    result["restore"]()  # must not raise
+    assert not drain.draining
+
+
+# ----------------------------------------------------------------------
+# the shared serve loop (satellite: `repro metrics serve` shutdown)
+# ----------------------------------------------------------------------
+
+def test_serve_metrics_drains_cleanly_on_request_drain():
+    from repro.obs.export import serve_metrics
+
+    registry = MetricsRegistry()
+    registry.counter("demo.requests").inc()
+    drain = DrainController()
+    out = io.StringIO()
+    done = threading.Event()
+
+    def run_server():
+        serve_metrics(registry, host="127.0.0.1", port=0, announce=out, drain=drain)
+        done.set()
+
+    thread = threading.Thread(target=run_server, daemon=True)
+    thread.start()
+    # Wait for the announce line to learn the bound port.
+    deadline = time.monotonic() + 5.0
+    while "http://" not in out.getvalue() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    url = out.getvalue().split("on ", 1)[1].strip()
+    body = urllib.request.urlopen(url, timeout=5).read().decode()
+    assert "demo_requests" in body
+    drain.request_drain(reason="test-shutdown")
+    assert done.wait(timeout=10.0), "serve_metrics did not return after drain"
+    assert "draining (test-shutdown)" in out.getvalue()
+    # The listening socket is closed: a new scrape must fail.
+    with pytest.raises(Exception):
+        urllib.request.urlopen(url, timeout=1)
+
+
+def test_serve_until_shutdown_waits_for_inflight_then_flushes():
+    from repro.obs.export import make_metrics_server
+
+    registry = MetricsRegistry()
+    server = make_metrics_server(registry.render_prometheus, "127.0.0.1", 0)
+    drain = DrainController()
+    flushed = []
+    drain.add_flush_hook(lambda: flushed.append(drain.inflight))
+    scope = drain.track()
+    scope.__enter__()
+
+    def finish_later():
+        time.sleep(0.3)
+        scope.__exit__(None, None, None)
+
+    finisher = threading.Thread(target=finish_later, daemon=True)
+    finisher.start()
+    drain.request_drain(reason="test")
+    returned = serve_until_shutdown(server, drain, drain_timeout=5.0)
+    finisher.join()
+    assert returned is drain
+    # The flush hook observed an idle server (in-flight work had finished).
+    assert flushed == [0]

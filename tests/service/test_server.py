@@ -1,0 +1,283 @@
+"""AnalysisServer over real HTTP: pipeline, shedding, draining, tracing."""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.cli as cli
+from repro.errors import EXIT_DRAINING, EXIT_SHED
+from repro.obs.export import lint_exposition
+from repro.service.server import AnalysisServer, ServiceConfig
+
+SOURCE = """
+proc f(n) {
+    s = 0;
+    while (s < n) {
+        if (n > 10) { s = s + 2; } else { s = s + 1; }
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServiceConfig(
+        port=0,
+        max_inflight=8,
+        soft_inflight=4,
+        rate=10_000.0,
+        burst=1_000,
+        trace_path=str(tmp_path / "trace.jsonl"),
+    )
+    srv = AnalysisServer(config)
+    httpd = srv.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        thread.join(timeout=10)
+
+
+def base(server):
+    host, port = server.address
+    return f"http://{host}:{port}"
+
+
+def post(server, path, body):
+    """(status, parsed body, headers); HTTP errors become data."""
+    request = urllib.request.Request(
+        base(server) + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(base(server) + path, timeout=30) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+# ----------------------------------------------------------------------
+# the happy pipeline
+# ----------------------------------------------------------------------
+
+def test_synth_request_returns_summaries_and_caches_the_repeat(server):
+    body = {"client": "t", "synth": {"seed": 1, "size": 20}}
+    status, first, _ = post(server, "/run_analysis", body)
+    assert status == 200 and first["ok"]
+    assert first["mode"] == "full" and not first["cached"]
+    assert first["analyses"]["pst"]["regions"] > 0
+    assert first["analyses"]["dominators"]["entries"] > 0
+    assert first["graph"]["nodes"] >= 20
+    status, second, _ = post(server, "/run_analysis", body)
+    assert status == 200 and second["cached"]
+    assert second["key"] == first["key"] == "synth:1:20:10"
+    assert second["analyses"] == first["analyses"]
+
+
+def test_source_and_cfg_spellings_work(server):
+    status, body, _ = post(server, "/run_analysis", {"source": SOURCE})
+    assert status == 200 and body["ok"] and body["key"].startswith("source:")
+    status, body, _ = post(
+        server,
+        "/run_analysis",
+        {"cfg": {"edges": [["start", "a"], ["a", "end"]]}},
+    )
+    assert status == 200 and body["ok"] and body["key"].startswith("cfg:")
+
+
+def test_analyses_subset_only_summarizes_what_was_asked(server):
+    status, body, _ = post(
+        server,
+        "/run_analysis",
+        {"synth": {"seed": 2, "size": 10}, "analyses": ["dominators"]},
+    )
+    assert status == 200
+    assert list(body["analyses"]) == ["dominators"]
+
+
+def test_batch_runs_items_and_inherits_the_client(server):
+    status, body, _ = post(
+        server,
+        "/run_batch",
+        {
+            "client": "batcher",
+            "items": [
+                {"synth": {"seed": 1, "size": 10}},
+                {"synth": {"seed": 2, "size": 10}},
+                {"bogus": True},
+            ],
+        },
+    )
+    assert status == 200
+    assert body["count"] == 3 and not body["ok"]
+    assert [item["status"] for item in body["items"]] == [200, 200, 400]
+    assert body["items"][0]["body"]["client"] == "batcher"
+
+
+# ----------------------------------------------------------------------
+# client errors
+# ----------------------------------------------------------------------
+
+def test_bad_requests_get_structured_400s(server):
+    cases = [
+        {},  # no graph spelling
+        {"synth": {"seed": 0}, "source": SOURCE},  # two spellings
+        {"synth": {"seed": "x", "size": "y"}},
+        {"synth": {"seed": 0, "size": -1}},
+        {"synth": {"seed": 0, "size": 5}, "analyses": ["nope"]},
+        {"synth": {"seed": 0, "size": 5}, "deadline": -2},
+        {"cfg": {"edges": "not-a-list"}},
+    ]
+    for case in cases:
+        status, body, _ = post(server, "/run_analysis", case)
+        assert status == 400, case
+        assert body["error"] == "bad_request" and body["message"]
+
+
+def test_oversized_batch_is_refused(server):
+    items = [{"synth": {"seed": i, "size": 5}} for i in range(65)]
+    status, body, _ = post(server, "/run_batch", {"items": items})
+    assert status == 400
+    assert "max_batch_items" in body["message"]
+
+
+def test_unknown_route_is_a_json_404(server):
+    status, body, _ = post(server, "/no_such_route", {})
+    assert status == 404 and body["error"] == "not_found"
+
+
+# ----------------------------------------------------------------------
+# admission: degradation and shedding
+# ----------------------------------------------------------------------
+
+def test_requests_past_the_soft_threshold_run_degraded(server):
+    # Occupy slots up to the soft threshold, then call the handler
+    # directly -- the next admit lands above soft_inflight.
+    for _ in range(server.config.soft_inflight):
+        server.admission.acquire()
+    try:
+        status, body = server.handle_run_analysis(
+            {"synth": {"seed": 7, "size": 12}}
+        )
+    finally:
+        for _ in range(server.config.soft_inflight):
+            server.admission.release()
+    assert status == 200 and body["ok"]
+    assert body["mode"] == "degraded"
+
+
+def test_rate_shed_is_a_structured_429_with_retry_after_header(server):
+    bucket = server.admission.bucket
+    saved_rate = bucket.rate
+    bucket.rate = 1e-9
+    bucket.drain_tokens()
+    try:
+        status, body, headers = post(
+            server, "/run_analysis", {"synth": {"seed": 0, "size": 5}}
+        )
+    finally:
+        bucket.rate = saved_rate
+        bucket.fill_tokens()
+    assert status == 429
+    assert body["error"] == "shed" and body["reason"] == "rate"
+    assert body["exit_code"] == EXIT_SHED
+    assert body["retry_after"] > 0
+    assert int(headers["Retry-After"]) >= 1
+
+
+def test_depth_shed_is_a_structured_503(server):
+    held = server.config.max_inflight
+    for _ in range(held):
+        server.admission.acquire()
+    try:
+        status, body, _ = post(
+            server, "/run_analysis", {"synth": {"seed": 0, "size": 5}}
+        )
+    finally:
+        for _ in range(held):
+            server.admission.release()
+    assert status == 503
+    assert body["error"] == "shed" and body["reason"] == "depth"
+    assert body["exit_code"] == EXIT_SHED
+
+
+def test_draining_server_refuses_new_work_with_exit_code_6(server):
+    server.drain.request_drain(reason="test")
+    status, text = get(server, "/healthz")
+    assert status == 503 and "draining" in text
+    status, body, _ = post(
+        server, "/run_analysis", {"synth": {"seed": 0, "size": 5}}
+    )
+    assert status == 503
+    assert body["error"] == "draining"
+    assert body["exit_code"] == EXIT_DRAINING
+
+
+# ----------------------------------------------------------------------
+# observability endpoints
+# ----------------------------------------------------------------------
+
+def test_metrics_endpoint_is_lint_clean_prometheus(server):
+    post(server, "/run_analysis", {"synth": {"seed": 3, "size": 15}})
+    status, text = get(server, "/metrics")
+    assert status == 200
+    assert lint_exposition(text) == []
+    assert "service_request_seconds" in text
+    assert "service_admit" in text
+
+
+def test_statusz_reports_admission_cache_and_registry_state(server):
+    post(server, "/run_analysis", {"client": "s", "synth": {"seed": 4, "size": 15}})
+    status, text = get(server, "/statusz")
+    assert status == 200
+    data = json.loads(text)
+    assert data["ok"] and not data["draining"]
+    assert data["requests"] >= 1
+    assert data["admission"]["admitted"] >= 1
+    assert data["sessions"]["clients"] >= 1
+    assert data["registry"]["bounded"]
+
+
+def test_healthz_is_ok_while_serving(server):
+    assert get(server, "/healthz") == (200, "ok\n")
+
+
+def test_drain_flushes_a_schema_valid_trace(tmp_path):
+    trace_path = str(tmp_path / "svc.jsonl")
+    srv = AnalysisServer(ServiceConfig(port=0, trace_path=trace_path))
+    httpd = srv.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        for seed in range(3):
+            status, body, _ = post(
+                srv, "/run_analysis", {"synth": {"seed": seed, "size": 10}}
+            )
+            assert status == 200, body
+    finally:
+        srv.shutdown()
+        thread.join(timeout=10)
+    out = io.StringIO()
+    assert cli.main(["trace", "--check", trace_path], out=out) == 0
+    assert "valid" in out.getvalue()
+    records = [json.loads(line) for line in open(trace_path)]
+    spans = [r for r in records if r["type"] == "span"]
+    assert sum(1 for s in spans if s["name"] == "service.request") == 3
+    assert any(r["type"] == "metrics_dump" for r in records)

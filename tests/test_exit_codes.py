@@ -1,0 +1,121 @@
+"""Every diagnostic class must map to a documented process exit code.
+
+The registry in :mod:`repro.errors` resolves through the MRO, so this test
+walks the *whole* ``ReproError`` subclass tree: a newly added diagnostic
+that only the fallback (exit 1) would catch fails here at development time
+instead of silently surprising scripted callers in production.
+"""
+
+import pytest
+
+# Import every module that defines ReproError subclasses so the subclass
+# walk below actually sees them.
+import repro.cli  # noqa: F401
+import repro.resilience.engine  # noqa: F401
+import repro.service.server  # noqa: F401
+from repro.cfg.graph import InvalidCFGError
+from repro.errors import (
+    DOCUMENTED_EXIT_CODES,
+    EXIT_ANALYSIS_FAILED,
+    EXIT_BUDGET_EXCEEDED,
+    EXIT_CODE_BY_ERROR,
+    EXIT_DIAGNOSTICS,
+    EXIT_DRAINING,
+    EXIT_OK,
+    EXIT_SHED,
+    EXIT_USAGE_IO,
+    AnalysisError,
+    BudgetExceeded,
+    CheckpointError,
+    DeadlineExceeded,
+    PostconditionError,
+    ReproError,
+    ResourceExhausted,
+    ServiceDraining,
+    ServiceShed,
+    ServiceUnavailable,
+    exit_code_for,
+)
+
+
+def all_repro_errors():
+    """Every concrete + abstract subclass of ReproError, transitively."""
+    seen = []
+    frontier = [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in seen:
+                seen.append(sub)
+                frontier.append(sub)
+    return seen
+
+
+def test_the_tree_is_populated():
+    tree = all_repro_errors()
+    for expected in (
+        InvalidCFGError, ResourceExhausted, DeadlineExceeded, BudgetExceeded,
+        PostconditionError, AnalysisError, CheckpointError,
+        ServiceUnavailable, ServiceShed, ServiceDraining,
+    ):
+        assert expected in tree
+
+
+@pytest.mark.parametrize("cls", all_repro_errors(), ids=lambda c: c.__name__)
+def test_every_subclass_maps_to_a_documented_code(cls):
+    code = exit_code_for(cls)
+    assert code in DOCUMENTED_EXIT_CODES
+    assert code != EXIT_OK  # an *error* can never mean success
+
+
+@pytest.mark.parametrize("cls", all_repro_errors(), ids=lambda c: c.__name__)
+def test_no_subclass_relies_on_the_fallback(cls):
+    # exit_code_for falls back to EXIT_DIAGNOSTICS for unregistered
+    # classes; reaching it from the taxonomy is a bug (see repro.errors).
+    from repro.errors import _register_invalid_cfg
+
+    _register_invalid_cfg()
+    assert any(base in EXIT_CODE_BY_ERROR for base in cls.__mro__), (
+        f"{cls.__name__} is reachable only through the exit-1 fallback; "
+        "register it (or an ancestor) in EXIT_CODE_BY_ERROR"
+    )
+
+
+def test_specific_documented_mappings():
+    assert exit_code_for(InvalidCFGError("x")) == EXIT_BUDGET_EXCEEDED == 3
+    assert exit_code_for(DeadlineExceeded("x")) == EXIT_ANALYSIS_FAILED == 4
+    assert exit_code_for(BudgetExceeded("x")) == EXIT_ANALYSIS_FAILED
+    assert exit_code_for(PostconditionError("x")) == EXIT_ANALYSIS_FAILED
+    assert exit_code_for(AnalysisError("x")) == EXIT_ANALYSIS_FAILED
+    assert exit_code_for(CheckpointError("x")) == EXIT_USAGE_IO == 2
+    assert exit_code_for(ServiceShed("x")) == EXIT_SHED == 5
+    assert exit_code_for(ServiceDraining("x")) == EXIT_DRAINING == 6
+    assert exit_code_for(ServiceUnavailable("x")) == EXIT_SHED
+
+
+def test_exit_code_for_accepts_classes_and_instances():
+    assert exit_code_for(AnalysisError) == exit_code_for(AnalysisError("x"))
+
+
+def test_unregistered_error_falls_back_to_diagnostics():
+    class Hypothetical(Exception):
+        pass
+
+    assert exit_code_for(Hypothetical("x")) == EXIT_DIAGNOSTICS
+
+
+def test_shed_http_status_tracks_the_reason():
+    assert ServiceShed("x", reason="rate").http_status == 429
+    assert ServiceShed("x", reason="depth").http_status == 503
+    assert ServiceDraining("x").http_status == 503
+
+
+def test_retry_after_survives_the_taxonomy():
+    error = ServiceShed("x", reason="rate", retry_after=0.25)
+    assert error.retry_after == 0.25
+    assert isinstance(error, ServiceUnavailable)
+    assert isinstance(error, ReproError)
+
+
+def test_documented_codes_are_dense_and_unique():
+    assert DOCUMENTED_EXIT_CODES == tuple(range(7))
