@@ -1,17 +1,30 @@
 """Measure and append one generation entry to ``results/BENCH_perf.json``.
 
 The perf trajectory pins, per implementation generation, the wall-clock of
-the four hot analyses on the canonical synthetic procedures (seeds
-99/21/13, sizes 4000/8000/8000 statements; see the ``description`` field
-in the JSON).  PR 3 seeded it with the object-graph vs frozen-CSR pair;
-this script re-derives a fresh entry for the *current* tree so later
+the hot analyses on the canonical synthetic procedures (seeds 99/21/13,
+sizes 4000/8000/8000 statements; see the ``description`` field in the
+JSON).  PR 3 seeded it with the object-graph vs frozen-CSR pair; this
+script re-derives a fresh entry for the *current* tree so later
 generations keep the trajectory non-empty without hand-editing timings::
 
     PYTHONPATH=../src python perf_trajectory.py --label "my generation"      # print
     PYTHONPATH=../src python perf_trajectory.py --label "my generation" --append
 
+``--backend`` pins the kernel tier the measurements run under (see
+:mod:`repro.kernel.backend`), so a generation pair -- e.g. the array
+kernels re-measured back to back with the vectorized tier -- can be
+recorded in one sitting; pass ``--same-sitting`` on the second entry to
+mark the comparison strong.
+
+``--batch-throughput`` measures a different axis entirely: end-to-end
+``run_batch`` items/second (dominators-only config) across CFG size bands
+x worker counts x transport (shared-memory CSR segments vs pickled
+snapshots), written to the JSON's top-level ``batch_throughput`` key.
+Absolute rates are host-bound; the number that travels is the shm/pickle
+ratio at equal worker count, which isolates the serialization tax.
+
 Methodology matches the existing entries: best/median of 9 GC-paused
-repeats after a warmup call, all four workloads measured in one sitting.
+repeats after a warmup call, all workloads measured in one sitting.
 ``speedup_median_vs_previous`` is computed against the last recorded
 entry; treat it as a weak signal unless both entries came from the same
 sitting on the same host (the JSON's ``cpu_count`` plus each entry's
@@ -26,6 +39,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -34,18 +48,27 @@ from conftest import git_rev, sample, stats_of  # noqa: E402
 RESULTS = os.path.join(os.path.dirname(__file__), "results", "BENCH_perf.json")
 REPEATS = 9
 
+#: (band, target_statements, corpus items) for --batch-throughput.
+BATCH_BANDS = (("small", 300, 24), ("medium", 1500, 16), ("large", 5000, 12))
+BATCH_WORKERS = (1, 2, 4)
+BATCH_REPEATS = 3  # best-of, to shave pool-startup jitter
+
 
 def measurements():
-    """The four canonical trajectory workloads, measured in one sitting."""
+    """The canonical trajectory workloads, measured in one sitting."""
     from repro.controldep.regions_fast import control_regions
     from repro.core.cycle_equiv import cycle_equivalence_of_cfg
     from repro.core.pst import build_pst
+    from repro.dataflow.iterative import solve_iterative
+    from repro.dataflow.problems import ReachingDefinitions
     from repro.dominance.lengauer_tarjan import lengauer_tarjan
     from repro.synth.structured import random_lowered_procedure
 
-    big_4000 = random_lowered_procedure(99, target_statements=4000).cfg
+    proc_4000 = random_lowered_procedure(99, target_statements=4000)
+    big_4000 = proc_4000.cfg
     pst_8000 = random_lowered_procedure(21, target_statements=8000).cfg
     regions_8000 = random_lowered_procedure(13, target_statements=8000).cfg
+    reaching = ReachingDefinitions(proc_4000)
 
     workloads = {
         "cycle_equiv_4000": lambda: cycle_equivalence_of_cfg(
@@ -56,6 +79,7 @@ def measurements():
         "control_regions_8000": lambda: control_regions(
             regions_8000, validate=False
         ),
+        "dataflow_solve_4000": lambda: solve_iterative(big_4000, reaching),
     }
     out = {}
     for name, fn in workloads.items():
@@ -74,9 +98,102 @@ def measurements():
     return out
 
 
+def batch_throughput_series():
+    """items/sec of run_batch per band x corpus style x workers x transport.
+
+    Dominators-only config: the shared-memory path then stays array-only
+    in the worker (no Edge objects are ever built), which is exactly the
+    regime the zero-copy protocol targets.  workers=1 is the serial path
+    (no pool, no transport) and anchors each band.
+
+    Two corpus styles per band:
+
+    * ``distinct`` -- every item a different graph.  Both transports pay
+      one freeze per item somewhere (parent for shm, worker for pickle),
+      so the gap is just the serialization tax.
+    * ``shared`` -- a sweep: every item the *same* graph (replay/fault
+      campaigns, config sweeps).  The batch exports one segment and ships
+      a handle per item, while the pickled path re-sends, re-decodes, and
+      re-freezes the full graph per item -- the zero-copy headline case.
+    """
+    from repro.config import AnalysisConfig
+    from repro.resilience.batch import run_batch
+    from repro.synth.structured import random_lowered_procedure
+
+    rows = []
+    for band, statements, items in BATCH_BANDS:
+        cfgs = [
+            random_lowered_procedure(7 + i, target_statements=statements).cfg
+            for i in range(items)
+        ]
+        nodes = sum(c.num_nodes for c in cfgs) // items
+        corpora = {
+            "distinct": [(f"i{i}", (lambda c=c: c)) for i, c in enumerate(cfgs)],
+            "shared": [(f"s{i}", (lambda c=cfgs[0]: c)) for i in range(items)],
+        }
+
+        def run(corpus, workers, shm):
+            config = AnalysisConfig(
+                workers=workers,
+                retries=0,
+                analyses=("dominators",),
+                shared_batch_memory=shm,
+            )
+            best = None
+            for _ in range(BATCH_REPEATS):
+                started = time.perf_counter()
+                report = run_batch(list(corpus), config=config)
+                elapsed = time.perf_counter() - started
+                assert report.ok, report.render()
+                best = elapsed if best is None else min(best, elapsed)
+            return items / best
+
+        for style, corpus in corpora.items():
+            for workers in BATCH_WORKERS:
+                base = {
+                    "band": band,
+                    "corpus": style,
+                    "statements": statements,
+                    "avg_nodes": nodes,
+                    "items": items,
+                    "workers": workers,
+                }
+                if workers == 1:
+                    row = {
+                        **base,
+                        "serial_items_per_s": round(run(corpus, 1, True), 2),
+                    }
+                else:
+                    shm_rate = run(corpus, workers, True)
+                    pickle_rate = run(corpus, workers, False)
+                    row = {
+                        **base,
+                        "shm_items_per_s": round(shm_rate, 2),
+                        "pickle_items_per_s": round(pickle_rate, 2),
+                        "shm_over_pickle": round(shm_rate / pickle_rate, 2),
+                    }
+                rows.append(row)
+                print(f"batch {row}", file=sys.stderr)
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", required=True, help="generation label")
+    parser.add_argument("--label", default=None, help="generation label")
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "kernel", "vectorized"),
+        help="kernel tier to measure under (default auto)",
+    )
+    parser.add_argument(
+        "--same-sitting", action="store_true",
+        help="mark the entry as measured in the same sitting as the "
+        "previous one (makes speedup_median_vs_previous a strong claim)",
+    )
+    parser.add_argument(
+        "--batch-throughput", action="store_true",
+        help="measure run_batch items/sec (bands x workers x transport) "
+        "into the JSON's batch_throughput key instead of a trajectory entry",
+    )
     parser.add_argument(
         "--git-rev", default=None,
         help="revision to record (default: current short rev)",
@@ -90,14 +207,41 @@ def main(argv=None) -> int:
 
     with open(RESULTS) as handle:
         trajectory_file = json.load(handle)
+
+    if args.batch_throughput:
+        block = {
+            "git_rev": args.git_rev or git_rev(),
+            "cpu_count": os.cpu_count(),
+            "config": "dominators-only, retries=0, best of "
+            f"{BATCH_REPEATS} runs per cell",
+            "rows": batch_throughput_series(),
+        }
+        if args.append:
+            trajectory_file["batch_throughput"] = block
+            with open(RESULTS, "w") as handle:
+                json.dump(trajectory_file, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote batch_throughput block to {RESULTS}", file=sys.stderr)
+        else:
+            json.dump(block, sys.stdout, indent=2, sort_keys=True)
+            print()
+        return 0
+
+    if not args.label:
+        parser.error("--label is required unless --batch-throughput")
+
     previous = trajectory_file["trajectory"][-1] if trajectory_file["trajectory"] else None
 
-    measured = measurements()
+    from repro.kernel.backend import use_backend
+
+    with use_backend(args.backend):
+        measured = measurements()
     entry = {
         "git_rev": args.git_rev or git_rev(),
         "label": args.label,
+        "backend": args.backend,
         "cpu_count": os.cpu_count(),
-        "measured_in_sitting_with_previous": False,
+        "measured_in_sitting_with_previous": bool(args.same_sitting),
         "measurements": measured,
     }
     if previous is not None:

@@ -65,7 +65,16 @@ class AnalysisConfig:
         switches and merges the shards (spans re-parented, metrics
         summed) back into this observer as items complete.
     Batch
-        ``workers``, ``retries``, ``backoff``, ``backoff_factor``.
+        ``workers``, ``retries``, ``backoff``, ``backoff_factor``,
+        ``shared_batch_memory`` (ship worker items as shared-memory CSR
+        handles instead of pickled snapshots when the platform allows).
+    Backend
+        ``backend`` -- kernel implementation tier: ``"auto"`` (vectorized
+        when NumPy is importable, else the array kernels), ``"kernel"``
+        (force the PR 3 array kernels), or ``"vectorized"`` (prefer the
+        NumPy/packed-bit tier; silently degrades to ``kernel`` without
+        NumPy -- the tiers are exact-parity by contract, so degradation
+        is always safe).
     """
 
     analyses: Optional[Tuple[str, ...]] = None
@@ -89,6 +98,12 @@ class AnalysisConfig:
     #: entries once their size-accounted cost (CSR array bytes, see
     #: :func:`repro.service.cache.frozen_cost_bytes`) exceeds the bound.
     max_cache_bytes: Optional[int] = None
+    #: Kernel implementation tier (see :mod:`repro.kernel.backend`).
+    backend: str = "auto"
+    #: Allow run_batch workers to attach parent-owned shared-memory CSR
+    #: segments (zero-copy) instead of unpickling a full snapshot per item.
+    #: Disabling forces the portable pickled path.
+    shared_batch_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.fast_retries < 0:
@@ -107,6 +122,13 @@ class AnalysisConfig:
             raise ValueError("step_budget must be >= 0")
         if self.max_cache_bytes is not None and self.max_cache_bytes < 0:
             raise ValueError("max_cache_bytes must be >= 0")
+        from repro.kernel.backend import VALID_BACKENDS
+
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(VALID_BACKENDS)}; "
+                f"got {self.backend!r}"
+            )
         if self.analyses is not None:
             # Normalize any iterable to a tuple so the config stays hashable.
             object.__setattr__(self, "analyses", tuple(self.analyses))

@@ -31,25 +31,40 @@ def solve_iterative(
     Runs the array kernel
     (:func:`repro.kernel.dataflow.kernel_solve_iterative`) over the shared
     frozen snapshot -- backward problems solve directly on the predecessor
-    CSR rows, with no reversed-graph copy.
+    CSR rows, with no reversed-graph copy.  On the vectorized backend tier,
+    stock gen/kill problems take the packed bit-vector solver
+    (:func:`repro.kernel.vectorized.vectorized_solve_genkill`) instead --
+    same fixpoint, same billing, machine-word transfer functions.
     :func:`solve_iterative_reference` is the retained object-graph
     implementation the fuzz oracles compare against.
     """
     if (cfg.end if problem.direction == BACKWARD else cfg.start) is not None:
+        from repro.kernel.backend import vectorized_enabled
         from repro.kernel.dataflow import kernel_solve_iterative
         from repro.kernel.registry import shared_frozen
 
+        solver = kernel_solve_iterative
+        impl = "kernel"
+        if vectorized_enabled():
+            from repro.kernel.vectorized import (
+                genkill_solver_compatible,
+                vectorized_solve_genkill,
+            )
+
+            if genkill_solver_compatible(problem):
+                solver = vectorized_solve_genkill
+                impl = "vectorized"
         o = _obs._CURRENT
         if o is None:
-            return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
-        o.count("dispatch", component="solve_iterative", impl="kernel")
+            return solver(shared_frozen(cfg), problem, ticker)
+        o.count("dispatch", component="solve_iterative", impl=impl)
         with o.span(
             "solve_iterative",
-            impl="kernel",
+            impl=impl,
             n_nodes=cfg.num_nodes,
             n_edges=cfg.num_edges,
         ):
-            return kernel_solve_iterative(shared_frozen(cfg), problem, ticker)
+            return solver(shared_frozen(cfg), problem, ticker)
     return solve_iterative_reference(cfg, problem, ticker)
 
 

@@ -33,7 +33,35 @@ def immediate_dominators(
     is charged one step per node per fixpoint sweep (billed in bulk at the
     top of each sweep, so the per-node loop stays guard-free), bounding the
     worst-case O(V) sweeps irreducible graphs can need.
+
+    Runs the array kernel
+    (:func:`repro.kernel.dominance.kernel_immediate_dominators`) over the
+    shared frozen snapshot; :func:`immediate_dominators_reference` is the
+    retained object-graph implementation the fuzz oracles compare against.
     """
+    root = require_root(cfg, cfg.start if root is None else root, "dominator computation")
+    from repro.kernel.dominance import kernel_immediate_dominators
+    from repro.kernel.registry import shared_frozen
+
+    o = _obs._CURRENT
+    if o is None:
+        frozen = shared_frozen(cfg)
+        return kernel_immediate_dominators(frozen, frozen.index_of[root], ticker)
+    o.count("dispatch", component="immediate_dominators", impl="kernel")
+    with o.span(
+        "immediate_dominators",
+        impl="kernel",
+        n_nodes=cfg.num_nodes,
+        n_edges=cfg.num_edges,
+    ):
+        frozen = shared_frozen(cfg)
+        return kernel_immediate_dominators(frozen, frozen.index_of[root], ticker)
+
+
+def immediate_dominators_reference(
+    cfg: CFG, root: Optional[NodeId] = None, ticker: Optional[Ticker] = None
+) -> Dict[NodeId, NodeId]:
+    """Object-graph reference for :func:`immediate_dominators` (same contract)."""
     root = require_root(cfg, cfg.start if root is None else root, "dominator computation")
     o = _obs._CURRENT
     if o is None:

@@ -23,6 +23,9 @@ control regions       O(E) node-cycle-equivalence vs the FOW87
 CSR kernels           every array kernel vs its retained object-graph
                       reference, exact (identical ids and shapes, not
                       just equal partitions)
+backend tiers         reference vs array kernel vs vectorized
+                      (NumPy/packed-bit) under ``use_backend``, same
+                      exactness, including dataflow fixpoints
 dataflow              iterative fixpoint vs PST elimination vs QPG
                       sparse solve, for RD / LV / AE
 φ-placement           iterated dominance frontiers vs PST placement
@@ -53,14 +56,17 @@ from repro.controldep.fow import control_regions_by_definition
 from repro.controldep.regions_cfs import control_regions_cfs
 from repro.controldep.regions_fast import control_regions, control_regions_reference
 from repro.dataflow.elimination import solve_elimination
-from repro.dataflow.iterative import solve_iterative
+from repro.dataflow.iterative import solve_iterative, solve_iterative_reference
 from repro.dataflow.problems import (
     AvailableExpressions,
     LiveVariables,
     ReachingDefinitions,
 )
 from repro.dataflow.qpg import solve_qpg
-from repro.dominance.iterative import immediate_dominators
+from repro.dominance.iterative import (
+    immediate_dominators,
+    immediate_dominators_reference,
+)
 from repro.dominance.lengauer_tarjan import lengauer_tarjan, lengauer_tarjan_reference
 from repro.dominance.pst_dominators import pst_immediate_dominators
 from repro.dominance.tree import DominatorTree
@@ -299,6 +305,60 @@ def _check_kernel_reference(case: FuzzCase) -> Optional[str]:
     return None
 
 
+def _check_backend_three_way(case: FuzzCase) -> Optional[str]:
+    """Reference vs array kernel vs vectorized tier agree *exactly*.
+
+    Same strictness as :func:`_check_kernel_reference`, one axis more: the
+    public entry points are run under ``use_backend("kernel")`` and
+    ``use_backend("vectorized")`` and both tiers must return bit-identical
+    cycle-equivalence class ids, idoms, PST shape, control regions, and
+    dataflow fixpoints -- and match the object-graph references.  Without
+    NumPy the vectorized leg resolves to the array kernels (the documented
+    degradation), so the check never skips, it just collapses to two-way.
+    """
+    from repro.kernel.backend import use_backend
+
+    cfg = case.cfg
+    proc = case.proc
+
+    def tier_snapshot() -> tuple:
+        ce = cycle_equivalence_of_cfg(cfg, validate=False)
+        class_ids = tuple(ce.class_of[edge] for edge in cfg.edges)
+        idom = immediate_dominators(cfg)
+        pst = _pst_signature(build_pst(cfg))
+        cr = control_regions(cfg, validate=False)
+        flows = tuple(
+            solve_iterative(proc.cfg, problem_cls(proc))
+            for problem_cls in (ReachingDefinitions, LiveVariables, AvailableExpressions)
+        )
+        return class_ids, idom, pst, cr, flows
+
+    with use_backend("kernel"):
+        kernel = tier_snapshot()
+    with use_backend("vectorized"):
+        vectorized = tier_snapshot()
+    reference = (
+        tuple(
+            cycle_equivalence_of_cfg_reference(cfg, validate=False).class_of[edge]
+            for edge in cfg.edges
+        ),
+        immediate_dominators_reference(cfg),
+        _pst_signature(build_pst_reference(cfg)),
+        control_regions_reference(cfg, validate=False),
+        tuple(
+            solve_iterative_reference(proc.cfg, problem_cls(proc))
+            for problem_cls in (ReachingDefinitions, LiveVariables, AvailableExpressions)
+        ),
+    )
+    labels = ("cycle-equiv class ids", "idoms", "PST shape", "control regions", "dataflow fixpoints")
+    for name, k, v, r in zip(labels, kernel, vectorized, reference):
+        if k != v:
+            return f"{name}: kernel tier != vectorized tier"
+        if k != r:
+            return f"{name}: kernel tier != reference"
+    return None
+
+
 # ----------------------------------------------------------------------
 # dominators
 # ----------------------------------------------------------------------
@@ -465,6 +525,7 @@ ALL_ORACLES: List[Oracle] = [
     Oracle("sese/definition", _check_sese_definition),
     Oracle("pst/structure", _check_pst_structure),
     Oracle("kernel/reference", _check_kernel_reference),
+    Oracle("backend/three-way", _check_backend_three_way),
     Oracle("dominators/matrix", _check_dominators),
     Oracle("postdominators/pair", _check_postdominators),
     Oracle("control-regions/matrix", _check_control_regions),

@@ -1,0 +1,121 @@
+"""Kernel backend tiers: reference / kernel / vectorized.
+
+The repo ships three generations of every hot analysis:
+
+* ``reference`` -- the object-graph implementations (PR 1-2 era), retained
+  as the oracles the fuzz matrix compares against.  Never selected here;
+  callers reach them through the explicit ``*_reference`` entry points.
+* ``kernel`` -- the frozen-CSR array ports (PR 3), the default.
+* ``vectorized`` -- bulk-array ports of the flattest kernel loops (this
+  module's reason to exist): the undirected-CSR / node-expansion builds and
+  bracket-name compaction in cycle equivalence use NumPy, and the gen/kill
+  dataflow solver runs on packed bit-vector rows.  Exact parity with the
+  kernel tier is a hard contract (the three-way fuzz oracle pins it).
+
+NumPy is an *optional* extra (``pip install repro[fast]``).  The vectorized
+tier is only eligible when NumPy imports; otherwise every dispatch falls
+back to the kernel tier silently -- same results, same API, just the PR 3
+constant factor.
+
+Selection, in precedence order:
+
+1. an explicit :func:`use_backend` override (how
+   :func:`~repro.resilience.engine.run_analysis` applies
+   ``AnalysisConfig.backend`` per call, thread-safely);
+2. the ``REPRO_BACKEND`` environment variable (``auto`` / ``kernel`` /
+   ``vectorized``);
+3. the default, ``auto`` -- vectorized when NumPy is present.
+
+``REPRO_NO_NUMPY=1`` makes the probe report NumPy as absent even when it is
+installed; the no-NumPy CI leg and the fallback tests use it to exercise
+the degraded dispatch without uninstalling anything.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+#: Backend names accepted by ``AnalysisConfig.backend`` / ``REPRO_BACKEND``.
+VALID_BACKENDS = ("auto", "kernel", "vectorized")
+
+#: Cache for the NumPy probe: None = not probed yet, False = unavailable,
+#: otherwise the module object itself.
+_NUMPY: object = None
+
+_OVERRIDE: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_backend_override", default=None
+)
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when unavailable (probed once).
+
+    ``REPRO_NO_NUMPY`` (any non-empty value) forces ``None``, letting tests
+    and the no-NumPy CI leg prove the fallback path on hosts that do have
+    NumPy installed.  The probe result is cached; tests that flip the
+    environment variable should also reset :data:`_NUMPY`.
+    """
+    global _NUMPY
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    if _NUMPY is None:
+        try:
+            import numpy
+
+            _NUMPY = numpy
+        except Exception:
+            _NUMPY = False
+    return _NUMPY if _NUMPY is not False else None
+
+
+def requested_backend() -> str:
+    """The backend being *asked for* (before availability is considered)."""
+    override = _OVERRIDE.get()
+    if override is not None:
+        return override
+    env = os.environ.get("REPRO_BACKEND", "auto").strip().lower()
+    return env if env in VALID_BACKENDS else "auto"
+
+
+def resolve_backend() -> str:
+    """The backend to *run*: ``"kernel"`` or ``"vectorized"``.
+
+    ``auto`` (and an explicit ``vectorized`` request) resolve to
+    ``vectorized`` only when NumPy is importable; everything else -- an
+    explicit ``kernel`` request, or NumPy missing -- resolves to ``kernel``.
+    An explicit ``vectorized`` request without NumPy is not an error: the
+    whole point of the tier contract is that the kernel path computes the
+    same answers, so degrading silently is always safe.
+    """
+    requested = requested_backend()
+    if requested == "kernel":
+        return "kernel"
+    return "vectorized" if numpy_or_none() is not None else "kernel"
+
+
+def vectorized_enabled() -> bool:
+    """True iff dispatch should take the vectorized tier right now."""
+    return resolve_backend() == "vectorized"
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Scoped backend override (``None`` defers to env/default).
+
+    Uses a :class:`contextvars.ContextVar`, so concurrent server threads
+    each see their own request's choice.  Invalid names raise
+    ``ValueError`` eagerly -- config validation should have caught them,
+    so a typo here is a programming error, not a runtime degradation.
+    """
+    if name is not None and name not in VALID_BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(VALID_BACKENDS)}"
+        )
+    token = _OVERRIDE.set(name)
+    try:
+        yield
+    finally:
+        _OVERRIDE.reset(token)

@@ -25,6 +25,7 @@ result memoization is the explicit opt-in job of
 from __future__ import annotations
 
 import weakref
+from collections import deque
 from typing import Optional
 
 from repro.cfg.graph import CFG
@@ -53,6 +54,7 @@ def configure(max_bytes: Optional[int]) -> None:
         return
     from repro.service.cache import SizedLRU, frozen_cost_bytes
 
+    _drain_dead_refs()
     if _LRU is None:
         lru = SizedLRU(max_bytes, name="kernel.registry", on_evict=_drop_snapshot)
         _LRU = lru
@@ -76,29 +78,68 @@ def _drop_snapshot(ref: "weakref.ref", _value) -> None:
         _FROZEN.pop(cfg, None)
 
 
+#: Keys whose CFG died, awaiting removal from the LRU accounting.  The
+#: weakref death callback runs *during garbage collection*, which can fire
+#: inside any allocation -- including one made while the LRU's own lock is
+#: held (``SizedLRU.put`` on this very thread).  Taking the lock from the
+#: callback therefore self-deadlocks; instead the callback only appends to
+#: this deque (``deque.append`` is atomic, no lock) and the next registry
+#: operation drains it under normal, non-GC context.
+_DEAD_REFS: "deque[weakref.ref]" = deque()
+
+
+def _drain_dead_refs() -> None:
+    """Retire accounting entries for CFGs that died since the last call."""
+    lru = _LRU
+    while _DEAD_REFS:
+        ref = _DEAD_REFS.popleft()
+        if lru is not None:
+            lru.pop(ref)
+
+
 def _tracking_ref(cfg: CFG) -> "weakref.ref":
     """A weakref LRU key whose death callback retires its accounting entry.
 
     The value stored against it is ``None`` -- the LRU must never hold the
     CFG strongly, or snapshots would stop dying with their graphs.  Refs to
     the same live CFG compare equal, so repeat calls address one entry.
+    The callback must stay lock-free (see :data:`_DEAD_REFS`).
     """
-
-    def _dead(ref: "weakref.ref") -> None:
-        lru = _LRU
-        if lru is not None:
-            lru.pop(ref)
-
-    return weakref.ref(cfg, _dead)
+    return weakref.ref(cfg, _DEAD_REFS.append)
 
 
 def registry_stats() -> dict:
     """Entries/bytes/evictions of the accounting layer (zeros if unarmed)."""
     if _LRU is None:
         return {"entries": len(_FROZEN), "bytes": 0, "evictions": 0, "bounded": False}
+    _drain_dead_refs()
     stats = _LRU.stats()
     stats["bounded"] = True
     return stats
+
+
+def adopt_frozen(cfg: CFG, frozen: FrozenCFG) -> FrozenCFG:
+    """Seed the registry with an externally built snapshot of ``cfg``.
+
+    Used by the shared-memory batch path
+    (:func:`repro.kernel.shm.attach_frozen`): the worker's snapshot arrays
+    are zero-copy views into a parent-owned segment, so freezing again
+    would defeat the point.  The snapshot must describe the CFG's current
+    ``version``; from here on :func:`shared_frozen` treats it exactly like
+    one it froze itself (including LRU accounting when a bound is armed).
+    """
+    if frozen.version != cfg.version:
+        raise ValueError(
+            "adopt_frozen: snapshot version "
+            f"{frozen.version} != CFG version {cfg.version}"
+        )
+    _FROZEN[cfg] = frozen
+    if _LRU is not None:
+        from repro.service.cache import frozen_cost_bytes
+
+        _drain_dead_refs()
+        _LRU.put(_tracking_ref(cfg), None, frozen_cost_bytes(frozen))
+    return frozen
 
 
 def shared_frozen(cfg: CFG) -> FrozenCFG:
@@ -124,10 +165,12 @@ def shared_frozen(cfg: CFG) -> FrozenCFG:
         if lru is not None:
             from repro.service.cache import frozen_cost_bytes
 
+            _drain_dead_refs()
             lru.put(_tracking_ref(cfg), None, frozen_cost_bytes(frozen))
     else:
         if o is not None:
             o.count("frozen.cache", result="hit")
         if lru is not None:
+            _drain_dead_refs()
             lru.get(weakref.ref(cfg))  # refresh recency
     return frozen

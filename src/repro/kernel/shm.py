@@ -1,0 +1,463 @@
+"""Zero-copy CSR snapshot sharing over ``multiprocessing.shared_memory``.
+
+``run_batch --workers N`` historically pickled every CFG per item: the
+whole object graph crossed the process boundary, and the worker rebuilt
+and re-froze it before any analysis ran -- a serialization tax that grows
+with graph size.  The frozen CSR layout was designed to be shared
+read-only across processes, and this module cashes that in:
+
+* the parent :func:`export_frozen`\\ s a snapshot into one shared-memory
+  segment (the eight int64 CSR arrays plus self-loops back-to-back,
+  followed by a small pickled blob holding the only object data a worker
+  needs: graph name, node ids, edge labels);
+* the submitted payload is just :class:`SegmentMeta` -- segment name and
+  layout counts, a few dozen bytes regardless of graph size;
+* the worker :func:`attach_frozen`\\ s the segment: the CSR arrays become
+  ``memoryview.cast("q")`` windows into the *same* pages (no copy, no
+  re-freeze), wrapped in a :class:`SharedCFG` shell plus a
+  :class:`~repro.kernel.csr.FrozenCFG` seeded into the snapshot registry
+  via :func:`~repro.kernel.registry.adopt_frozen` -- so every kernel
+  dispatch finds it exactly as if ``freeze`` had run.
+
+:class:`SharedCFG` materializes its object adjacency lazily: array-only
+runs (validation + dominators, for instance) never build a single
+:class:`~repro.cfg.graph.Edge`; anything that genuinely needs the object
+graph (PST postconditions, ``edge_split``, mutation) hydrates it on first
+touch from the shared arrays, *without* bumping the mutation version --
+the adopted snapshot stays valid.
+
+Lifecycle is parent-owned: every created segment registers in a
+process-wide table and is unlinked when its last consuming item completes
+(a batch exports one segment per *distinct* snapshot, so a sweep corpus
+re-analyzing one graph under many keys ships one copy), when the batch
+exits (crashed workers included -- the executor's future still resolves),
+at :func:`cleanup_all` (wired into service drain), and at interpreter exit
+as a last resort.  Workers merely close their attachment; on Python >= 3.8
+the per-process resource tracker is told to forget worker-side
+attachments so it does not double-unlink segments the parent owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from array import array
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.graph import CFG, NodeId
+from repro.kernel.csr import FrozenCFG
+
+try:  # pragma: no cover - exercised via availability checks
+    from multiprocessing import shared_memory as _shared_memory
+except Exception:  # pragma: no cover - platforms without _posixshmem
+    _shared_memory = None
+
+#: The array fields of a snapshot, in segment layout order.
+_ARRAYS = (
+    "edge_src",
+    "edge_dst",
+    "succ_off",
+    "succ_edge",
+    "succ_dst",
+    "pred_off",
+    "pred_edge",
+    "pred_src",
+    "self_loops",
+)
+
+_ITEM = 8  # bytes per int64 slot
+
+
+def shared_memory_available() -> bool:
+    """True when the platform offers ``multiprocessing.shared_memory``.
+
+    ``REPRO_NO_SHM`` (any non-empty value) forces False so tests and CI
+    can exercise the pickled fallback on capable hosts.
+    """
+    if os.environ.get("REPRO_NO_SHM"):
+        return False
+    return _shared_memory is not None
+
+
+# ---------------------------------------------------------------------------
+# Parent-owned segment lifecycle
+# ---------------------------------------------------------------------------
+
+_LIVE_LOCK = threading.Lock()
+_LIVE_SEGMENTS: Dict[str, object] = {}
+
+
+def _track(segment) -> None:
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS[segment.name] = segment
+
+
+def release_segment(name: str) -> None:
+    """Close and unlink one parent-owned segment (idempotent)."""
+    with _LIVE_LOCK:
+        segment = _LIVE_SEGMENTS.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except Exception:
+        pass
+
+
+def live_segment_names() -> List[str]:
+    """Names of parent-owned segments not yet released (for tests/drain)."""
+    with _LIVE_LOCK:
+        return list(_LIVE_SEGMENTS)
+
+
+def cleanup_all() -> int:
+    """Release every parent-owned segment; returns how many were dropped.
+
+    Registered with ``atexit`` and as a service drain flush hook, so
+    worker crashes, SIGTERM drains, and interpreter shutdown all converge
+    on the same no-leaked-``/dev/shm``-entries guarantee.
+    """
+    dropped = 0
+    for name in live_segment_names():
+        release_segment(name)
+        dropped += 1
+    return dropped
+
+
+atexit.register(cleanup_all)
+
+
+# ---------------------------------------------------------------------------
+# Export (parent side)
+# ---------------------------------------------------------------------------
+
+#: (segment_name, n, m, k, start, end, blob_off, blob_len) -- everything a
+#: worker needs to attach; sizes in int64 slots for the arrays, bytes for
+#: the blob.
+SegmentMeta = Tuple[str, int, int, int, int, int, int, int]
+
+
+def export_frozen(frozen: FrozenCFG) -> SegmentMeta:
+    """Copy ``frozen`` into a new parent-owned shared-memory segment.
+
+    One copy, at the parent, ever: workers attach the same pages.  The
+    segment is registered for :func:`cleanup_all`; callers release it via
+    :func:`release_segment` once the consuming item is done.
+    """
+    assert _shared_memory is not None, "shared memory unavailable"
+    n = frozen.num_nodes
+    m = frozen.num_edges
+    k = len(frozen.self_loops)
+    cfg = frozen.cfg
+    blob = pickle.dumps(
+        (
+            cfg.name,
+            tuple(frozen.node_ids),
+            tuple(e.label for e in cfg.edges),
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    ints = 6 * m + 2 * (n + 1) + k
+    blob_off = _ITEM * ints
+    segment = _shared_memory.SharedMemory(
+        create=True, size=max(blob_off + len(blob), 1)
+    )
+    _track(segment)
+    buf = segment.buf
+    off = 0
+    for field in _ARRAYS:
+        data = array("q", getattr(frozen, field)).tobytes()
+        buf[off:off + len(data)] = data
+        off += len(data)
+    assert off == blob_off, "segment layout drifted from its meta"
+    buf[blob_off:blob_off + len(blob)] = blob
+    return (
+        segment.name,
+        n,
+        m,
+        k,
+        frozen.start,
+        frozen.end,
+        blob_off,
+        len(blob),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Attach (worker side)
+# ---------------------------------------------------------------------------
+
+
+class SharedCFG(CFG):
+    """A CFG shell over an attached shared snapshot, hydrated on demand.
+
+    Constructed only by :func:`attach_frozen`.  Nodes exist eagerly (the
+    node dicts are how ``has_node``/containment/iteration answer), but the
+    object adjacency starts empty; degree and edge-count queries answer
+    straight from the CSR arrays.  The first call that needs
+    :class:`~repro.cfg.graph.Edge` objects -- including any mutation --
+    hydrates them from the shared arrays with the mutation version held
+    fixed, so the adopted frozen snapshot remains valid and positional
+    edge indexing matches the parent's exactly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_ids: List[NodeId],
+        start: Optional[NodeId],
+        end: Optional[NodeId],
+        labels: Tuple[Optional[str], ...],
+    ):
+        super().__init__(name=name)
+        self.start = start
+        self.end = end
+        for node in node_ids:
+            self._succs[node] = []
+            self._preds[node] = []
+        self._version = 0
+        self._labels = labels
+        self._hydrated = False
+        self._frozen: Optional[FrozenCFG] = None
+
+    # -- hydration ------------------------------------------------------
+    def _hydrate(self) -> None:
+        if self._hydrated:
+            return
+        self._hydrated = True
+        frozen = self._frozen
+        assert frozen is not None, "SharedCFG detached from its snapshot"
+        version = self._version
+        node_ids = frozen.node_ids
+        labels = self._labels
+        esrc = frozen.edge_src
+        edst = frozen.edge_dst
+        for e in range(frozen.num_edges):
+            self.add_edge(node_ids[esrc[e]], node_ids[edst[e]], labels[e])
+        # Hydration is not a mutation: the graph's structure is unchanged,
+        # so the adopted snapshot must stay version-valid.
+        self._version = version
+
+    # -- CSR-answered queries (no hydration) ----------------------------
+    @property
+    def num_edges(self) -> int:
+        if not self._hydrated:
+            return self._frozen.num_edges
+        return len(self._edges)
+
+    def out_degree(self, node: NodeId) -> int:
+        if not self._hydrated:
+            frozen = self._frozen
+            i = frozen.index_of[node]
+            return frozen.succ_off[i + 1] - frozen.succ_off[i]
+        return len(self._succs[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        if not self._hydrated:
+            frozen = self._frozen
+            i = frozen.index_of[node]
+            return frozen.pred_off[i + 1] - frozen.pred_off[i]
+        return len(self._preds[node])
+
+    # -- everything touching Edge objects hydrates first ----------------
+    @property
+    def edges(self):
+        self._hydrate()
+        return list(self._edges)
+
+    def out_edges(self, node):
+        self._hydrate()
+        return super().out_edges(node)
+
+    def in_edges(self, node):
+        self._hydrate()
+        return super().in_edges(node)
+
+    def iter_out_edges(self, node):
+        self._hydrate()
+        return super().iter_out_edges(node)
+
+    def iter_in_edges(self, node):
+        self._hydrate()
+        return super().iter_in_edges(node)
+
+    def successors(self, node):
+        self._hydrate()
+        return super().successors(node)
+
+    def predecessors(self, node):
+        self._hydrate()
+        return super().predecessors(node)
+
+    def find_edges(self, source, target):
+        self._hydrate()
+        return super().find_edges(source, target)
+
+    def copy(self, name=None):
+        self._hydrate()
+        return super().copy(name)
+
+    def reversed(self, name=None):
+        self._hydrate()
+        return super().reversed(name)
+
+    def edge_split(self, name=None):
+        self._hydrate()
+        return super().edge_split(name)
+
+    def with_return_edge(self, *args, **kwargs):
+        self._hydrate()
+        return super().with_return_edge(*args, **kwargs)
+
+    # Mutations hydrate too: afterwards the version moves and the shared
+    # snapshot is simply stale, which the registry handles by re-freezing
+    # from the (now complete) object graph.
+    def add_node(self, node):
+        if node not in self._succs:
+            self._hydrate()
+        return super().add_node(node)
+
+    def add_edge(self, source, target, label=None):
+        self._hydrate()
+        return super().add_edge(source, target, label)
+
+    def remove_edge(self, edge):
+        self._hydrate()
+        return super().remove_edge(edge)
+
+    def remove_node(self, node):
+        self._hydrate()
+        return super().remove_node(node)
+
+
+def close_attachment(segment) -> None:
+    """Best-effort close of a worker-side attachment.
+
+    The snapshot's memoryviews pin the mapping until the CFG/FrozenCFG
+    pair is collected; callers drop their references first, and a cycle
+    collection is attempted before giving up.  Failure is harmless -- the
+    mapping dies with the worker process and the *parent* owns the unlink
+    -- so this never raises.
+    """
+    try:
+        segment.close()
+        return
+    except BufferError:
+        pass
+    import gc
+
+    gc.collect()
+    try:
+        segment.close()
+    except BufferError:
+        pass
+
+
+def attach_frozen(meta: SegmentMeta) -> Tuple[SharedCFG, object]:
+    """Attach a parent-exported segment; returns ``(cfg, segment)``.
+
+    The returned CFG carries an adopted, registry-seeded
+    :class:`~repro.kernel.csr.FrozenCFG` whose arrays are zero-copy views
+    into the segment.  The caller must keep ``segment`` alive while the
+    CFG is in use and ``close()`` it afterwards (the *parent* unlinks).
+    """
+    assert _shared_memory is not None, "shared memory unavailable"
+    (seg_name, n, m, k, start, end, blob_off, blob_len) = meta
+    # The resource tracker auto-registers attachments and would unlink the
+    # segment when this process exits -- but ownership is the parent's,
+    # whose create-side registration already covers crash cleanup.
+    # Suppress registration for the attach (3.11 has no track=False yet);
+    # un-registering after the fact instead races the parent's unlink and
+    # spams the shared tracker with KeyErrors under a forked pool.
+    segment = None
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        _register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            segment = _shared_memory.SharedMemory(name=seg_name)
+        finally:
+            resource_tracker.register = _register
+    except Exception:
+        if segment is None:
+            segment = _shared_memory.SharedMemory(name=seg_name)
+    view = memoryview(segment.buf)
+    lengths = (m, m, n + 1, m, m, n + 1, m, m, k)
+    arrays = []
+    off = 0
+    for length in lengths:
+        arrays.append(view[off:off + _ITEM * length].cast("q"))
+        off += _ITEM * length
+    name, node_ids, labels = pickle.loads(view[blob_off:blob_off + blob_len])
+    node_list = list(node_ids)
+    cfg = SharedCFG(
+        name,
+        node_list,
+        node_list[start] if start >= 0 else None,
+        node_list[end] if end >= 0 else None,
+        labels,
+    )
+    frozen = FrozenCFG(
+        cfg,
+        cfg.version,
+        node_list,
+        {node: i for i, node in enumerate(node_list)},
+        start,
+        end,
+        *arrays,
+    )
+    cfg._frozen = frozen
+    from repro.kernel.registry import adopt_frozen
+
+    adopt_frozen(cfg, frozen)
+    return cfg, segment
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attachment reuse
+# ---------------------------------------------------------------------------
+
+_ATTACH_LOCK = threading.Lock()
+_ATTACH_CACHE: "OrderedDict[str, Tuple[SharedCFG, object]]" = OrderedDict()
+
+#: Attachments kept alive per process.  Small on purpose: a batch worker
+#: sees at most a handful of distinct segments at a time, and each entry
+#: pins one mapping plus one CFG shell.
+ATTACH_CACHE_MAX = 8
+
+
+def attach_frozen_cached(meta: SegmentMeta) -> SharedCFG:
+    """Attach with per-process reuse: same segment, same CFG, same caches.
+
+    A sweep batch (many items over one graph) hands each worker the same
+    segment name repeatedly; re-attaching per item would rebuild the CFG
+    shell, re-unpickle the blob, and -- worse -- discard every structural
+    cache hanging off the adopted snapshot (DFS skeletons, expansions).
+    This keeps the most recent :data:`ATTACH_CACHE_MAX` attachments alive
+    for the life of the process, so repeat items pay nothing but the
+    analysis itself.  Only *evicted* entries are closed; the parent still
+    owns the unlink, and an already-unlinked segment remains validly
+    mapped until the last attachment closes (POSIX semantics).
+    """
+    seg_name = meta[0]
+    with _ATTACH_LOCK:
+        entry = _ATTACH_CACHE.get(seg_name)
+        if entry is not None:
+            _ATTACH_CACHE.move_to_end(seg_name)
+            return entry[0]
+    cfg, segment = attach_frozen(meta)
+    with _ATTACH_LOCK:
+        _ATTACH_CACHE[seg_name] = (cfg, segment)
+        while len(_ATTACH_CACHE) > ATTACH_CACHE_MAX:
+            _, (old_cfg, old_segment) = _ATTACH_CACHE.popitem(last=False)
+            del old_cfg  # drop the shell first so the views can die
+            close_attachment(old_segment)
+    return cfg

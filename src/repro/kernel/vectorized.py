@@ -1,0 +1,362 @@
+"""Vectorized-tier implementations: bulk-array ports of the flattest loops.
+
+This is the third kernel generation (see :mod:`repro.kernel.backend`).  The
+members attack the interpreted constant factor in two ways:
+
+* **NumPy bulk builds** for the structural prep work of cycle equivalence:
+  the undirected-multigraph CSR (:func:`vectorized_undirected_csr`), the
+  Theorem 8 node expansion (:func:`vectorized_expansion`), and the final
+  class-naming scatter (:func:`vectorized_name_classes`).  A stable argsort
+  of the interleaved edge endpoints reproduces the kernel tier's fill-loop
+  slot order exactly, so the DFS -- and therefore every class id -- is
+  bit-identical to the kernel tier.
+* **Packed bit-vector rows** for gen/kill dataflow
+  (:func:`vectorized_solve_genkill`): facts become bit positions in Python
+  big ints, so transfer is ``gen | (x & ~kill)`` -- three machine-word-wide
+  C loop operations -- and meet over predecessors is a chain of ``|``/``&``.
+  This member deliberately does *not* use NumPy for the worklist itself:
+  per-pop array-call overhead swamps the win at typical row widths, and
+  full-matrix Jacobi sweeps lose the worklist's O(depth) convergence.
+  NumPy still gates the tier (one switch, one contract), and the packed
+  solver is exact -- the packing is a bijection, so the fixpoint decodes to
+  precisely the frozensets the kernel tier computes.
+
+Everything here returns plain Python lists/objects, because the consumers
+are still interpreted loops where ``np.int64`` scalar unboxing costs more
+than it saves.  All entry points require NumPy except the gen/kill solver;
+callers dispatch via :func:`repro.kernel.backend.vectorized_enabled` so the
+import is safe by construction (and each function degrades gracefully
+anyway, returning a sentinel the caller falls back on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.framework import BACKWARD, GenKillProblem, Solution
+from repro.kernel.backend import numpy_or_none
+from repro.kernel.csr import FrozenCFG
+from repro.resilience.guards import TICK_CHUNK, Ticker
+
+
+def _as_i64(seq, np):
+    """``seq`` as an int64 ndarray (zero-copy when it already is one)."""
+    if isinstance(seq, np.ndarray):
+        return seq.astype(np.int64, copy=False)
+    return np.fromiter(seq, dtype=np.int64, count=len(seq))
+
+
+def vectorized_undirected_csr(
+    n: int,
+    esrc: Sequence[int],
+    edst: Sequence[int],
+    virtual_edges: Sequence[Tuple[int, int]],
+) -> Tuple[List[int], List[int], int, int, List[int], List[int], List[int]]:
+    """NumPy build of the undirected CSR; same tuple as ``_undirected_csr``.
+
+    Slot-order equivalence with the kernel tier's fill loop is what makes
+    the tiers produce identical class ids, and it falls out of one
+    observation: the fill loop visits endpoint slots in the order
+    ``(ue, u-role), (ue, v-role)`` for ``ue = 0, 1, ...`` -- which is
+    exactly increasing position in the interleaved endpoint array
+    ``[u0, v0, u1, v1, ...]``.  A *stable* argsort of that array therefore
+    lists, for each node, its adjacency slots in precisely fill order.
+    """
+    np = numpy_or_none()
+    assert np is not None, "vectorized_undirected_csr requires NumPy"
+    m = len(esrc)
+    src = _as_i64(esrc, np)
+    dst = _as_i64(edst, np)
+    loop_mask = src == dst
+    if loop_mask.any():
+        self_loops = np.flatnonzero(loop_mask).tolist()
+        keep = ~loop_mask
+        real = np.flatnonzero(keep)
+        uu = src[keep]
+        vv = dst[keep]
+        ue_edge: List[int] = real.tolist()
+    else:
+        self_loops = []
+        uu = src
+        vv = dst
+        ue_edge = list(range(m))
+    n_real = len(ue_edge)
+    virt = [(u, v) for u, v in virtual_edges if u != v]
+    if virt:
+        uu = np.concatenate([uu, np.array([u for u, _ in virt], dtype=np.int64)])
+        vv = np.concatenate([vv, np.array([v for _, v in virt], dtype=np.int64)])
+        ue_edge.extend([-1] * len(virt))
+    n_ue = len(ue_edge)
+
+    # Interleaved endpoints and far-endpoints: position 2*ue is the u-role
+    # slot, 2*ue + 1 the v-role slot.
+    pts = np.empty(2 * n_ue, dtype=np.int64)
+    pts[0::2] = uu
+    pts[1::2] = vv
+    others = np.empty(2 * n_ue, dtype=np.int64)
+    others[0::2] = vv
+    others[1::2] = uu
+    order = np.argsort(pts, kind="stable")
+    adj = (order >> 1).tolist()
+    adj_other = others[order].tolist()
+    counts = np.bincount(pts, minlength=n)
+    adj_off = [0]
+    adj_off.extend(np.cumsum(counts).tolist())
+    return self_loops, ue_edge, n_real, n_ue, adj_off, adj, adj_other
+
+
+def vectorized_expansion(
+    n: int,
+    esrc: Sequence[int],
+    edst: Sequence[int],
+    start: int,
+    end: int,
+) -> Tuple[List[int], List[int]]:
+    """NumPy build of the Theorem 8 node-expansion edge arrays.
+
+    Node ``k`` becomes ``k_i = 2k``, ``k_o = 2k + 1``; the ``n``
+    representative ``k_i -> k_o`` edges come first (so node ``k``'s class
+    is ``classes[k]``), then the original edges, then the ``end -> start``
+    return edge -- identical layout to the kernel tier's Python loop.
+    """
+    np = numpy_or_none()
+    assert np is not None, "vectorized_expansion requires NumPy"
+    m = len(esrc)
+    x_src = np.empty(n + m + 1, dtype=np.int64)
+    x_dst = np.empty(n + m + 1, dtype=np.int64)
+    reps = np.arange(n, dtype=np.int64) << 1
+    x_src[:n] = reps
+    x_dst[:n] = reps + 1
+    x_src[n:n + m] = (_as_i64(esrc, np) << 1) + 1
+    x_dst[n:n + m] = _as_i64(edst, np) << 1
+    x_src[n + m] = 2 * end + 1
+    x_dst[n + m] = 2 * start
+    return x_src.tolist(), x_dst.tolist()
+
+
+def vectorized_name_classes(
+    classes: List[int],
+    ue_edge: Sequence[int],
+    ue_class: Sequence[int],
+    n_real: int,
+) -> bool:
+    """Scatter bracket class ids onto edge positions in bulk.
+
+    Replaces the kernel tier's per-edge naming loop with one fancy-indexed
+    assignment (real undirected edges occupy ``ue_edge[:n_real]``; virtual
+    edges follow and are unreported on every tier).  Returns False -- do it
+    the scalar way -- when NumPy is unavailable or there is nothing to
+    scatter.
+    """
+    np = numpy_or_none()
+    if np is None or n_real == 0:
+        return False
+    uc = np.fromiter(ue_class, dtype=np.int64, count=len(ue_class))[:n_real]
+    assert int((uc != -1).all()), "unlabelled undirected edge"
+    ue = np.fromiter(ue_edge, dtype=np.int64, count=len(ue_edge))[:n_real]
+    out = np.fromiter(classes, dtype=np.int64, count=len(classes))
+    out[ue] = uc
+    classes[:] = out.tolist()
+    return True
+
+
+def genkill_solver_compatible(problem) -> bool:
+    """True iff ``problem`` is a :class:`GenKillProblem` the packed solver
+    may replace the generic one for.
+
+    A subclass that overrides any of the framework-implemented methods
+    (``transfer``/``meet``/``boundary``/``top``) could diverge from the
+    closed gen/kill form the bit packing assumes, so only the stock
+    implementations qualify -- everything else takes the kernel tier.
+    """
+    if not isinstance(problem, GenKillProblem):
+        return False
+    cls = type(problem)
+    return (
+        cls.transfer is GenKillProblem.transfer
+        and cls.meet is GenKillProblem.meet
+        and cls.boundary is GenKillProblem.boundary
+        and cls.top is GenKillProblem.top
+    )
+
+
+def vectorized_solve_genkill(
+    frozen: FrozenCFG, problem: GenKillProblem, ticker: Optional[Ticker] = None
+) -> Solution:
+    """Packed bit-vector worklist solve of a stock gen/kill problem.
+
+    Same traversal, same seed order, same ticker billing (one step per
+    worklist pop, batched in :data:`TICK_CHUNK`), same ``Solution`` shape
+    as :func:`repro.kernel.dataflow.kernel_solve_iterative` -- only the
+    lattice values change representation: each frozenset becomes a Python
+    big int with one bit per fact.  Because the packing is a bijection and
+    ``int.__eq__`` agrees with frozenset equality under it, the fixpoint
+    (and the number of pops to reach it) is identical.
+    """
+    backward = problem.direction == BACKWARD
+    n = frozen.num_nodes
+    if backward:
+        root = frozen.end
+        succ_off = frozen.pred_off
+        succ_dst = frozen.pred_src
+        pred_off = frozen.succ_off
+        pred_src = frozen.succ_dst
+    else:
+        root = frozen.start
+        succ_off = frozen.succ_off
+        succ_dst = frozen.succ_dst
+        pred_off = frozen.pred_off
+        pred_src = frozen.pred_src
+    if root < 0:
+        raise KeyError(
+            f"CFG {frozen.cfg.name!r} has no {'end' if backward else 'start'} "
+            "node; the iterative solver needs a root in the solving direction"
+        )
+    node_ids = frozen.node_ids
+
+    # ------------------------------------------------------------------
+    # Pack the lattice: one bit per fact.  The index covers the universe
+    # plus any stray facts a problem's gen sets mention beyond it, so
+    # packing never drops information.
+    # ------------------------------------------------------------------
+    index: Dict[object, int] = {}
+    for f in problem.universe():
+        index.setdefault(f, len(index))
+    gen_bits = [0] * n
+    notk_bits = [0] * n
+    universe_mask = (1 << len(index)) - 1
+    for i in range(n):
+        node = node_ids[i]
+        g = 0
+        for f in problem.gen(node):
+            b = index.setdefault(f, len(index))
+            g |= 1 << b
+        k = 0
+        for f in problem.kill(node):
+            b = index.setdefault(f, len(index))
+            k |= 1 << b
+        gen_bits[i] = g
+        notk_bits[i] = ~k
+    union_meet = problem.meet_is_union
+    top_bits = 0 if union_meet else universe_mask
+    boundary_bits = 0
+
+    # Seed order: reverse postorder in the solving direction (identical
+    # DFS to the kernel solver, so pop order -- and billing -- match).
+    visited = bytearray(n)
+    visited[root] = 1
+    order: List[int] = []
+    stack = [[root, succ_off[root], succ_off[root + 1]]]
+    while stack:
+        frame = stack[-1]
+        ptr = frame[1]
+        end_ptr = frame[2]
+        advanced = False
+        while ptr < end_ptr:
+            nxt = succ_dst[ptr]
+            ptr += 1
+            if not visited[nxt]:
+                visited[nxt] = 1
+                frame[1] = ptr
+                stack.append([nxt, succ_off[nxt], succ_off[nxt + 1]])
+                advanced = True
+                break
+        if not advanced:
+            order.append(frame[0])
+            stack.pop()
+    order.reverse()
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("seed_order")
+
+    entry = [top_bits] * n
+    entry[root] = boundary_bits
+    exit_ = [gen_bits[i] | (entry[i] & notk_bits[i]) for i in range(n)]
+
+    tick = None if ticker is None else ticker.tick
+    pending = bytearray(n)
+    for i in order:
+        pending[i] = 1
+    queue = deque(order)
+    unbilled = 0
+    if union_meet:
+        while queue:
+            if tick is not None:
+                unbilled += 1
+                if unbilled == TICK_CHUNK:
+                    tick(TICK_CHUNK)
+                    unbilled = 0
+            node = queue.popleft()
+            pending[node] = 0
+            if node != root:
+                value = 0
+                for i in range(pred_off[node], pred_off[node + 1]):
+                    value |= exit_[pred_src[i]]
+                entry[node] = value
+            new_exit = gen_bits[node] | (entry[node] & notk_bits[node])
+            if new_exit != exit_[node]:
+                exit_[node] = new_exit
+                for i in range(succ_off[node], succ_off[node + 1]):
+                    succ = succ_dst[i]
+                    if not pending[succ]:
+                        pending[succ] = 1
+                        queue.append(succ)
+    else:
+        while queue:
+            if tick is not None:
+                unbilled += 1
+                if unbilled == TICK_CHUNK:
+                    tick(TICK_CHUNK)
+                    unbilled = 0
+            node = queue.popleft()
+            pending[node] = 0
+            if node != root:
+                lo = pred_off[node]
+                hi = pred_off[node + 1]
+                if lo == hi:
+                    # No predecessors: the meet over an empty set is top
+                    # (matches the generic solver's value-is-None branch).
+                    entry[node] = top_bits
+                else:
+                    value = exit_[pred_src[lo]]
+                    for i in range(lo + 1, hi):
+                        value &= exit_[pred_src[i]]
+                    entry[node] = value
+            new_exit = gen_bits[node] | (entry[node] & notk_bits[node])
+            if new_exit != exit_[node]:
+                exit_[node] = new_exit
+                for i in range(succ_off[node], succ_off[node + 1]):
+                    succ = succ_dst[i]
+                    if not pending[succ]:
+                        pending[succ] = 1
+                        queue.append(succ)
+    if tick is not None and unbilled:
+        tick(unbilled)
+    if ticker is not None and ticker.profile is not None:
+        ticker.mark("worklist")
+
+    # Decode back to frozensets, memoizing per distinct bit pattern (the
+    # fixpoint typically has far fewer distinct values than nodes).
+    facts = [None] * len(index)
+    for f, b in index.items():
+        facts[b] = f
+    decoded: Dict[int, frozenset] = {}
+
+    def decode(bits: int) -> frozenset:
+        got = decoded.get(bits)
+        if got is None:
+            members = []
+            v = bits
+            while v:
+                low = v & -v
+                members.append(facts[low.bit_length() - 1])
+                v ^= low
+            got = decoded[bits] = frozenset(members)
+        return got
+
+    entry_d = {node_ids[i]: decode(entry[i]) for i in range(n)}
+    exit_d = {node_ids[i]: decode(exit_[i]) for i in range(n)}
+    if backward:
+        # program order: `before` is the transferred (in) value.
+        return Solution(before=exit_d, after=entry_d)
+    return Solution(before=entry_d, after=exit_d)

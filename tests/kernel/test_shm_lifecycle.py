@@ -1,0 +1,239 @@
+"""Shared-memory segment lifecycle: no leaked ``/dev/shm`` entries, ever.
+
+Each test asserts the strongest form of "unlinked": re-opening the segment
+by name raises ``FileNotFoundError``.  The paths covered are the ones the
+batch protocol promises (see :mod:`repro.kernel.shm`):
+
+* normal completion of a parallel ``run_batch``;
+* a worker SIGKILLed mid-item (the future resolves broken; the *parent*
+  still owns and releases the segment);
+* a SIGTERM-drained ``repro serve`` process (the drain flush hook, not
+  ``atexit``, does the unlinking -- proven by exiting via ``os._exit``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.kernel import shm
+from repro.kernel.registry import shared_frozen
+from repro.resilience.batch import run_batch
+from repro.synth.unstructured import random_cfg
+
+pytestmark = pytest.mark.skipif(
+    not shm.shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def assert_unlinked(name: str) -> None:
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def corpus(n=4, num_nodes=30):
+    return [
+        (f"item{i}", (lambda s=i: random_cfg(seed=s, num_nodes=num_nodes, extra_edges=num_nodes // 2)))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def exported_names(monkeypatch):
+    """Record every segment name run_batch exports, without changing behaviour."""
+    names = []
+    real = shm.export_frozen
+
+    def recording(frozen):
+        meta = real(frozen)
+        names.append(meta[0])
+        return meta
+
+    monkeypatch.setattr(shm, "export_frozen", recording)
+    return names
+
+
+def test_export_attach_release_roundtrip():
+    cfg = random_cfg(seed=1, num_nodes=20, extra_edges=10)
+    frozen = shared_frozen(cfg)
+    meta = shm.export_frozen(frozen)
+    assert meta[0] in shm.live_segment_names()
+    attached, segment = shm.attach_frozen(meta)
+    try:
+        assert list(attached.nodes) == list(frozen.node_ids)
+        assert attached.num_edges == frozen.num_edges
+        assert list(attached._frozen.edge_src) == list(frozen.edge_src)
+    finally:
+        del attached
+        shm.close_attachment(segment)
+    shm.release_segment(meta[0])
+    assert meta[0] not in shm.live_segment_names()
+    assert_unlinked(meta[0])
+
+
+def test_release_segment_is_idempotent():
+    cfg = random_cfg(seed=2, num_nodes=10, extra_edges=4)
+    meta = shm.export_frozen(shared_frozen(cfg))
+    shm.release_segment(meta[0])
+    shm.release_segment(meta[0])  # second release is a no-op, not an error
+    assert_unlinked(meta[0])
+
+
+def test_run_batch_unlinks_every_segment(exported_names):
+    report = run_batch(corpus(), config=AnalysisConfig(workers=2, retries=0))
+    assert report.ok
+    assert len(exported_names) == 4  # the zero-copy path actually ran
+    assert shm.live_segment_names() == []
+    for name in exported_names:
+        assert_unlinked(name)
+
+
+def test_attach_cache_reuses_one_mapping():
+    """Repeat attaches of one segment return the very same CFG shell."""
+    cfg = random_cfg(seed=3, num_nodes=25, extra_edges=10)
+    meta = shm.export_frozen(shared_frozen(cfg))
+    try:
+        first = shm.attach_frozen_cached(meta)
+        second = shm.attach_frozen_cached(meta)
+        assert first is second
+        assert list(first.nodes) == list(cfg.nodes)
+    finally:
+        with shm._ATTACH_LOCK:
+            entry = shm._ATTACH_CACHE.pop(meta[0], None)
+        if entry is not None:
+            del entry
+        shm.release_segment(meta[0])
+    assert_unlinked(meta[0])
+
+
+def test_attach_cache_evicts_beyond_max(monkeypatch):
+    monkeypatch.setattr(shm, "ATTACH_CACHE_MAX", 2)
+    cfgs = [random_cfg(seed=s, num_nodes=10, extra_edges=3) for s in (11, 12, 13)]
+    metas = [shm.export_frozen(shared_frozen(cfg)) for cfg in cfgs]  # cfgs held: FrozenCFG is weak
+    try:
+        for meta in metas:
+            shm.attach_frozen_cached(meta)
+        with shm._ATTACH_LOCK:
+            assert len(shm._ATTACH_CACHE) == 2
+            assert metas[0][0] not in shm._ATTACH_CACHE  # oldest evicted
+    finally:
+        with shm._ATTACH_LOCK:
+            for meta in metas:
+                shm._ATTACH_CACHE.pop(meta[0], None)
+        for meta in metas:
+            shm.release_segment(meta[0])
+
+
+def test_sweep_corpus_exports_one_segment(exported_names):
+    """Items resolving to the same frozen snapshot share one segment.
+
+    Release must wait for the *last* consumer: with 6 keys over one graph
+    and 2 workers, several in-flight items map the same pages, and the
+    segment may only be unlinked once all their futures resolve.
+    """
+    big = random_cfg(seed=5, num_nodes=60, extra_edges=30)
+    corpus = [(f"sweep{i}", (lambda: big)) for i in range(6)]
+    report = run_batch(corpus, config=AnalysisConfig(workers=2, retries=0))
+    assert report.ok
+    assert len(exported_names) == 1
+    assert shm.live_segment_names() == []
+    assert_unlinked(exported_names[0])
+
+
+def test_run_batch_cleanup_all_backstop(exported_names):
+    """cleanup_all (the drain/atexit hook) sweeps anything still live."""
+    cfg = random_cfg(seed=9, num_nodes=12, extra_edges=4)
+    meta = shm.export_frozen(shared_frozen(cfg))
+    assert shm.cleanup_all() >= 1
+    assert shm.live_segment_names() == []
+    assert_unlinked(meta[0])
+
+
+def test_worker_killed_mid_item_still_unlinks(exported_names):
+    """SIGKILLing a pool worker must not leak its item's segment.
+
+    The broken future resolves with an exception; the parent's completion
+    loop (and its finally sweep) release the segment regardless of the
+    worker's fate.  The batch reports the affected items as errors -- the
+    lifecycle contract, not the analysis outcome, is under test.
+    """
+    import multiprocessing
+    import threading
+
+    def killer():
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            workers = multiprocessing.active_children()
+            if workers:
+                os.kill(workers[0].pid, signal.SIGKILL)
+                return
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    # Large-ish graphs so at least one item is still in flight when the
+    # SIGKILL lands; a fully drained pool just makes the test vacuous-ok.
+    report = run_batch(corpus(n=6, num_nodes=400), config=AnalysisConfig(workers=2, retries=0))
+    thread.join(timeout=10.0)
+    assert exported_names, "shm path did not run"
+    assert shm.live_segment_names() == []
+    for name in exported_names:
+        assert_unlinked(name)
+    # Every item got *a* result -- crashed ones as errors, the rest ok.
+    assert len(report.results) == 6
+
+
+SERVE_SCRIPT = textwrap.dedent(
+    """
+    import os, sys
+    from repro.kernel import shm
+    from repro.kernel.registry import shared_frozen
+    from repro.service.server import AnalysisServer, ServiceConfig
+    from repro.synth.unstructured import random_cfg
+
+    cfg = random_cfg(seed=1, num_nodes=20, extra_edges=8)  # FrozenCFG holds it weakly
+    meta = shm.export_frozen(shared_frozen(cfg))
+    server = AnalysisServer(ServiceConfig(port=0))
+    server.start()
+    print("SEG " + meta[0], flush=True)
+    server.serve_forever()  # parks until SIGTERM, then drains + flushes
+    print("LIVE " + ",".join(shm.live_segment_names()), flush=True)
+    # Skip atexit: if the segment is gone it was the drain hook that did it.
+    os._exit(0)
+    """
+)
+
+
+def test_sigterm_drain_unlinks_service_segments(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", SERVE_SCRIPT],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("SEG "), line
+        seg_name = line.split(" ", 1)[1]
+        time.sleep(0.2)  # let serve_forever reach its parking loop
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, err
+    assert "LIVE \n" in out + "\n" or out.strip().endswith("LIVE"), out
+    assert_unlinked(seg_name)

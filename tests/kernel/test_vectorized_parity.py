@@ -1,0 +1,207 @@
+"""Vectorized-tier selection and exact three-way parity spot checks.
+
+The fuzz campaign (``repro fuzz`` with the ``backend/three-way`` oracle)
+covers breadth; these pin the dispatch mechanics -- backend resolution
+order, the ``REPRO_NO_NUMPY`` degradation, config validation -- and a few
+deterministic kernel-vs-vectorized-vs-reference equalities so a tier
+divergence fails loudly in the unit suite.  Everything here runs with or
+without NumPy installed: without it the vectorized tier resolves to the
+array kernels, and the parity assertions collapse to (still meaningful)
+kernel-vs-reference checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.controldep.regions_fast import control_regions, control_regions_reference
+from repro.core.cycle_equiv import (
+    cycle_equivalence_of_cfg,
+    cycle_equivalence_of_cfg_reference,
+)
+from repro.dataflow.iterative import solve_iterative, solve_iterative_reference
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    LiveVariables,
+    ReachingDefinitions,
+)
+from repro.dominance.iterative import (
+    immediate_dominators,
+    immediate_dominators_reference,
+)
+from repro.dominance.lengauer_tarjan import lengauer_tarjan
+from repro.kernel import backend
+from repro.kernel.backend import resolve_backend, use_backend
+from repro.obs import observer as _obs
+from repro.obs.observer import Observer
+from repro.synth.structured import random_lowered_procedure
+from repro.synth.unstructured import random_cfg
+
+HAS_NUMPY = backend.numpy_or_none() is not None
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+def test_auto_resolves_by_numpy_presence():
+    expected = "vectorized" if HAS_NUMPY else "kernel"
+    with use_backend("auto"):
+        assert resolve_backend() == expected
+    with use_backend(None):
+        assert resolve_backend() == expected
+
+
+def test_explicit_kernel_always_wins():
+    with use_backend("kernel"):
+        assert resolve_backend() == "kernel"
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "kernel")
+    assert resolve_backend() == "kernel"
+    monkeypatch.setenv("REPRO_BACKEND", "not-a-backend")
+    # Unknown env spellings fall back to auto rather than erroring.
+    assert resolve_backend() == ("vectorized" if HAS_NUMPY else "kernel")
+
+
+def test_override_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+    with use_backend("kernel"):
+        assert resolve_backend() == "kernel"
+
+
+def test_no_numpy_degrades_even_explicit_vectorized(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    with use_backend("vectorized"):
+        assert resolve_backend() == "kernel"
+    monkeypatch.delenv("REPRO_NO_NUMPY")
+    # Module-level HAS_NUMPY was probed under the *outer* environment,
+    # which may itself set the kill switch (the no-NumPy CI leg does);
+    # with the variable gone the real probe is the only valid expectation.
+    numpy_present = backend.numpy_or_none() is not None
+    with use_backend("vectorized"):
+        assert resolve_backend() == ("vectorized" if numpy_present else "kernel")
+
+
+def test_use_backend_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        with use_backend("gpu"):
+            pass  # pragma: no cover
+
+
+def test_config_validates_backend():
+    assert AnalysisConfig(backend="vectorized").backend == "vectorized"
+    with pytest.raises(ValueError):
+        AnalysisConfig(backend="bogus")
+
+
+# ----------------------------------------------------------------------
+# exact parity: kernel tier vs vectorized tier vs reference
+# ----------------------------------------------------------------------
+
+SEEDS = (0, 3, 7, 12, 21)
+
+
+def _cfg(seed):
+    return random_cfg(seed=seed, num_nodes=30, extra_edges=18)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cycle_equivalence_three_way_exact(seed):
+    cfg = _cfg(seed)
+    with use_backend("kernel"):
+        kernel = cycle_equivalence_of_cfg(cfg).class_of
+    with use_backend("vectorized"):
+        vectorized = cycle_equivalence_of_cfg(cfg).class_of
+        again = cycle_equivalence_of_cfg(cfg).class_of  # cached-skeleton path
+    reference = cycle_equivalence_of_cfg_reference(cfg).class_of
+    assert kernel == vectorized == again == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_control_regions_three_way_exact(seed):
+    cfg = _cfg(seed)
+    with use_backend("kernel"):
+        kernel = control_regions(cfg)
+    with use_backend("vectorized"):
+        vectorized = control_regions(cfg)
+    assert kernel == vectorized == control_regions_reference(cfg)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dominators_three_way_exact(seed):
+    cfg = _cfg(seed)
+    with use_backend("kernel"):
+        kernel = immediate_dominators(cfg)
+    with use_backend("vectorized"):
+        vectorized = immediate_dominators(cfg)
+    reference = immediate_dominators_reference(cfg)
+    assert kernel == vectorized == reference
+    # Different algorithm, same tree: the LT kernel (with its vectorized
+    # DFS-cache assist active under the vectorized tier) must agree too.
+    with use_backend("vectorized"):
+        assert lengauer_tarjan(cfg) == reference
+        assert lengauer_tarjan(cfg) == reference  # cached lt_dfs path
+
+
+@pytest.mark.parametrize("seed", (1, 5, 9))
+def test_dataflow_three_way_exact(seed):
+    proc = random_lowered_procedure(seed=seed, target_statements=40, goto_rate=0.1)
+    for problem_cls in (ReachingDefinitions, LiveVariables, AvailableExpressions):
+        problem = problem_cls(proc)
+        with use_backend("kernel"):
+            kernel = solve_iterative(proc.cfg, problem)
+        with use_backend("vectorized"):
+            vectorized = solve_iterative(proc.cfg, problem)
+        reference = solve_iterative_reference(proc.cfg, problem)
+        assert kernel == vectorized == reference
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="vectorized solver needs NumPy")
+def test_dataflow_dispatch_reports_vectorized():
+    proc = random_lowered_procedure(seed=2, target_statements=30)
+    observer = Observer(trace=False)
+    with _obs.observe(observer), use_backend("vectorized"):
+        solve_iterative(proc.cfg, ReachingDefinitions(proc))
+    counts = observer.metrics.counts_matching("dispatch")
+    assert counts.get("dispatch{component=solve_iterative,impl=vectorized}") == 1.0
+
+
+def test_dataflow_dispatch_reports_kernel_when_forced():
+    proc = random_lowered_procedure(seed=2, target_statements=30)
+    observer = Observer(trace=False)
+    with _obs.observe(observer), use_backend("kernel"):
+        solve_iterative(proc.cfg, ReachingDefinitions(proc))
+    counts = observer.metrics.counts_matching("dispatch")
+    assert counts.get("dispatch{component=solve_iterative,impl=kernel}") == 1.0
+
+
+def test_fallback_dispatch_without_numpy(monkeypatch):
+    """REPRO_NO_NUMPY proves the degraded path end to end: the vectorized
+    request must run (not crash) and produce the kernel tier's answers."""
+    cfg = _cfg(4)
+    with use_backend("kernel"):
+        expected = immediate_dominators(cfg)
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    observer = Observer(trace=False)
+    with _obs.observe(observer), use_backend("vectorized"):
+        proc = random_lowered_procedure(seed=2, target_statements=30)
+        solve_iterative(proc.cfg, ReachingDefinitions(proc))
+        assert immediate_dominators(cfg) == expected
+    counts = observer.metrics.counts_matching("dispatch")
+    assert "dispatch{component=solve_iterative,impl=vectorized}" not in counts
+    assert counts.get("dispatch{component=solve_iterative,impl=kernel}") == 1.0
+
+
+def test_run_analysis_applies_config_backend():
+    from repro.resilience.engine import run_analysis
+
+    cfg = _cfg(6)
+    auto = run_analysis(cfg, config=AnalysisConfig())
+    forced = run_analysis(cfg, config=AnalysisConfig(backend="kernel"))
+    vect = run_analysis(cfg, config=AnalysisConfig(backend="vectorized"))
+    assert auto.ok and forced.ok and vect.ok
+    assert auto.idom == forced.idom == vect.idom
+    assert auto.control_regions == forced.control_regions == vect.control_regions

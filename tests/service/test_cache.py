@@ -281,6 +281,33 @@ def test_registry_accounting_never_keeps_dead_graphs():
     assert registry.registry_stats()["entries"] <= before - 1
 
 
+def test_tracking_ref_death_callback_is_lock_free():
+    """A CFG dying while the LRU lock is held must not deadlock.
+
+    The weakref death callback fires during garbage collection, which can
+    trigger inside an allocation made *while this thread already holds the
+    LRU lock* (e.g. mid-``SizedLRU.put``).  A callback that called
+    ``lru.pop`` would self-deadlock there -- seen as a whole-suite hang in
+    the service tests.  The callback must therefore only enqueue the dead
+    ref; the next registry operation drains it under normal context.
+    """
+    registry.configure(10**9)
+    cfg = random_cfg(17, num_nodes=20, extra_edges=8)
+    registry.shared_frozen(cfg)
+    before = registry.registry_stats()["entries"]
+    lru = registry._LRU
+    assert lru is not None
+    acquired = lru._lock.acquire(timeout=5)
+    assert acquired
+    try:
+        del cfg
+        gc.collect()  # runs the death callback on this thread, lock held
+    finally:
+        lru._lock.release()
+    assert registry._DEAD_REFS  # retired lazily, not during GC
+    assert registry.registry_stats()["entries"] == before - 1  # drained here
+
+
 # ----------------------------------------------------------------------
 # bounded AnalysisSession memoization
 # ----------------------------------------------------------------------
