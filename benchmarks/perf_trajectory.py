@@ -23,6 +23,14 @@ snapshots), written to the JSON's top-level ``batch_throughput`` key.
 Absolute rates are host-bound; the number that travels is the shm/pickle
 ratio at equal worker count, which isolates the serialization tax.
 
+``--edit-streams`` measures the incremental edit layer: per-edit
+maintenance cost of an :class:`repro.incremental.EditSession` driven
+through local add-edge/undo streams, per size band, against the
+recompute-from-scratch pipeline on the same graph.  Written to the JSON's
+top-level ``edit_streams`` key; the number that travels is the
+median-edit speedup (the mean is dragged down by the deliberate
+oversize-region full recomputes and is recorded for honesty, not gated).
+
 Methodology matches the existing entries: best/median of 9 GC-paused
 repeats after a warmup call, all workloads measured in one sitting.
 ``speedup_median_vs_previous`` is computed against the last recorded
@@ -52,6 +60,9 @@ REPEATS = 9
 BATCH_BANDS = (("small", 300, 24), ("medium", 1500, 16), ("large", 5000, 12))
 BATCH_WORKERS = (1, 2, 4)
 BATCH_REPEATS = 3  # best-of, to shave pool-startup jitter
+
+#: (band, target_statements, timed edits) for --edit-streams.
+EDIT_BANDS = (("small", 1000, 100), ("medium", 4000, 100), ("large", 8000, 100))
 
 
 def measurements():
@@ -177,6 +188,39 @@ def batch_throughput_series():
     return rows
 
 
+def edit_stream_series():
+    """Per-edit incremental maintenance vs scratch, per size band.
+
+    Reuses :func:`repro.analysis.bench.run_incremental_bench` (the same
+    measurement the ``repro bench --check`` gate runs) so the trajectory
+    and the gate can never disagree about methodology: local
+    add-edge/undo pairs, per-edit times recorded individually, headline
+    speedup = scratch seconds / median per-edit seconds.
+    """
+    from repro.analysis.bench import run_incremental_bench
+
+    rows = []
+    for band, statements, edits in EDIT_BANDS:
+        result = run_incremental_bench(size=statements, edits=edits)
+        row = {
+            "band": band,
+            "statements": statements,
+            "nodes": result["nodes"],
+            "edges": result["edges"],
+            "edits": result["edits"],
+            "scratch_ms": round(1000 * result["scratch_s"], 3),
+            "per_edit_median_ms": round(1000 * result["per_edit_median_s"], 4),
+            "per_edit_mean_ms": round(1000 * result["per_edit_mean_s"], 4),
+            "median_speedup": round(result["speedup"], 1),
+            "mean_speedup": round(result["mean_speedup"], 1),
+            "splices": result["stats"]["splices"],
+            "full_recomputes": result["stats"]["full_recomputes"],
+        }
+        rows.append(row)
+        print(f"edit-stream {row}", file=sys.stderr)
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None, help="generation label")
@@ -193,6 +237,12 @@ def main(argv=None) -> int:
         "--batch-throughput", action="store_true",
         help="measure run_batch items/sec (bands x workers x transport) "
         "into the JSON's batch_throughput key instead of a trajectory entry",
+    )
+    parser.add_argument(
+        "--edit-streams", action="store_true",
+        help="measure incremental per-edit maintenance vs scratch (size "
+        "bands) into the JSON's edit_streams key instead of a trajectory "
+        "entry",
     )
     parser.add_argument(
         "--git-rev", default=None,
@@ -227,8 +277,28 @@ def main(argv=None) -> int:
             print()
         return 0
 
+    if args.edit_streams:
+        block = {
+            "git_rev": args.git_rev or git_rev(),
+            "cpu_count": os.cpu_count(),
+            "config": "local add-edge/undo pairs, seed 42, headline = "
+            "scratch / median per-edit",
+            "rows": edit_stream_series(),
+        }
+        if args.append:
+            trajectory_file["edit_streams"] = block
+            with open(RESULTS, "w") as handle:
+                json.dump(trajectory_file, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote edit_streams block to {RESULTS}", file=sys.stderr)
+        else:
+            json.dump(block, sys.stdout, indent=2, sort_keys=True)
+            print()
+        return 0
+
     if not args.label:
-        parser.error("--label is required unless --batch-throughput")
+        parser.error("--label is required unless --batch-throughput or "
+                     "--edit-streams")
 
     previous = trajectory_file["trajectory"][-1] if trajectory_file["trajectory"] else None
 

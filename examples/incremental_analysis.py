@@ -13,7 +13,8 @@ Run:  python examples/incremental_analysis.py
 import time
 
 from repro import build_pst
-from repro.dataflow import IncrementalDataflow, LiveVariables, solve_iterative
+from repro.dataflow import LiveVariables, solve_iterative
+from repro.incremental import IncrementalDataflow
 from repro.ir import Assign
 from repro.synth.structured import random_lowered_procedure
 

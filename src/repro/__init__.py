@@ -32,9 +32,11 @@ This module is the canonical import surface: graph construction
 (:func:`build_cfg`), the paper's analyses (:func:`cycle_equivalence`,
 :func:`build_pst`, :func:`control_regions`), the resilient engine
 (:func:`run_analysis`, :func:`run_batch`, :class:`AnalysisConfig`), cached
-sessions (:class:`AnalysisSession`, :func:`session_for`), and observability
+sessions (:class:`AnalysisSession`, :func:`session_for`), the edit surface
+(:class:`EditSession`, :func:`apply_delta`), and observability
 (:class:`Observer`).  Deep imports keep working, but the promoted names
-under ``repro.kernel`` and ``repro.resilience`` package attributes now emit
+under ``repro.kernel``, ``repro.resilience``, and (for
+``IncrementalDataflow``) ``repro.dataflow`` package attributes now emit
 :class:`DeprecationWarning`.
 """
 
@@ -73,6 +75,9 @@ _LAZY = {
     "session_for": "repro.kernel.session",
     "Observer": "repro.obs.observer",
     "control_regions": "repro.controldep.regions_fast",
+    "EditSession": "repro.incremental",
+    "apply_delta": "repro.incremental",
+    "DeltaValidationError": "repro.incremental",
 }
 
 
@@ -93,14 +98,17 @@ __all__ = [
     "CFG",
     "CFGBuilder",
     "DEFAULT_CONFIG",
+    "DeltaValidationError",
     "Diagnostic",
     "Edge",
+    "EditSession",
     "FaultPlan",
     "InvalidCFGError",
     "Observer",
     "ProgramStructureTree",
     "RegionKind",
     "SESERegion",
+    "apply_delta",
     "build_cfg",
     "build_pst",
     "canonical_sese_regions",

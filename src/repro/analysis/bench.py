@@ -196,6 +196,81 @@ def run_batch_bench(items: int, workers: int, size: int = 120, seed: int = 7) ->
     }
 
 
+def run_incremental_bench(
+    size: int = 4000, edits: int = 100, seed: int = 42
+) -> dict:
+    """Per-edit incremental maintenance vs recompute-from-scratch.
+
+    Builds one large procedure, times the scratch pipeline (cycle
+    equivalence + PST), then drives an :class:`~repro.incremental.EditSession`
+    through ``edits`` add-edge/undo pairs (the graph ends exactly where it
+    started, so every timed edit does real splice work on the same
+    structure).  Edits are *local* -- a parallel edge over a random
+    existing edge, the workload the splice path exists for; the fuzz
+    oracle, not this benchmark, covers arbitrary region-escaping edits.
+
+    The headline ``speedup`` is scratch seconds over the *median* per-edit
+    seconds -- the typical local edit, gated by ``--check`` when the
+    baseline carries an ``incremental.min_speedup``.  The mean
+    (``mean_speedup``) is reported alongside but not gated: a tail of
+    edits lands in a region covering most of the graph, where the session
+    deliberately recomputes from scratch (``stats.oversize_regions``), so
+    the mean converges to the oversize-tail frequency rather than to
+    splice performance.
+    """
+    import statistics as _statistics
+    import random as _random
+
+    from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+    from repro.core.pst import build_pst
+    from repro.incremental import DeltaValidationError, EditSession
+    from repro.synth.structured import random_lowered_procedure
+
+    proc = random_lowered_procedure(seed, target_statements=size)
+    cfg = proc.cfg
+
+    def scratch():
+        equiv = cycle_equivalence_of_cfg(cfg, validate=False)
+        equiv.class_of  # materialize: the session pays this cost too
+        build_pst(cfg, equiv)
+
+    scratch_times = _sample(scratch, 5)
+
+    session = EditSession(cfg)
+    rng = _random.Random(seed)
+    candidates = [
+        edge
+        for edge in cfg.edges
+        if edge.source != cfg.start and edge.target != cfg.end
+    ]
+    pair_times: List[float] = []
+    while len(pair_times) < edits:
+        edge = rng.choice(candidates)
+        started = time.perf_counter()
+        try:
+            session.add_edge(edge.source, edge.target)
+        except DeltaValidationError:
+            continue
+        session.undo()
+        # The add and its undo are each one maintained edit.
+        pair_times.append((time.perf_counter() - started) / 2)
+    scratch_s = min(scratch_times)
+    median_s = _statistics.median(pair_times)
+    mean_s = _statistics.mean(pair_times)
+    return {
+        "statements": size,
+        "nodes": cfg.num_nodes,
+        "edges": cfg.num_edges,
+        "edits": 2 * len(pair_times),
+        "scratch_s": scratch_s,
+        "per_edit_median_s": median_s,
+        "per_edit_mean_s": mean_s,
+        "speedup": scratch_s / median_s,
+        "mean_speedup": scratch_s / mean_s,
+        "stats": session.stats.as_dict(),
+    }
+
+
 def check_against_baseline(
     record: dict, baseline: dict, tolerance: float, out
 ) -> List[str]:
@@ -262,9 +337,19 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
         help="worker processes for the batch comparison (default 2)",
     )
     parser.add_argument(
+        "--edit-size", type=int, default=4000, metavar="N",
+        help="procedure size in statements for the incremental edit-stream "
+        "measurement (default 4000)",
+    )
+    parser.add_argument(
+        "--edit-count", type=int, default=100, metavar="N",
+        help="add-edge/undo pairs for the incremental measurement (default 100)",
+    )
+    parser.add_argument(
         "--check", metavar="BASELINE", default=None,
-        help="compare kernel/reference ratios against this baseline JSON "
-        "and exit 1 on regression",
+        help="compare kernel/reference ratios (and the incremental speedup, "
+        "when the baseline carries incremental.min_speedup) against this "
+        "baseline JSON and exit 3 on regression",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
@@ -345,6 +430,20 @@ def bench_main(argv: List[str], out) -> int:
         "repeats": args.repeats,
         "components": components,
     }
+    incremental = run_incremental_bench(
+        size=args.edit_size, edits=args.edit_count
+    )
+    record["incremental"] = incremental
+    print(
+        f"  incremental @ {incremental['statements']}: scratch "
+        f"{1000 * incremental['scratch_s']:.1f} ms, per-edit median "
+        f"{1000 * incremental['per_edit_median_s']:.3f} ms over "
+        f"{incremental['edits']} edits, speedup {incremental['speedup']:.1f}x "
+        f"median / {incremental['mean_speedup']:.1f}x mean "
+        f"({incremental['stats']['splices']} splices, "
+        f"{incremental['stats']['full_recomputes']} full recomputes)",
+        file=out,
+    )
     if args.batch_items > 0:
         batch = run_batch_bench(args.batch_items, args.batch_workers)
         record["batch"] = batch
@@ -375,6 +474,17 @@ def bench_main(argv: List[str], out) -> int:
             return 2
         print(f"checking ratios against {args.check} (+{100 * args.tolerance:.0f}%)", file=out)
         failures = check_against_baseline(record, baseline, args.tolerance, out)
+        min_speedup = (baseline.get("incremental") or {}).get("min_speedup")
+        if min_speedup is not None:
+            speedup = record["incremental"]["speedup"]
+            verdict = "ok" if speedup >= float(min_speedup) else "REGRESSED"
+            print(
+                f"  incremental: median-edit speedup {speedup:.1f}x "
+                f"(floor {float(min_speedup):.1f}x) {verdict}",
+                file=out,
+            )
+            if speedup < float(min_speedup):
+                failures.append("incremental speedup below floor")
         if failures:
             print(f"perf regression in: {', '.join(failures)}", file=out)
             # Exit 3: a declared (ratio) budget was exceeded, distinct from

@@ -59,10 +59,14 @@ into Prometheus text exposition (format 0.0.4)::
 
 The ``serve`` subcommand runs the admission-controlled analysis service
 (JSON over HTTP, stdlib only; see :mod:`repro.service` and
-``docs/ROBUSTNESS.md``), and ``soak`` its deterministic chaos harness::
+``docs/ROBUSTNESS.md``), and ``soak`` its deterministic chaos harness.
+Besides ``/run_analysis`` and ``/run_batch`` the service exposes
+``POST /apply_delta``: incremental CFG edits against a per-client live
+:class:`~repro.incremental.EditSession` (see ``docs/INCREMENTAL.md``);
+the soak mixes edits into its workload at ``--edit-rate``::
 
     python -m repro serve --port 8014 --rate 200 --max-inflight 16
-    python -m repro soak --duration 60 --clients 8 --seed 0 \
+    python -m repro soak --duration 60 --clients 8 --seed 0 --edit-rate 0.25 \
         --out soak.json --update-bench benchmarks/results/BENCH_perf.json
 
 Exit codes (all commands; a multi-procedure run reports the worst):
@@ -689,6 +693,11 @@ def build_soak_arg_parser() -> argparse.ArgumentParser:
         help="per-execution fault firing probability (default 0.02)",
     )
     parser.add_argument(
+        "--edit-rate", type=float, default=0.25, metavar="P",
+        help="fraction of workload requests that POST /apply_delta edits "
+        "instead of /run_analysis (default 0.25; 0 = pure analyze)",
+    )
+    parser.add_argument(
         "--max-cache-bytes", type=int, default=8 * 1024 * 1024, metavar="N",
         help="service cache budget under test (default 8MiB)",
     )
@@ -728,11 +737,15 @@ def soak_main(argv: List[str], out) -> int:
     if args.clients < 1 or args.duration <= 0:
         print("error: --clients must be >= 1 and --duration > 0", file=sys.stderr)
         return EXIT_USAGE_IO
+    if not 0.0 <= args.edit_rate <= 1.0:
+        print("error: --edit-rate must be within [0, 1]", file=sys.stderr)
+        return EXIT_USAGE_IO
     config = SoakConfig(
         duration=args.duration,
         clients=args.clients,
         seed=args.seed,
         fault_rate=args.fault_rate,
+        edit_rate=args.edit_rate,
         max_cache_bytes=args.max_cache_bytes,
         max_inflight=args.max_inflight,
         rate=args.rate,

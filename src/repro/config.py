@@ -75,6 +75,11 @@ class AnalysisConfig:
         NumPy/packed-bit tier; silently degrades to ``kernel`` without
         NumPy -- the tiers are exact-parity by contract, so degradation
         is always safe).
+    Incremental
+        ``incremental`` enables regional PST/cycle-equivalence maintenance
+        under :class:`~repro.incremental.session.EditSession` deltas;
+        ``verify_incremental_rate`` samples accepted deltas for
+        differential verification against recompute-from-scratch.
     """
 
     analyses: Optional[Tuple[str, ...]] = None
@@ -104,6 +109,16 @@ class AnalysisConfig:
     #: segments (zero-copy) instead of unpickling a full snapshot per item.
     #: Disabling forces the portable pickled path.
     shared_batch_memory: bool = True
+    #: Maintain cached analyses incrementally under CFG edit deltas (the
+    #: :class:`~repro.incremental.session.EditSession` regional-splice
+    #: path).  ``False`` makes every delta trigger a full recompute --
+    #: slower, but bit-for-bit the reference behaviour.
+    incremental: bool = False
+    #: Fraction of accepted deltas whose incremental result is differentially
+    #: verified against a recompute-from-scratch (0.0 = never, 1.0 = every
+    #: delta).  A mismatch adopts the scratch result and is counted, never
+    #: raised -- the production-sampling arm of the fuzz oracle.
+    verify_incremental_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.fast_retries < 0:
@@ -122,6 +137,8 @@ class AnalysisConfig:
             raise ValueError("step_budget must be >= 0")
         if self.max_cache_bytes is not None and self.max_cache_bytes < 0:
             raise ValueError("max_cache_bytes must be >= 0")
+        if not 0.0 <= self.verify_incremental_rate <= 1.0:
+            raise ValueError("verify_incremental_rate must be within [0, 1]")
         from repro.kernel.backend import VALID_BACKENDS
 
         if self.backend not in VALID_BACKENDS:

@@ -46,7 +46,7 @@ class ProgramStructureTree:
     def __init__(self, cfg: CFG, root: SESERegion, canonical: List[SESERegion]):
         self.cfg = cfg
         self.root = root
-        self._canonical = canonical
+        self._canonical: Optional[List[SESERegion]] = canonical
         self.region_of_node: Dict[NodeId, SESERegion] = {}
         self.entry_region: Dict[Edge, SESERegion] = {r.entry: r for r in canonical}
         self.exit_region: Dict[Edge, SESERegion] = {r.exit: r for r in canonical}
@@ -65,6 +65,11 @@ class ProgramStructureTree:
 
     def canonical_regions(self) -> List[SESERegion]:
         """All canonical SESE regions (the root pseudo-region excluded)."""
+        if self._canonical is None:
+            # An incremental splice invalidates the list rather than
+            # patching it; every non-root region is canonical, so the
+            # tree itself is the authority.
+            self._canonical = self.root.descendants()
         return list(self._canonical)
 
     def region_of(self, node: NodeId) -> SESERegion:
@@ -98,7 +103,7 @@ class ProgramStructureTree:
 
     def max_depth(self) -> int:
         """Deepest canonical-region nesting depth (root is depth 0)."""
-        return max((r.depth for r in self._canonical), default=0)
+        return max((r.depth for r in self.canonical_regions()), default=0)
 
     def child_summary_id(self, child: SESERegion) -> NodeId:
         """The summary-node id used for ``child`` in collapsed views."""
@@ -185,7 +190,7 @@ class ProgramStructureTree:
 
     def __len__(self) -> int:
         """Number of canonical regions."""
-        return len(self._canonical)
+        return len(self.canonical_regions())
 
 
 def build_pst(

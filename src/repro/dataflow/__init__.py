@@ -25,9 +25,29 @@ from repro.dataflow.problems import (
 from repro.dataflow.qpg import QPGResult, build_qpg, solve_qpg
 from repro.dataflow.elimination import solve_elimination
 from repro.dataflow.constprop import NAC, ConstantPropagation
-from repro.dataflow.incremental import IncrementalDataflow
 from repro.dataflow.structural import StructuralSolver, solve_structural
 from repro.dataflow.interval_solver import solve_interval
+
+
+def __getattr__(name):
+    # ``IncrementalDataflow``'s canonical home moved to ``repro.incremental``
+    # (the layer that keeps it current across *structural* CFG edits); this
+    # package-attribute spelling still works but is deprecated.  The lazy
+    # re-export is also what keeps ``import repro.dataflow`` free of the
+    # incremental layer.
+    if name == "IncrementalDataflow":
+        import warnings
+
+        warnings.warn(
+            "importing IncrementalDataflow from repro.dataflow is deprecated; "
+            "use `from repro.incremental import IncrementalDataflow` instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.dataflow.incremental import IncrementalDataflow
+
+        return IncrementalDataflow
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "StructuralSolver",

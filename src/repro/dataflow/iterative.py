@@ -100,8 +100,20 @@ def _solve_iterative_reference(
     entry: Dict[NodeId, object] = {node: problem.top() for node in graph.nodes}
     exit_: Dict[NodeId, object] = {}
     entry[root] = problem.boundary()
+    # Reachable nodes are seeded with top, the meet identity, NOT with
+    # transfer(top): a transfer that is non-monotone at top (constant
+    # propagation maps an UNDEF read to NAC) would otherwise leak a
+    # pessimistic seed into a successor's first meet before the node is
+    # ever evaluated on its real entry, and the leak depends on how many
+    # transparent nodes buffer it -- so the QPG (which collapses those
+    # buffers) would disagree with the full-CFG solve.  Unreachable nodes
+    # are never popped; they keep the transferred value as before.
+    reachable = set(order)
     for node in graph.nodes:
-        exit_[node] = problem.transfer(node, entry[node])
+        if node in reachable:
+            exit_[node] = problem.top()
+        else:
+            exit_[node] = problem.transfer(node, entry[node])
 
     tick = None if ticker is None else ticker.tick
     pending: Set[NodeId] = set(order)

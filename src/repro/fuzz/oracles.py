@@ -31,6 +31,10 @@ dataflow              iterative fixpoint vs PST elimination vs QPG
 φ-placement           iterated dominance frontiers vs PST placement
 resilience            the guarded engine under persistent fault
                       injection at every site vs the clean verified run
+incremental           an :class:`~repro.incremental.EditSession` driven
+                      through a seeded random edit stream vs recompute-
+                      from-scratch after every accepted delta; rejected
+                      deltas must restore the graph exactly
 ====================  =================================================
 """
 
@@ -499,6 +503,86 @@ def _check_fault_recovery(case: FuzzCase) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# incremental maintenance under edit streams
+# ----------------------------------------------------------------------
+
+EDIT_STREAM_STEPS = 24
+
+
+def _graph_snapshot(cfg: CFG) -> tuple:
+    return (
+        tuple(sorted(map(repr, cfg.nodes))),
+        tuple(sorted((e.eid, repr(e.source), repr(e.target), e.label) for e in cfg.edges)),
+    )
+
+
+def _check_incremental_edit_stream(case: FuzzCase) -> Optional[str]:
+    """The fast/slow differential for the edit layer (ISSUE 10's oracle).
+
+    Drives an :class:`~repro.incremental.EditSession` through a seeded
+    random stream of deltas (edge/node insertions and removals plus
+    undos) over a copy of the case's CFG.  After every *accepted* delta
+    the maintained cycle-equivalence partition and PST must equal a
+    recompute-from-scratch, and the session's cached dominators must
+    equal a fresh Lengauer-Tarjan run (exercising the per-key stale
+    invalidation).  Every *rejected* delta must leave the graph -- node
+    set, edge ids, labels -- exactly as it was.
+    """
+    import random as _random
+
+    from repro.incremental import DeltaValidationError, EditSession
+    from repro.incremental.compare import diff_artifacts
+
+    cfg = case.cfg.copy()
+    session = EditSession(cfg)
+    rng = _random.Random(case.seed ^ 0xED17)
+    fresh = 0
+
+    for step in range(EDIT_STREAM_STEPS):
+        nodes = list(cfg.nodes)
+        interior = [n for n in nodes if n != cfg.start and n != cfg.end]
+        roll = rng.random()
+        before = _graph_snapshot(cfg)
+        try:
+            if roll < 0.40 or not interior:
+                # Deliberately unrestricted endpoints: some of these are
+                # invalid (into start, out of end, severing paths) and
+                # exercise the rejection/rollback arm.
+                session.add_edge(rng.choice(nodes), rng.choice(nodes))
+            elif roll < 0.60:
+                edge = rng.choice(cfg.edges)
+                session.remove_edge(edge.source, edge.target, eid=edge.eid)
+            elif roll < 0.72:
+                anchor = rng.choice(interior)
+                fresh += 1
+                session.add_node(
+                    ("fresh", case.seed, fresh),
+                    preds=[anchor],
+                    succs=[rng.choice(interior)],
+                )
+            elif roll < 0.84:
+                session.remove_node(rng.choice(interior))
+            elif session.applied_deltas:
+                session.undo()
+            else:
+                continue
+        except DeltaValidationError:
+            if _graph_snapshot(cfg) != before:
+                return f"step {step}: rejected delta did not restore the graph exactly"
+            continue
+        scratch_equiv = cycle_equivalence_of_cfg(cfg, validate=False)
+        scratch_pst = build_pst(cfg, scratch_equiv)
+        detail = diff_artifacts(
+            session.equiv.class_of, session.pst, scratch_equiv.class_of, scratch_pst
+        )
+        if detail is not None:
+            return f"step {step}: maintained artifacts diverged: {detail}"
+        if session.dominators() != lengauer_tarjan(cfg):
+            return f"step {step}: session dominators diverged from fresh Lengauer-Tarjan"
+    return None
+
+
+# ----------------------------------------------------------------------
 # φ-placement
 # ----------------------------------------------------------------------
 
@@ -532,6 +616,7 @@ ALL_ORACLES: List[Oracle] = [
     Oracle("dataflow/solvers", _check_dataflow),
     Oracle("phi/placement", _check_phi_placement),
     Oracle("resilience/fault-recovery", _check_fault_recovery),
+    Oracle("incremental/edit-stream", _check_incremental_edit_stream),
 ]
 
 ORACLES_BY_NAME: Dict[str, Oracle] = {oracle.name: oracle for oracle in ALL_ORACLES}

@@ -1,0 +1,78 @@
+"""Order-insensitive fingerprints for differential verification.
+
+Incrementally maintained artifacts are allowed to differ from a
+recompute-from-scratch in *representation* -- class ids are allocated from
+a different counter, region ids are fresh, sibling order in ``_canonical``
+reflects splice history rather than one global DFS -- while having to agree
+exactly in *meaning*.  These helpers canonicalize both sides to the
+meaning: the edge partition as a set of eid-sets, and the PST as a
+recursively sorted shape keyed by boundary-edge eids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cfg.graph import Edge
+from repro.core.pst import ProgramStructureTree
+from repro.core.sese import SESERegion
+
+
+def partition_fingerprint(class_of: Dict[Edge, int]) -> FrozenSet[FrozenSet[int]]:
+    """The edge partition as a set of eid-sets (class ids erased)."""
+    groups: Dict[int, List[int]] = {}
+    for edge, cls in class_of.items():
+        groups.setdefault(cls, []).append(edge.eid)
+    return frozenset(frozenset(eids) for eids in groups.values())
+
+
+def region_fingerprint(region: SESERegion) -> tuple:
+    """One region's shape: boundary eids, owned nodes, sorted children."""
+    entry = None if region.entry is None else region.entry.eid
+    exit_ = None if region.exit is None else region.exit.eid
+    children = tuple(
+        sorted(
+            (region_fingerprint(child) for child in region.children),
+            key=lambda fp: (fp[0], fp[1]),
+        )
+    )
+    return (entry, exit_, frozenset(region.own_nodes), children)
+
+
+def pst_fingerprint(pst: ProgramStructureTree) -> tuple:
+    """The whole tree's shape, insensitive to sibling and id ordering."""
+    return region_fingerprint(pst.root)
+
+
+def diff_artifacts(
+    maintained_classes: Dict[Edge, int],
+    maintained_pst: ProgramStructureTree,
+    scratch_classes: Dict[Edge, int],
+    scratch_pst: ProgramStructureTree,
+) -> Optional[str]:
+    """``None`` when maintained == scratch, else a human-readable diff."""
+    fast_p = partition_fingerprint(maintained_classes)
+    slow_p = partition_fingerprint(scratch_classes)
+    if fast_p != slow_p:
+        only_fast = sorted(sorted(s) for s in fast_p - slow_p)
+        only_slow = sorted(sorted(s) for s in slow_p - fast_p)
+        return (
+            f"cycle-equivalence partitions differ: incremental-only classes "
+            f"{only_fast} vs scratch-only {only_slow} (edge ids)"
+        )
+    if pst_fingerprint(maintained_pst) != pst_fingerprint(scratch_pst):
+        fast_pairs = _canonical_pairs(maintained_pst)
+        slow_pairs = _canonical_pairs(scratch_pst)
+        if fast_pairs != slow_pairs:
+            return (
+                f"canonical regions differ: incremental {fast_pairs} != "
+                f"scratch {slow_pairs} (entry/exit edge-id pairs)"
+            )
+        return "PST node ownership or nesting differs (same canonical regions)"
+    return None
+
+
+def _canonical_pairs(pst: ProgramStructureTree) -> List[Tuple[int, int]]:
+    return sorted(
+        (region.entry.eid, region.exit.eid) for region in pst.canonical_regions()
+    )

@@ -78,10 +78,17 @@ def kernel_solve_iterative(
         ticker.mark("seed_order")
 
     # Nodes unreachable in the solving direction keep top (see the object
-    # reference for why such nodes can occur transiently).
+    # reference for why such nodes can occur transiently).  Reachable nodes
+    # seed their exit with top, the meet identity, not transfer(top): a
+    # transfer that is non-monotone at top (constant propagation maps an
+    # UNDEF read to NAC) must not leak a pessimistic seed into a
+    # successor's first meet -- see the object reference.
     entry: List[object] = [problem.top() for _ in range(n)]
     entry[root] = problem.boundary()
-    exit_: List[object] = [transfer(node_ids[i], entry[i]) for i in range(n)]
+    exit_: List[object] = [
+        problem.top() if visited[i] else transfer(node_ids[i], entry[i])
+        for i in range(n)
+    ]
 
     tick = None if ticker is None else ticker.tick
     pending = bytearray(n)

@@ -9,10 +9,15 @@ and hands the same result back to every consumer, for driver code (the
 CLI, :mod:`repro.analysis.report`, the benchmark harness) that asks for the
 same PST or dominator tree many times over.
 
-Every getter re-checks the CFG's mutation ``version`` first, so mutating
-the graph between calls transparently discards stale artifacts;
-:meth:`AnalysisSession.invalidate` drops them explicitly (the engine does
-this between retry attempts so a corrupted artifact is never reused).
+Every artifact is stamped with the CFG's mutation ``version`` at compute
+time and re-checked per lookup, so mutating the graph between calls
+transparently discards stale artifacts -- per key, not whole-cache, which
+lets a delta-aware maintainer (:class:`~repro.incremental.session.EditSession`)
+re-seed just the artifacts it maintained via :meth:`AnalysisSession.put_artifact`
+while everything else lazily recomputes.  :meth:`AnalysisSession.invalidate`
+drops artifacts explicitly -- all of them, or a named subset (the engine
+does a full drop between retry attempts so a corrupted artifact is never
+reused).
 
 ``session_for`` maintains one session per live CFG in a weak-key registry,
 mirroring :func:`repro.kernel.registry.shared_frozen` one layer up.
@@ -39,9 +44,10 @@ _MISS = object()
 class AnalysisSession:
     """Per-CFG cache of derived analysis artifacts.
 
-    Artifacts are keyed on the frozen snapshot: whenever the CFG's
-    ``version`` has moved since an artifact was stored, the whole cache is
-    dropped and the next getter recomputes against a fresh snapshot.
+    Each artifact is stored with the CFG ``version`` it was computed (or
+    :meth:`put_artifact`-seeded) under; a lookup that finds a stale stamp
+    counts it in ``stale``, reports a miss, and recomputes just that
+    artifact against a fresh snapshot.
 
     ``observer`` (or, failing that, the ambient observer) receives a
     ``session.cache`` counter per lookup, labelled with the artifact and
@@ -53,11 +59,11 @@ class AnalysisSession:
         "cfg",
         "observer",
         "max_cache_bytes",
-        "_version",
         "_cache",
         "_lru",
         "hits",
         "misses",
+        "stale",
         "__weakref__",
     )
 
@@ -74,7 +80,7 @@ class AnalysisSession:
         #: CSR byte estimate of its CFG -- cheap, monotone in graph size,
         #: and consistent with the frozen-registry accounting.
         self.max_cache_bytes = max_cache_bytes
-        self._version = cfg.version
+        #: ``key -> (version, value)`` -- the stamp decides per-key staleness.
         self._cache: Dict[str, Any] = {}
         self._lru = None
         if max_cache_bytes is not None:
@@ -83,6 +89,7 @@ class AnalysisSession:
             self._lru = SizedLRU(max_cache_bytes, name="kernel.session")
         self.hits = 0
         self.misses = 0
+        self.stale = 0
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -90,21 +97,53 @@ class AnalysisSession:
     @property
     def frozen(self) -> FrozenCFG:
         """The current CSR snapshot (re-frozen if the CFG mutated)."""
-        self._refresh()
         return shared_frozen(self.cfg)
 
-    def invalidate(self) -> None:
-        """Drop every cached artifact (the snapshot refreshes on demand)."""
-        self._cache.clear()
+    def invalidate(self, keys: Optional[List[str]] = None) -> None:
+        """Drop cached artifacts: all of them, or just the named ``keys``.
+
+        Selective invalidation is the delta-aware path: an incremental
+        maintainer that re-seeded ``pst``/``equiv`` via :meth:`put_artifact`
+        drops only the artifacts it could not maintain (e.g. ``dom``) and
+        keeps the rest warm.  Unknown keys are ignored.
+        """
+        if keys is None:
+            self._cache.clear()
+            if self._lru is not None:
+                self._lru.clear()
+            return
+        for key in keys:
+            self._cache.pop(key, None)
+            if self._lru is not None:
+                self._lru.pop(key, None)
+
+    def put_artifact(self, key: str, value: Any) -> None:
+        """Seed ``key`` with an externally maintained ``value``.
+
+        The value is stamped with the CFG's *current* version, so the next
+        lookup treats it as fresh.  The caller vouches that ``value`` equals
+        what the corresponding getter would compute from scratch -- the
+        incremental layer's differential verification exists to keep that
+        promise honest.
+        """
+        entry = (self.cfg.version, value)
         if self._lru is not None:
-            self._lru.clear()
-        self._version = self.cfg.version
+            from repro.service.cache import cfg_cost_bytes
+
+            self._lru.put(key, entry, cfg_cost_bytes(self.cfg))
+        else:
+            self._cache[key] = entry
 
     def cache_info(self) -> Dict[str, int]:
-        """Hit/miss counters and the number of artifacts currently held."""
+        """Hit/miss/stale counters and the number of artifacts held."""
         lru = self._lru
         size = len(self._cache) if lru is None else len(lru)
-        info = {"hits": self.hits, "misses": self.misses, "size": size}
+        info = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": size,
+            "stale": self.stale,
+        }
         if lru is not None:
             info["bytes"] = lru.total_bytes
             info["evictions"] = lru.evictions
@@ -137,41 +176,32 @@ class AnalysisSession:
         else:
             self._lru.resize(max_cache_bytes)
 
-    def _refresh(self) -> None:
-        if self._version != self.cfg.version:
-            self.invalidate()
-
     def _memo(self, key: str, compute: Callable[[], Any]) -> Any:
-        self._refresh()
         o = self.observer if self.observer is not None else _obs._CURRENT
+        version = self.cfg.version
         lru = self._lru
+        sentinel = _MISS
         if lru is not None:
-            sentinel = _MISS
-            value = lru.get(key, sentinel)
-            if value is not sentinel:
+            entry = lru.get(key, sentinel)
+        else:
+            entry = self._cache.get(key, sentinel)
+        if entry is not sentinel:
+            if entry[0] == version:
                 self.hits += 1
                 if o is not None:
                     o.count("session.cache", artifact=key, result="hit")
-                return value
-            self.misses += 1
-            if o is not None:
-                o.count("session.cache", artifact=key, result="miss")
-            value = compute()
-            from repro.service.cache import cfg_cost_bytes
-
-            lru.put(key, value, cfg_cost_bytes(self.cfg))
-            return value
-        cache = self._cache
-        if key in cache:
-            self.hits += 1
-            if o is not None:
-                o.count("session.cache", artifact=key, result="hit")
-            return cache[key]
+                return entry[1]
+            self.stale += 1
         self.misses += 1
         if o is not None:
             o.count("session.cache", artifact=key, result="miss")
         value = compute()
-        cache[key] = value
+        if lru is not None:
+            from repro.service.cache import cfg_cost_bytes
+
+            lru.put(key, (version, value), cfg_cost_bytes(self.cfg))
+        else:
+            self._cache[key] = (version, value)
         return value
 
     # ------------------------------------------------------------------

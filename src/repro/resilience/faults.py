@@ -18,6 +18,10 @@ execution):
 ``lengauer-tarjan/semi-skew``           A computed semidominator is decremented
                                         by one, yielding a structurally valid
                                         but wrong dominator tree.
+``incremental/skip-splice``             A regional PST splice aborts with
+                                        :class:`~repro.incremental.splice.RegionEscape`,
+                                        exercising the edit session's
+                                        degrade-to-full-recompute ladder.
 ======================================  =======================================
 
 A :class:`FaultPlan` decides *which* eligible site executions actually fire:
@@ -53,6 +57,7 @@ _lengauer_tarjan_mod = importlib.import_module("repro.dominance.lengauer_tarjan"
 # corrupts the production (kernel) path and the object reference alike.
 _kernel_cycle_equiv_mod = importlib.import_module("repro.kernel.cycle_equiv")
 _kernel_dominance_mod = importlib.import_module("repro.kernel.dominance")
+_incremental_splice_mod = importlib.import_module("repro.incremental.splice")
 
 
 @dataclass(frozen=True)
@@ -80,6 +85,11 @@ ALL_SITES: Tuple[FaultSite, ...] = (
         module="repro.dominance.lengauer_tarjan",
         description="a semidominator number is decremented by one",
     ),
+    FaultSite(
+        name="incremental/skip-splice",
+        module="repro.incremental.splice",
+        description="a regional PST splice aborts with RegionEscape",
+    ),
 )
 
 SITES_BY_NAME: Dict[str, FaultSite] = {site.name: site for site in ALL_SITES}
@@ -91,6 +101,7 @@ _HOOKED_MODULES = (
     _lengauer_tarjan_mod,
     _kernel_cycle_equiv_mod,
     _kernel_dominance_mod,
+    _incremental_splice_mod,
 )
 
 

@@ -29,6 +29,16 @@ Endpoints:
 ``POST /run_batch``
     ``{"items": [<run_analysis body>, ...]}`` (capped at
     ``max_batch_items``); responses are per-item, admission is per-item.
+``POST /apply_delta``
+    ``{"client": str?, "key": str? | <graph spelling>, "deltas": [...]}``.
+    Applies CFG edit deltas (the JSON wire form of
+    :mod:`repro.incremental.delta`) to the client's *live*
+    :class:`~repro.incremental.EditSession` for that graph, maintaining
+    the PST incrementally; ``"key"`` addresses a graph cached by a prior
+    request, a graph spelling creates the entry.  Deltas apply in order;
+    the first invalid one stops the batch with 422 (its own edit rolled
+    back exactly, earlier deltas remain applied).  Admission and drain
+    rules are identical to ``/run_analysis``.
 ``GET /metrics``
     Prometheus text exposition of the server's registry.
 ``GET /healthz``
@@ -188,14 +198,22 @@ def _analyses_from_request(body: Dict[str, Any]) -> Tuple[str, ...]:
 
 
 class _ClientEntry:
-    """One cached graph of one client: CFG + session + prior responses."""
+    """One cached graph of one client: CFG + session + prior responses.
 
-    __slots__ = ("cfg", "session", "responses")
+    ``edit`` is the client's live :class:`~repro.incremental.EditSession`
+    for this graph, created lazily by the first ``/apply_delta``; ``lock``
+    serializes edits against each other (each request thread edits the
+    shared graph in place).
+    """
+
+    __slots__ = ("cfg", "session", "responses", "edit", "lock")
 
     def __init__(self, cfg, session):
         self.cfg = cfg
         self.session = session
         self.responses: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+        self.edit = None
+        self.lock = threading.Lock()
 
 
 class AnalysisServer:
@@ -344,6 +362,11 @@ class AnalysisServer:
                 status, body = self.handle_run_batch(payload)
                 _send_json(handler, status, body)
                 return
+            if method == "POST" and path == "/apply_delta":
+                payload = _read_json(handler, self.config.max_body_bytes)
+                status, body = self.handle_apply_delta(payload)
+                _send_json(handler, status, body)
+                return
             _send_json(
                 handler,
                 404,
@@ -456,12 +479,20 @@ class AnalysisServer:
                     deadline, self.config.degraded_deadline
                 )
             engine_config = self._base_config.replace(**overrides)
-            result = run_analysis(entry.cfg, config=engine_config)
+            # entry.cfg, not the request's spelling: /apply_delta may have
+            # edited the client's live graph since it was first cached.
+            # The entry lock keeps the engine from racing a concurrent edit.
+            with entry.lock:
+                result = run_analysis(entry.cfg, config=engine_config)
+                graph = {
+                    "nodes": entry.cfg.num_nodes,
+                    "edges": entry.cfg.num_edges,
+                }
             result_body = {
                 "ok": result.ok,
                 "error": result.error,
                 "degraded_ladder": result.degraded,
-                "graph": {"nodes": cfg.num_nodes, "edges": cfg.num_edges},
+                "graph": graph,
                 "analyses": _summarize(result, analyses),
                 "attempts": [
                     {
@@ -492,10 +523,133 @@ class AnalysisServer:
             cached=cached,
             ok=bool(result_body.get("ok")),
             elapsed=elapsed,
-            nodes=cfg.num_nodes,
+            nodes=entry.cfg.num_nodes,
         )
         status = 200 if result_body.get("ok") else 422
         return status, result_body
+
+    def handle_apply_delta(
+        self, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Apply edit deltas to a client's live edit session.
+
+        Same admission/drain pipeline as ``/run_analysis``; the work
+        itself runs under the entry's lock (one editor per graph at a
+        time).  Invalid deltas answer 422 ``invalid_delta`` naming the
+        failing index; the failing delta is rolled back exactly, earlier
+        deltas in the batch remain applied.
+        """
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        try:
+            with self.drain.track():
+                with self.admission.admit() as decision:
+                    return self._apply_admitted(body, decision.mode)
+        except ServiceDraining as error:
+            return error.http_status, _unavailable_body(error)
+        except ServiceShed as error:
+            return error.http_status, _unavailable_body(error)
+
+    def _apply_admitted(
+        self, body: Dict[str, Any], mode: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        from repro.incremental import DeltaValidationError, EditSession
+
+        started = time.perf_counter()
+        client = body.get("client") or "anonymous"
+        if not isinstance(client, str):
+            raise _BadRequest("'client' must be a string")
+        deltas = body.get("deltas")
+        if not isinstance(deltas, list) or not deltas:
+            raise _BadRequest("'deltas' must be a non-empty list of delta objects")
+
+        shard = self.sessions.shard(client)
+        key = body.get("key")
+        if key is not None:
+            if not isinstance(key, str):
+                raise _BadRequest("'key' must be a string")
+            if any(body.get(k) is not None for k in ("synth", "source", "cfg")):
+                raise _BadRequest("give either 'key' or a graph spelling, not both")
+            entry = shard.get(key)
+            if entry is None:
+                return 400, {
+                    "ok": False,
+                    "error": "unknown_key",
+                    "message": f"client {client!r} has no cached graph {key!r}; "
+                    "send a graph spelling to create one",
+                    "client": client,
+                    "key": key,
+                }
+            graph_key = key
+        else:
+            graph_key, cfg = _cfg_from_request(body)
+            entry = shard.get(graph_key)
+            if entry is None:
+                from repro.kernel.session import AnalysisSession
+
+                entry = _ClientEntry(
+                    cfg,
+                    AnalysisSession(
+                        cfg, max_cache_bytes=self.sessions.per_client_bytes
+                    ),
+                )
+                shard.put(graph_key, entry, cfg_cost_bytes(cfg))
+
+        with self._requests_lock:
+            self.requests += 1
+
+        with entry.lock:
+            if entry.edit is None:
+                entry.edit = EditSession(
+                    entry.cfg, self._base_config.replace(incremental=True)
+                )
+            edit = entry.edit
+            applied = 0
+            failure: Optional[Dict[str, Any]] = None
+            for index, spec in enumerate(deltas):
+                if not isinstance(spec, dict):
+                    failure = {"index": index, "message": "delta must be an object"}
+                    break
+                try:
+                    edit.apply(spec)
+                except DeltaValidationError as error:
+                    failure = {"index": index, "message": str(error)}
+                    break
+                applied += 1
+            if applied:
+                # The graph changed: every memoized /run_analysis response
+                # for it is now stale.
+                entry.responses.clear()
+            stats = edit.stats.as_dict()
+            graph = {"nodes": entry.cfg.num_nodes, "edges": entry.cfg.num_edges}
+            regions = len(edit.pst.canonical_regions())
+
+        elapsed = time.perf_counter() - started
+        result_body: Dict[str, Any] = {
+            "ok": failure is None,
+            "applied": applied,
+            "graph": graph,
+            "edit_stats": stats,
+            "pst": {"regions": regions},
+            "client": client,
+            "key": graph_key,
+            "mode": mode,
+            "elapsed": round(elapsed, 6),
+        }
+        if failure is not None:
+            result_body["error"] = "invalid_delta"
+            result_body["index"] = failure["index"]
+            result_body["message"] = failure["message"]
+        self._record_request(
+            body_key=graph_key,
+            client=client,
+            mode=mode,
+            cached=False,
+            ok=failure is None,
+            elapsed=elapsed,
+            nodes=graph["nodes"],
+        )
+        return (200 if failure is None else 422), result_body
 
     def handle_run_batch(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         if not isinstance(body, dict) or not isinstance(body.get("items"), list):

@@ -62,6 +62,10 @@ class SoakConfig:
     bands: Tuple[Tuple[str, int, float], ...] = DEFAULT_BANDS
     #: Fault injection: per-execution firing probability of every site.
     fault_rate: float = 0.02
+    #: Probability a workload iteration POSTs /apply_delta (a random edge
+    #: insertion on the client's live graph) instead of /run_analysis --
+    #: the mixed edit/analyze profile.  0 restores the pure-analyze soak.
+    edit_rate: float = 0.25
     #: Service knobs under test.
     max_cache_bytes: int = 8 * 1024 * 1024
     max_inflight: int = 12
@@ -89,6 +93,8 @@ class SoakReport:
     transport_errors: int = 0
     fault_fires: int = 0
     cache_hits: int = 0
+    edits: int = 0
+    edit_rejected: int = 0
     probes: Dict[str, bool] = field(default_factory=dict)
     slo: List[Dict[str, Any]] = field(default_factory=list)
     rss_start_bytes: Optional[int] = None
@@ -110,7 +116,8 @@ class SoakReport:
         lines = [
             f"soak: {self.requests} requests over {self.elapsed:.1f}s "
             f"({self.ok} ok, {self.shed} shed, {self.analysis_failed} failed, "
-            f"{self.server_errors} server errors, {self.fault_fires} faults fired)",
+            f"{self.server_errors} server errors, {self.fault_fires} faults fired, "
+            f"{self.edits} edits applied, {self.edit_rejected} edits rejected)",
         ]
         for row in self.slo:
             verdict = "ok" if row["ok"] else "OVER BUDGET"
@@ -180,6 +187,8 @@ class _ClientStats:
         self.server_errors = 0
         self.transport_errors = 0
         self.cache_hits = 0
+        self.edits = 0
+        self.edit_rejected = 0
         self.latency: Dict[str, List[float]] = {}
         self.problems: List[str] = []
 
@@ -201,9 +210,26 @@ def _client_loop(
             "client": f"soak-{index}",
             "synth": {"seed": graph_seed, "size": size},
         }
+        editing = rng.random() < config.edit_rate
+        if editing:
+            # random_cfg's interior nodes are n0..n{size-1}: an interior
+            # pair is always a valid insertion.  One edit in eight uses the
+            # end node as source -- statically invalid -- to exercise the
+            # 422 rejection/rollback path on purpose.
+            path = "/apply_delta"
+            source = "end" if rng.randrange(8) == 0 else f"n{rng.randrange(size)}"
+            body["deltas"] = [
+                {
+                    "op": "add_edge",
+                    "source": source,
+                    "target": f"n{rng.randrange(size)}",
+                }
+            ]
+        else:
+            path = "/run_analysis"
         started = time.perf_counter()
         try:
-            status, response = _post(base, "/run_analysis", body)
+            status, response = _post(base, path, body)
         except Exception as error:  # connection reset / refused = a failure
             stats.transport_errors += 1
             stats.problems.append(f"transport: {type(error).__name__}: {error}")
@@ -213,8 +239,14 @@ def _client_loop(
         if status == 200:
             stats.ok += 1
             stats.latency.setdefault(band, []).append(elapsed)
-            if response.get("cached"):
+            if editing:
+                stats.edits += 1
+            elif response.get("cached"):
                 stats.cache_hits += 1
+        elif status == 422 and editing and response.get("error") == "invalid_delta":
+            stats.edit_rejected += 1
+        elif status == 400 and editing and response.get("error") == "unknown_key":
+            stats.edit_rejected += 1
         elif status == 422:
             stats.analysis_failed += 1
         elif status in (429, 503) and response.get("error") == "shed":
@@ -294,6 +326,8 @@ def run_soak(config: Optional[SoakConfig] = None, out=None) -> SoakReport:
         report.server_errors += s.server_errors
         report.transport_errors += s.transport_errors
         report.cache_hits += s.cache_hits
+        report.edits += s.edits
+        report.edit_rejected += s.edit_rejected
         report.failures.extend(s.problems[:5])
     report.fault_fires = plan.total_fires()
 

@@ -121,6 +121,21 @@ def test_qpg_matches_iterative(seed, size):
     assert solve_qpg(proc.cfg, problem).solution == solve_iterative(proc.cfg, problem)
 
 
+def test_qpg_self_assignment_in_a_loop_matches_iterative():
+    """Regression (seed 278): a block holding ``v2 = v2`` sits in a loop
+    whose transparent neighbours the QPG bypasses.  Transfer functions that
+    are non-monotone at top (an UNDEF read evaluates to NAC) must not have
+    their ``transfer(top)`` seed leak into a successor's first meet, or the
+    collapsed graph computes a spuriously NAC value the full CFG does not.
+    """
+    proc = random_lowered_procedure(278, target_statements=20)
+    problem = ConstantPropagation(proc)
+    result = solve_qpg(proc.cfg, problem)
+    assert result.bypassed_regions > 0
+    assert result.solution == solve_iterative(proc.cfg, problem)
+    assert constant_value(result.solution.before["b3"], "v2") == 89
+
+
 def test_constants_actually_found_in_random_programs():
     found = 0
     for seed in range(10):

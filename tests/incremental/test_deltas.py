@@ -1,0 +1,165 @@
+"""The delta layer: wire format, static validation, exact undo."""
+
+import pytest
+
+from repro.cfg.builder import cfg_from_edges
+from repro.incremental.delta import (
+    AddEdge,
+    AddNode,
+    DeltaValidationError,
+    RemoveEdge,
+    RemoveNode,
+    apply_delta_to_cfg,
+    delta_from_json,
+    undo_applied,
+)
+
+DIAMOND = [
+    ("start", "a"),
+    ("a", "b"),
+    ("b", "t"),
+    ("b", "f"),
+    ("t", "j"),
+    ("f", "j"),
+    ("j", "c"),
+    ("c", "end"),
+]
+
+
+def diamond():
+    return cfg_from_edges(DIAMOND, "start", "end")
+
+
+def snapshot(cfg):
+    """Graph identity down to edge ids, adjacency order, and edge order."""
+    return (
+        sorted(map(repr, cfg.nodes)),
+        [(e.eid, e.source, e.target, e.label) for e in cfg.edges],
+        {n: [e.eid for e in cfg.iter_out_edges(n)] for n in cfg.nodes},
+        {n: [e.eid for e in cfg.iter_in_edges(n)] for n in cfg.nodes},
+    )
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "delta",
+    [
+        AddEdge("a", "b"),
+        AddEdge("a", "b", label="true"),
+        RemoveEdge("a", "b"),
+        RemoveEdge("a", "b", eid=7),
+        AddNode("x", preds=("a",), succs=("b", "c")),
+        RemoveNode("x"),
+    ],
+)
+def test_json_roundtrip(delta):
+    assert delta_from_json(delta.to_json()) == delta
+
+
+def test_from_json_rejects_unknown_op():
+    with pytest.raises(DeltaValidationError, match="unknown delta op"):
+        delta_from_json({"op": "teleport_node", "node": "x"})
+
+
+def test_from_json_rejects_non_object_and_missing_keys():
+    with pytest.raises(DeltaValidationError, match="must be an object"):
+        delta_from_json(["add_edge", "a", "b"])
+    with pytest.raises(DeltaValidationError, match="missing key"):
+        delta_from_json({"op": "add_edge", "source": "a"})
+    with pytest.raises(DeltaValidationError, match="eid must be an integer"):
+        delta_from_json({"op": "remove_edge", "source": "a", "target": "b", "eid": "7"})
+
+
+# ----------------------------------------------------------------------
+# static validation (graph untouched on rejection)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "delta, message",
+    [
+        (AddEdge("a", "nope"), "not a node"),
+        (AddEdge("end", "a"), "end must have no successors"),
+        (AddEdge("a", "start"), "start must have no predecessors"),
+        (RemoveEdge("a", "c"), "no edge"),
+        (AddNode("a", preds=("b",), succs=("c",)), "already exists"),
+        (AddNode("x", preds=(), succs=("c",)), "at least one predecessor"),
+        (AddNode("x", preds=("end",), succs=("c",)), "end must have no successors"),
+        (RemoveNode("start"), "cannot remove the start or end node"),
+        (RemoveNode("ghost"), "not a node"),
+    ],
+)
+def test_static_rejections_leave_the_graph_untouched(delta, message):
+    cfg = diamond()
+    before = snapshot(cfg)
+    with pytest.raises(DeltaValidationError, match=message):
+        apply_delta_to_cfg(cfg, delta)
+    assert snapshot(cfg) == before
+
+
+def test_remove_edge_requires_eid_for_parallel_edges():
+    cfg = diamond()
+    dup = cfg.add_edge("t", "j")
+    with pytest.raises(DeltaValidationError, match="pass eid to disambiguate"):
+        apply_delta_to_cfg(cfg, RemoveEdge("t", "j"))
+    applied = apply_delta_to_cfg(cfg, RemoveEdge("t", "j", eid=dup.eid))
+    assert applied.removed_edges == (dup,)
+
+
+# ----------------------------------------------------------------------
+# exact undo
+# ----------------------------------------------------------------------
+
+def test_undo_restores_the_exact_graph_for_every_delta_type():
+    cfg = diamond()
+    deltas = [
+        AddEdge("b", "j", label="skip"),
+        RemoveEdge("f", "j"),
+        AddNode("x", preds=("t",), succs=("j", "c")),
+        RemoveNode("f"),
+    ]
+    history = []
+    snapshots = [snapshot(cfg)]
+    for delta in deltas:
+        history.append(apply_delta_to_cfg(cfg, delta))
+        snapshots.append(snapshot(cfg))
+    for applied in reversed(history):
+        snapshots.pop()
+        undo_applied(cfg, applied)
+        assert snapshot(cfg) == snapshots[-1]
+
+
+def test_undo_preserves_edge_object_identity():
+    cfg = diamond()
+    original = next(e for e in cfg.edges if (e.source, e.target) == ("t", "j"))
+    applied = apply_delta_to_cfg(cfg, RemoveEdge("t", "j"))
+    undo_applied(cfg, applied)
+    restored = [e for e in cfg.edges if (e.source, e.target) == ("t", "j")]
+    assert restored == [original]
+    assert restored[0] is original
+
+
+def test_remove_node_takes_all_incident_edges_and_undo_restores_order():
+    cfg = diamond()
+    before = snapshot(cfg)
+    applied = apply_delta_to_cfg(cfg, RemoveNode("b"))
+    assert sorted((e.source, e.target) for e in applied.removed_edges) == [
+        ("a", "b"),
+        ("b", "f"),
+        ("b", "t"),
+    ]
+    assert not cfg.has_node("b")
+    undo_applied(cfg, applied)
+    assert snapshot(cfg) == before
+
+
+def test_apply_bumps_the_cfg_version_and_so_does_undo():
+    cfg = diamond()
+    v0 = cfg.version
+    applied = apply_delta_to_cfg(cfg, AddEdge("b", "j"))
+    assert cfg.version > v0
+    v1 = cfg.version
+    undo_applied(cfg, applied)
+    assert cfg.version > v1

@@ -1,0 +1,28 @@
+"""Pinned-seed edit-stream campaign (the fuzz_smoke tier-1 slice).
+
+The full 200-case campaign runs in CI as
+``repro fuzz --oracle incremental/edit-stream --count 200 --seed 3``;
+this keeps a fast deterministic slice in the plain pytest run.
+"""
+
+import pytest
+
+from repro.fuzz.oracles import ALL_ORACLES
+from repro.fuzz.runner import run_fuzz
+
+EDIT_STREAM = [o for o in ALL_ORACLES if o.name == "incremental/edit-stream"]
+
+
+@pytest.mark.fuzz_smoke
+def test_edit_stream_oracle_is_registered():
+    assert len(EDIT_STREAM) == 1
+
+
+@pytest.mark.fuzz_smoke
+@pytest.mark.parametrize("seed,count,size", [(3, 30, 8), (1_733, 20, 14)])
+def test_edit_stream_smoke_campaign(seed, count, size):
+    report = run_fuzz(
+        seed=seed, count=count, size=size, oracles=EDIT_STREAM, time_budget=20.0
+    )
+    assert report.ok, "\n" + report.render()
+    assert report.cases_run >= min(count, 10)

@@ -1,0 +1,79 @@
+"""Per-key version stamps in AnalysisSession: stale, selective, seeded."""
+
+from repro.cfg.builder import cfg_from_edges
+from repro.core.cycle_equiv import cycle_equivalence_of_cfg
+from repro.incremental import EditSession
+from repro.kernel.session import AnalysisSession
+
+DIAMOND = [
+    ("start", "a"),
+    ("a", "b"),
+    ("b", "t"),
+    ("b", "f"),
+    ("t", "j"),
+    ("f", "j"),
+    ("j", "c"),
+    ("c", "end"),
+]
+
+
+def diamond():
+    return cfg_from_edges(DIAMOND, "start", "end")
+
+
+def test_stale_stamp_is_counted_and_recomputed():
+    cfg = diamond()
+    session = AnalysisSession(cfg)
+    old_dom = session.dominators()
+    assert session.cache_info()["stale"] == 0
+    cfg.add_edge("b", "j")  # mutation bumps the version
+    new_dom = session.dominators()
+    info = session.cache_info()
+    assert info["stale"] == 1
+    assert info["misses"] == 2  # stale lookups count as misses too
+    assert new_dom is not old_dom
+    assert new_dom["j"] == "b"  # and the recompute saw the new edge
+
+
+def test_selective_invalidate_drops_only_the_named_keys():
+    cfg = diamond()
+    session = AnalysisSession(cfg)
+    session.dominators()
+    session.pst()
+    assert session.cache_info()["size"] == 3  # dom, pst, equiv
+    session.invalidate(keys=["dom", "not-a-key"])
+    assert session.cache_info()["size"] == 2
+    hits = session.cache_info()["hits"]
+    session.pst()  # still warm
+    assert session.cache_info()["hits"] == hits + 1
+
+
+def test_put_artifact_stamps_the_current_version():
+    cfg = diamond()
+    session = AnalysisSession(cfg)
+    equiv = cycle_equivalence_of_cfg(cfg, validate=False)
+    session.put_artifact("equiv", equiv)
+    assert session.cycle_equivalence() is equiv  # fresh stamp: a hit
+    assert session.cache_info() == {"hits": 1, "misses": 0, "size": 1, "stale": 0}
+    cfg.add_edge("b", "j")
+    assert session.cycle_equivalence() is not equiv  # stale now
+    assert session.cache_info()["stale"] == 1
+
+
+def test_edit_session_keeps_maintained_artifacts_warm_across_splices():
+    session = EditSession(diamond())
+    inner = session.session
+    session.dominators()
+    baseline = inner.cache_info()
+    session.add_edge("t", "t")  # splice: equiv/pst re-seeded, dom dropped
+    assert session.stats.splices == 1
+    # maintained artifacts answer from the cache without recomputation
+    assert inner.pst() is session.pst
+    assert inner.cycle_equivalence() is session.equiv
+    info = inner.cache_info()
+    assert info["hits"] == baseline["hits"] + 2
+    assert info["stale"] == baseline["stale"]  # dropped, not left to go stale
+    # the derived dominator map was invalidated and recomputes on demand
+    misses = info["misses"]
+    session.dominators()
+    assert inner.cache_info()["misses"] == misses + 1

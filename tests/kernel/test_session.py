@@ -37,7 +37,7 @@ def test_pst_computed_once_then_served_from_cache():
     session = AnalysisSession(diamond())
     first = session.pst()
     # First call misses twice: the PST itself and its equiv prerequisite.
-    assert session.cache_info() == {"hits": 0, "misses": 2, "size": 2}
+    assert session.cache_info() == {"hits": 0, "misses": 2, "size": 2, "stale": 0}
     assert session.pst() is first
     assert session.cache_info()["hits"] == 1
 
@@ -46,7 +46,7 @@ def test_validate_spellings_share_one_equiv_slot():
     session = AnalysisSession(diamond())
     equiv = session.cycle_equivalence(validate=True)
     assert session.cycle_equivalence(validate=False) is equiv
-    assert session.cache_info() == {"hits": 1, "misses": 1, "size": 1}
+    assert session.cache_info() == {"hits": 1, "misses": 1, "size": 1, "stale": 0}
 
 
 def test_mutation_invalidates_transparently():

@@ -13,6 +13,10 @@ from repro.resilience.engine import run_analysis
 from repro.resilience.faults import ALL_SITES, FaultPlan
 from tests.resilience.conftest import chain_cfg
 
+# run_analysis works on an immutable snapshot, so the edit-layer sites never
+# execute under it; they get their own coverage in tests/incremental/.
+ENGINE_SITES = [s for s in ALL_SITES if not s.name.startswith("incremental/")]
+
 
 @pytest.fixture(autouse=True)
 def _no_leftover_plan():
@@ -69,7 +73,7 @@ def test_unknown_analysis_reported_not_raised():
 # never a raise, never a wrong answer
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("site", [s.name for s in ALL_SITES])
+@pytest.mark.parametrize("site", [s.name for s in ENGINE_SITES])
 def test_persistent_fault_recovers_with_correct_results(site):
     cfg = demo_cfg()
     clean = run_analysis(cfg)
@@ -123,7 +127,7 @@ def test_fault_sweep_over_fuzz_corpus():
         clean = run_analysis(cfg)
         assert clean.ok, (seed, clean.diagnostic.render())
         clean_by_seed[seed] = (cfg, clean)
-    for site in ALL_SITES:
+    for site in ENGINE_SITES:
         for seed, (cfg, clean) in clean_by_seed.items():
             with faults.inject(FaultPlan(sites=[site.name], seed=seed)):
                 result = run_analysis(cfg)
